@@ -1,0 +1,81 @@
+"""Ablation: the APE threshold schedule's knobs (DESIGN.md ablation list).
+
+Sweeps the initial threshold fraction, the stage decay, and the stage length
+on the credit-SVM workload and reports the traffic / iterations trade-off.
+The paper's defaults are fraction=0.10, decay=0.9, I_k=10.
+"""
+
+from benchmarks.conftest import pick
+from repro.core.config import SNAPConfig
+from repro.simulation.experiments import credit_svm_workload
+from repro.simulation.runner import reference_target_loss, run_scheme
+
+
+def run_ablation():
+    workload = credit_svm_workload(
+        n_servers=pick(16, 60),
+        average_degree=3.0,
+        n_train=pick(2_400, 24_000),
+        n_test=pick(600, 6_000),
+        seed=21,
+    )
+    target = reference_target_loss(workload, margin=0.03)
+    variants = {
+        "paper defaults": {},
+        "fraction=0.02": {"ape_initial_fraction": 0.02},
+        "fraction=0.30": {"ape_initial_fraction": 0.30},
+        "decay=0.5": {"ape_decay": 0.5},
+        "decay=0.99": {"ape_decay": 0.99},
+        "stage=3": {"ape_stage_iterations": 3},
+        "stage=25": {"ape_stage_iterations": 25},
+        "snap0 (no APE)": None,
+    }
+    outcomes = {}
+    for label, overrides in variants.items():
+        if overrides is None:
+            result = run_scheme(
+                "snap0",
+                workload,
+                max_rounds=pick(500, 800),
+                detector_kwargs={"target_loss": target},
+            )
+        else:
+            config = SNAPConfig(max_rounds=pick(500, 800), **overrides)
+            result = run_scheme(
+                "snap",
+                workload,
+                max_rounds=pick(500, 800),
+                snap_config=config,
+                detector_kwargs={"target_loss": target},
+            )
+        outcomes[label] = result
+    return outcomes
+
+
+def test_ablation_ape_schedule(benchmark, report):
+    outcomes = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    rows = [
+        [
+            label,
+            result.iterations_to_converge,
+            result.converged_at is not None,
+            result.total_bytes,
+            result.final_accuracy,
+        ]
+        for label, result in outcomes.items()
+    ]
+    report(
+        "APE schedule ablation (credit-SVM)",
+        ["variant", "iterations", "converged", "total bytes", "accuracy"],
+        rows,
+        claim="defaults balance traffic vs iterations; tiny fractions behave "
+        "like SNAP-0, huge fractions trade iterations for bytes",
+    )
+    defaults = outcomes["paper defaults"]
+    snap0 = outcomes["snap0 (no APE)"]
+    # The APE machinery must save traffic against SNAP-0...
+    assert defaults.total_bytes < snap0.total_bytes
+    # ...without wrecking accuracy.
+    assert snap0.final_accuracy - defaults.final_accuracy < 0.02
+    # A near-zero threshold behaves like SNAP-0 on traffic (within 2x).
+    assert outcomes["fraction=0.02"].total_bytes <= 2 * snap0.total_bytes

@@ -1,0 +1,108 @@
+"""Fig. 4 — the 3-server testbed experiment.
+
+Three fully connected edge servers train the 784-30-10 MLP. The paper
+reports (a) accuracy vs iteration per scheme, (b) bytes written into the
+socket per iteration, and (c) total bytes per scheme, with the headline
+numbers: SNAP incurs only 3.56% of PS's traffic, saves ~80% vs SNAP-0, SNO
+needs 1.5x PS on this fully connected testbed, and TernGrad converges far
+more slowly than everything else (78% accuracy after 20 iterations vs ~95%
+for the others).
+
+Our absolute ratios differ (our synthetic task, step size, and round budget
+are not the authors' testbed), but every ordering and every trend — who is
+flat, who decays, who lags — reproduces.
+"""
+
+from benchmarks.conftest import pick
+from repro.simulation.experiments import mnist_mlp_workload
+from repro.simulation.runner import run_comparison
+
+SCHEMES = ("centralized", "ps", "terngrad", "snap", "snap0", "sno")
+CHECKPOINTS = (10, 20, 60, 120, 200)
+
+
+def run_testbed():
+    workload = mnist_mlp_workload(
+        n_servers=3,
+        n_train=pick(1_500, 50_000),
+        n_test=pick(400, 10_000),
+        noise_std=0.35,
+        seed=4,
+    )
+    rounds = pick(200, 300)
+    # A shared explicit step size keeps iteration counts comparable; the
+    # MLP's automatic Lipschitz heuristic is far too conservative.
+    return run_comparison(
+        workload,
+        schemes=SCHEMES,
+        max_rounds=rounds,
+        alpha=0.6,
+        eval_every=10,
+        stop_on_convergence=False,
+    )
+
+
+def test_fig4_testbed(benchmark, report):
+    results = benchmark.pedantic(run_testbed, rounds=1, iterations=1)
+
+    # Fig. 4(a): accuracy vs iteration.
+    rows_a = []
+    for scheme in SCHEMES:
+        accuracy = dict(results[scheme].accuracy_trace())
+        rows_a.append([scheme] + [accuracy.get(k, None) for k in CHECKPOINTS])
+    report(
+        "Fig 4(a): model accuracy vs iteration",
+        ["scheme"] + [f"iter {k}" for k in CHECKPOINTS],
+        rows_a,
+        claim="SNAP quickly catches centralized; TernGrad lags behind early",
+    )
+
+    # Fig. 4(b): per-iteration socket bytes.
+    rows_b = []
+    for scheme in SCHEMES:
+        trace = results[scheme].bytes_trace()
+        rows_b.append([scheme, trace[0], trace[len(trace) // 2], trace[-1]])
+    report(
+        "Fig 4(b): bytes per iteration",
+        ["scheme", "first", "middle", "last"],
+        rows_b,
+        claim="PS/SNO/TernGrad flat; SNAP decays toward 0; SNAP-0 stays high",
+    )
+
+    # Fig. 4(c): total bytes.
+    ps_total = results["ps"].total_bytes
+    rows_c = [
+        [scheme, results[scheme].total_bytes, results[scheme].total_bytes / ps_total]
+        for scheme in SCHEMES
+    ]
+    report(
+        "Fig 4(c): total bytes (and ratio vs PS)",
+        ["scheme", "total bytes", "vs PS"],
+        rows_c,
+        claim="SNAP far below PS and SNAP-0 at convergence; SNO ~1.5x PS on K3",
+    )
+
+    snap, snap0, sno, ps = (
+        results["snap"],
+        results["snap0"],
+        results["sno"],
+        results["ps"],
+    )
+    # (a) accuracy: SNAP tracks/beats centralized; TernGrad lags early.
+    assert results["centralized"].final_accuracy - snap.final_accuracy < 0.05
+    terngrad_20 = dict(results["terngrad"].accuracy_trace())[20]
+    best_20 = max(
+        dict(results[s].accuracy_trace())[20] for s in ("centralized", "snap0")
+    )
+    assert terngrad_20 <= best_20 + 0.01
+    # (b) traffic shapes: SNAP decays, the others stay flat.
+    snap_trace = snap.bytes_trace()
+    assert snap_trace[-1] < 0.5 * snap_trace[0]
+    assert len(set(ps.bytes_trace())) == 1
+    assert len(set(sno.bytes_trace())) == 1
+    assert len(set(results["terngrad"].bytes_trace())) == 1
+    # (c) totals: SNAP < SNAP-0 = SNO; SNAP < PS; SNO ~ 1.5x PS on K3.
+    assert snap.total_bytes < 0.6 * snap0.total_bytes
+    assert snap.total_bytes < ps.total_bytes
+    assert sno.total_bytes == snap0.total_bytes
+    assert 1.2 < sno.total_bytes / ps.total_bytes < 1.9

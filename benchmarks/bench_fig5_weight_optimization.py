@@ -1,0 +1,116 @@
+"""Fig. 5 — the effect of the Section IV-B weight-matrix optimization.
+
+The paper compares SNAP and SNAP-0 with and without the optimized weight
+matrix (the baseline is eq. 24's Metropolis construction) and reports
+iterations to converge (a) against network scale and (b) against average
+node degree, with these readings:
+
+* optimization reduces the required iterations everywhere it can;
+* the reduction grows with network scale (more weights = more freedom);
+* the reduction grows with the average degree, and vanishes at degree 2
+  (a ring-like graph leaves no freedom to optimize).
+"""
+
+from benchmarks.conftest import pick
+from repro.simulation.sweep import sweep_network_scale, sweep_node_degree
+
+SCHEMES = ("snap", "snap0")
+
+
+def run_scale_sweep():
+    sizes = pick((12, 24, 36), (20, 40, 60, 80, 100))
+    rows = {}
+    for optimize in (True, False):
+        rows[optimize] = sweep_network_scale(
+            schemes=SCHEMES,
+            n_servers_values=sizes,
+            average_degree=3.0,
+            max_rounds=pick(550, 800),
+            n_train=pick(3_000, 24_000),
+            n_test=pick(600, 6_000),
+            seed=5,
+            optimize_weights=optimize,
+        )
+    return sizes, rows
+
+
+def run_degree_sweep():
+    degrees = pick((2.0, 3.0, 4.0, 5.0), (2.0, 3.0, 4.0, 5.0, 6.0))
+    n_servers = pick(24, 60)
+    rows = {}
+    for optimize in (True, False):
+        rows[optimize] = sweep_node_degree(
+            schemes=SCHEMES,
+            degree_values=degrees,
+            n_servers=n_servers,
+            max_rounds=pick(550, 800),
+            n_train=pick(3_000, 24_000),
+            n_test=pick(600, 6_000),
+            seed=5,
+            optimize_weights=optimize,
+        )
+    return degrees, rows
+
+
+def _iterations(rows, scheme, key, value):
+    for row in rows:
+        if row["scheme"] == scheme and round(row[key]) == round(value):
+            return row["iterations_to_converge"]
+    raise KeyError((scheme, key, value))
+
+
+def test_fig5a_scale(benchmark, report):
+    sizes, rows = benchmark.pedantic(run_scale_sweep, rounds=1, iterations=1)
+    table = []
+    for n in sizes:
+        for scheme in SCHEMES:
+            optimized = _iterations(rows[True], scheme, "n_servers", n)
+            baseline = _iterations(rows[False], scheme, "n_servers", n)
+            table.append([n, scheme, optimized, baseline, baseline - optimized])
+    report(
+        "Fig 5(a): iterations vs network scale, optimized vs eq.(24) weights",
+        ["n_servers", "scheme", "optimized", "metropolis", "saved"],
+        table,
+        claim="weight optimization reduces iterations; savings grow with scale",
+    )
+    # Optimization never hurts, and helps at the largest scale.
+    for n in sizes:
+        for scheme in SCHEMES:
+            optimized = _iterations(rows[True], scheme, "n_servers", n)
+            baseline = _iterations(rows[False], scheme, "n_servers", n)
+            assert optimized <= baseline * 1.1 + 5
+    largest = sizes[-1]
+    assert (
+        _iterations(rows[True], "snap0", "n_servers", largest)
+        < _iterations(rows[False], "snap0", "n_servers", largest)
+    )
+
+
+def test_fig5b_degree(benchmark, report):
+    degrees, rows = benchmark.pedantic(run_degree_sweep, rounds=1, iterations=1)
+    table = []
+    for degree in degrees:
+        for scheme in SCHEMES:
+            optimized = _iterations(rows[True], scheme, "average_degree", degree)
+            baseline = _iterations(rows[False], scheme, "average_degree", degree)
+            table.append(
+                [degree, scheme, optimized, baseline, baseline - optimized]
+            )
+    report(
+        "Fig 5(b): iterations vs average node degree, optimized vs eq.(24)",
+        ["degree", "scheme", "optimized", "metropolis", "saved"],
+        table,
+        claim="larger degree -> larger improvement; no gain at degree 2",
+    )
+    # Aggregate check: optimization reduces the total iteration count over
+    # the whole degree sweep. (Per-degree comparisons are confounded when a
+    # non-converged baseline saturates at the round cap, so the directional
+    # claim is asserted in aggregate and the per-degree numbers are left in
+    # the table for eyeballing against Fig. 5(b).)
+    optimized_total = sum(
+        _iterations(rows[True], "snap0", "average_degree", d) for d in degrees
+    )
+    baseline_total = sum(
+        _iterations(rows[False], "snap0", "average_degree", d) for d in degrees
+    )
+    assert optimized_total < baseline_total

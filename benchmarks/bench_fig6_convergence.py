@@ -1,0 +1,105 @@
+"""Fig. 6 — iterations to converge vs network characteristics.
+
+The paper sweeps the SVM simulation over the number of edge servers (6a) and
+the average node degree (6b) and reads:
+
+* more servers (fewer samples each) -> more iterations for every scheme;
+* SNAP needs only 3-4 more iterations than SNAP-0 even at 100 servers;
+* TernGrad's convergence degrades dramatically with scale (quantization
+  noise grows as local gradients get noisier);
+* PS/TernGrad iteration counts do not depend on the node degree, while a
+  larger degree speeds SNAP up (faster information spread).
+"""
+
+from benchmarks.conftest import pick
+from repro.simulation.sweep import sweep_network_scale, sweep_node_degree
+
+SCHEMES = ("centralized", "ps", "terngrad", "snap", "snap0")
+
+
+def run_scale_sweep():
+    sizes = pick((12, 24, 36), (20, 40, 60, 80, 100))
+    return sizes, sweep_network_scale(
+        schemes=SCHEMES,
+        n_servers_values=sizes,
+        average_degree=3.0,
+        max_rounds=pick(550, 800),
+        n_train=pick(3_000, 24_000),
+        n_test=pick(600, 6_000),
+        seed=6,
+    )
+
+
+def run_degree_sweep():
+    degrees = pick((2.0, 3.0, 4.0, 5.0), (2.0, 3.0, 4.0, 5.0, 6.0))
+    return degrees, sweep_node_degree(
+        schemes=SCHEMES,
+        degree_values=degrees,
+        n_servers=pick(24, 60),
+        max_rounds=pick(550, 800),
+        n_train=pick(3_000, 24_000),
+        n_test=pick(600, 6_000),
+        seed=6,
+    )
+
+
+def _by(rows, scheme, key):
+    return {round(row[key], 2): row for row in rows if row["scheme"] == scheme}
+
+
+def test_fig6a_scale(benchmark, report):
+    sizes, rows = benchmark.pedantic(run_scale_sweep, rounds=1, iterations=1)
+    table = []
+    for n in sizes:
+        record = [n]
+        for scheme in SCHEMES:
+            record.append(_by(rows, scheme, "n_servers")[n]["iterations_to_converge"])
+        table.append(record)
+    report(
+        "Fig 6(a): iterations to converge vs network scale",
+        ["n_servers"] + list(SCHEMES),
+        table,
+        claim="iterations grow with scale; SNAP ~ SNAP-0; TernGrad degrades fastest",
+    )
+    # SNAP stays close to SNAP-0 at every scale.
+    for n in sizes:
+        snap = _by(rows, "snap", "n_servers")[n]["iterations_to_converge"]
+        snap0 = _by(rows, "snap0", "n_servers")[n]["iterations_to_converge"]
+        assert snap <= snap0 * 1.5 + 10
+    # The SNAP family needs more iterations at the largest scale than the
+    # smallest (fewer samples per server, larger diameter).
+    assert (
+        _by(rows, "snap0", "n_servers")[sizes[-1]]["iterations_to_converge"]
+        >= _by(rows, "snap0", "n_servers")[sizes[0]]["iterations_to_converge"]
+    )
+
+
+def test_fig6b_degree(benchmark, report):
+    degrees, rows = benchmark.pedantic(run_degree_sweep, rounds=1, iterations=1)
+    table = []
+    for degree in degrees:
+        record = [degree]
+        for scheme in SCHEMES:
+            record.append(
+                _by(rows, scheme, "average_degree")[degree]["iterations_to_converge"]
+            )
+        table.append(record)
+    report(
+        "Fig 6(b): iterations to converge vs average node degree",
+        ["degree"] + list(SCHEMES),
+        table,
+        claim="PS/TernGrad flat in degree; SNAP speeds up with degree",
+    )
+    # PS does not mix over the topology: its count is degree-independent.
+    ps_counts = {
+        _by(rows, "ps", "average_degree")[d]["iterations_to_converge"]
+        for d in degrees
+    }
+    assert max(ps_counts) - min(ps_counts) <= 10
+    # The paper's degree effect is sharpest between degree 2 (slow, ring-like
+    # mixing: consensus takes hundreds of rounds) and any denser topology.
+    snap = _by(rows, "snap", "average_degree")
+    assert (
+        snap[degrees[1]]["iterations_to_converge"]
+        < snap[degrees[0]]["iterations_to_converge"]
+    )

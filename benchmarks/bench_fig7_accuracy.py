@@ -1,0 +1,117 @@
+"""Fig. 7 — model accuracy vs network characteristics.
+
+The paper reads:
+
+* SNAP-0 (= exact EXTRA) reaches the optimal solution regardless of the
+  network, and SNAP matches centralized accuracy despite ignoring small
+  parameter changes — the figure's primary claim, asserted below;
+* PS and TernGrad lose some accuracy, TernGrad's loss growing with the
+  network size (up to 3.5% at 100 servers).
+
+Reproduction note: the TernGrad degradation does *not* reproduce on the
+24-parameter SVM with full-batch gradients — ternarizing a 25-dimensional
+full-batch gradient barely perturbs the descent direction, so TernGrad's
+final accuracy stays within ~0.5% of centralized here. The degradation DOES
+reproduce on the paper's other workload, the 24k-parameter MLP, where
+quantization noise scales with the dimension: see Fig. 4(a)'s accuracy lag
+in ``bench_fig4_testbed.py``. Both numbers are recorded in EXPERIMENTS.md.
+
+Runs stop at their own loss plateau (not at a shared target): a scheme that
+stalls at a noise floor reports the accuracy it actually attains, which is
+how the paper's accuracy figure is produced.
+"""
+
+from benchmarks.conftest import pick
+from repro.simulation.experiments import credit_svm_workload
+from repro.simulation.runner import run_comparison
+
+SCHEMES = ("centralized", "ps", "terngrad", "snap", "snap0")
+DETECTOR = {"loss_window": 8, "relative_loss_tolerance": 1e-3}
+
+
+def run_scale_study():
+    sizes = pick((12, 24, 36), (20, 40, 60, 80, 100))
+    rows = []
+    for n_servers in sizes:
+        workload = credit_svm_workload(
+            n_servers=n_servers,
+            average_degree=3.0,
+            n_train=pick(3_000, 24_000),
+            n_test=pick(600, 6_000),
+            seed=7,
+        )
+        results = run_comparison(
+            workload,
+            schemes=SCHEMES,
+            max_rounds=pick(400, 700),
+            detector_kwargs=DETECTOR,
+        )
+        for scheme, result in results.items():
+            rows.append(
+                {"n_servers": n_servers, "scheme": scheme, **result.summary()}
+            )
+    return sizes, rows
+
+
+def run_degree_study():
+    degrees = pick((2.0, 3.0, 4.0), (2.0, 3.0, 4.0, 5.0, 6.0))
+    rows = []
+    for degree in degrees:
+        workload = credit_svm_workload(
+            n_servers=pick(24, 60),
+            average_degree=degree,
+            n_train=pick(3_000, 24_000),
+            n_test=pick(600, 6_000),
+            seed=7,
+        )
+        results = run_comparison(
+            workload,
+            schemes=SCHEMES,
+            max_rounds=pick(400, 700),
+            detector_kwargs=DETECTOR,
+        )
+        for scheme, result in results.items():
+            rows.append({"degree": degree, "scheme": scheme, **result.summary()})
+    return degrees, rows
+
+
+def _accuracy(rows, scheme, key, value):
+    for row in rows:
+        if row["scheme"] == scheme and round(row[key], 2) == round(value, 2):
+            return row["final_accuracy"]
+    raise KeyError((scheme, key, value))
+
+
+def test_fig7a_scale(benchmark, report):
+    sizes, rows = benchmark.pedantic(run_scale_study, rounds=1, iterations=1)
+    table = [
+        [n] + [_accuracy(rows, s, "n_servers", n) for s in SCHEMES] for n in sizes
+    ]
+    report(
+        "Fig 7(a): final accuracy vs network scale",
+        ["n_servers"] + list(SCHEMES),
+        table,
+        claim="SNAP/SNAP-0 track centralized at every scale (TernGrad's SVM "
+        "degradation does not reproduce here; see module docstring)",
+    )
+    for n in sizes:
+        central = _accuracy(rows, "centralized", "n_servers", n)
+        assert central - _accuracy(rows, "snap", "n_servers", n) < 0.02
+        assert central - _accuracy(rows, "snap0", "n_servers", n) < 0.02
+
+
+def test_fig7b_degree(benchmark, report):
+    degrees, rows = benchmark.pedantic(run_degree_study, rounds=1, iterations=1)
+    table = [
+        [d] + [_accuracy(rows, s, "degree", d) for s in SCHEMES] for d in degrees
+    ]
+    report(
+        "Fig 7(b): final accuracy vs average node degree",
+        ["degree"] + list(SCHEMES),
+        table,
+        claim="SNAP matches centralized at every degree",
+    )
+    for degree in degrees:
+        central = _accuracy(rows, "centralized", "degree", degree)
+        assert central - _accuracy(rows, "snap", "degree", degree) < 0.02
+        assert central - _accuracy(rows, "snap0", "degree", degree) < 0.02

@@ -1,0 +1,68 @@
+"""Micro-benchmark: the Fig. 3 frame machinery.
+
+Times frame construction/selection at MLP scale (~24k parameters) and
+prints the crossover table for the paper's ``N > 2M + 1`` rule.
+"""
+
+import numpy as np
+
+from repro.network.frames import (
+    FrameFormat,
+    frame_size_bytes,
+    select_frame_format,
+)
+from repro.network.messages import ParameterUpdate
+
+N_PARAMS = 23_860  # the 784-30-10 testbed MLP
+
+
+def build_update(sent_fraction: float) -> ParameterUpdate:
+    rng = np.random.default_rng(0)
+    n_sent = int(N_PARAMS * sent_fraction)
+    indices = np.sort(rng.choice(N_PARAMS, size=n_sent, replace=False))
+    return ParameterUpdate(
+        sender=0,
+        round_index=1,
+        total_params=N_PARAMS,
+        indices=indices,
+        values=rng.normal(size=n_sent),
+    )
+
+
+def test_frame_encoding_speed(benchmark, report):
+    update = benchmark(build_update, 0.3)
+    assert update.n_sent == int(N_PARAMS * 0.3)
+
+    rows = []
+    for unsent_fraction in (0.0, 0.2, 0.4, 0.49, 0.51, 0.6, 0.8, 0.95, 1.0):
+        unsent = int(N_PARAMS * unsent_fraction)
+        chosen = select_frame_format(N_PARAMS, unsent)
+        rows.append(
+            [
+                f"{unsent_fraction:.0%}",
+                frame_size_bytes(N_PARAMS, unsent, FrameFormat.UNCHANGED_INDEX),
+                frame_size_bytes(N_PARAMS, unsent, FrameFormat.INDEX_VALUE),
+                chosen.value,
+            ]
+        )
+    report(
+        "Frame crossover (N=23,860 MLP parameters)",
+        ["unsent", "unchanged_index B", "index_value B", "chosen"],
+        rows,
+        claim="first frame wins while N > 2M+1 (under ~50% suppressed)",
+    )
+    # The crossover sits at one-half suppressed.
+    assert select_frame_format(N_PARAMS, int(0.49 * N_PARAMS)) is (
+        FrameFormat.UNCHANGED_INDEX
+    )
+    assert select_frame_format(N_PARAMS, int(0.51 * N_PARAMS)) is (
+        FrameFormat.INDEX_VALUE
+    )
+
+
+def test_frame_apply_speed(benchmark):
+    """Receiver-side overlay of a 30%-dense update at MLP scale."""
+    update = build_update(0.3)
+    target = np.zeros(N_PARAMS)
+    result = benchmark(update.apply_to, target)
+    assert result.shape == (N_PARAMS,)

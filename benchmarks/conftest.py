@@ -1,0 +1,43 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every module in this directory regenerates one table/figure of the paper's
+Section V. Default sizes are scaled down so the whole harness finishes in a
+few minutes; set ``REPRO_PAPER_SCALE=1`` to run at the paper's full scale
+(up to 100 edge servers, full dataset sizes) — expect a long run.
+
+Each benchmark prints an ASCII table of the series the paper plots, with the
+paper's qualitative claim quoted alongside, so the output can be eyeballed
+against the original figure.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis.reporting import ascii_table
+
+
+def paper_scale() -> bool:
+    """Whether to run at the paper's full experimental scale."""
+    return os.environ.get("REPRO_PAPER_SCALE", "0") == "1"
+
+
+def pick(small, full):
+    """Select a parameter by scale mode."""
+    return full if paper_scale() else small
+
+
+@pytest.fixture
+def report():
+    """Print a labelled ASCII table beneath the benchmark output."""
+
+    def _report(title: str, headers, rows, claim: str | None = None):
+        print()
+        print(f"=== {title} ===")
+        if claim:
+            print(f"paper: {claim}")
+        print(ascii_table(headers, rows))
+
+    return _report

@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""The paper's testbed scenario: three edge servers training an image model.
+
+Reproduces the Section V-A experiment in miniature: three fully connected
+edge servers (think three base stations) each hold a third of an MNIST-like
+image dataset and collaboratively train the paper's 784-30-10 MLP. Compares
+SNAP against the centralized baseline, the parameter-server scheme, and
+TernGrad, printing the Fig. 4-style accuracy and traffic series.
+
+Run:  python examples/edge_mnist_testbed.py
+"""
+
+from repro.analysis.reporting import ascii_table, format_bytes
+from repro.simulation import mnist_mlp_workload, run_comparison
+
+SCHEMES = ("centralized", "ps", "terngrad", "snap", "snap0")
+
+
+def main() -> None:
+    workload = mnist_mlp_workload(
+        n_servers=3,
+        n_train=1_500,
+        n_test=400,
+        noise_std=0.35,
+        seed=4,
+    )
+    print(
+        f"testbed: 3 fully connected servers, "
+        f"{workload.model.n_params} MLP parameters, "
+        f"{sum(s.n_samples for s in workload.shards)} images"
+    )
+
+    results = run_comparison(
+        workload,
+        schemes=SCHEMES,
+        max_rounds=150,
+        alpha=0.6,
+        eval_every=10,
+        stop_on_convergence=False,
+    )
+
+    # Accuracy trajectory (Fig. 4a).
+    checkpoints = (10, 30, 60, 100, 150)
+    rows = []
+    for scheme in SCHEMES:
+        accuracy = dict(results[scheme].accuracy_trace())
+        rows.append(
+            [scheme] + [f"{accuracy[k]:.3f}" for k in checkpoints]
+        )
+    print()
+    print("accuracy vs iteration (Fig. 4a):")
+    print(ascii_table(["scheme"] + [f"@{k}" for k in checkpoints], rows))
+
+    # Traffic (Fig. 4b/4c).
+    rows = []
+    for scheme in SCHEMES:
+        result = results[scheme]
+        trace = result.bytes_trace()
+        rows.append(
+            [
+                scheme,
+                format_bytes(trace[0]),
+                format_bytes(trace[-1]),
+                format_bytes(result.total_bytes),
+            ]
+        )
+    print()
+    print("per-iteration and total traffic (Fig. 4b/4c):")
+    print(ascii_table(["scheme", "first round", "last round", "total"], rows))
+
+    snap = results["snap"]
+    print()
+    print(
+        "note how SNAP's per-round traffic decays as training converges —\n"
+        "parameters that stopped changing are no longer transmitted — while\n"
+        "PS, TernGrad and SNAP-0 keep paying full price every round."
+    )
+    print(
+        f"SNAP final accuracy {snap.final_accuracy:.2%}, centralized "
+        f"{results['centralized'].final_accuracy:.2%}."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Quickstart: train one model with SNAP on a simulated edge network.
+
+Builds the paper's simulation workload (a linear SVM on credit-default-style
+data spread over edge servers), trains it with SNAP, and prints what
+happened — accuracy, iterations, and how little traffic SNAP needed compared
+to always-send-everything.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis.reporting import ascii_table, format_bytes
+from repro.simulation import credit_svm_workload, run_comparison
+from repro.simulation.runner import reference_target_loss
+
+
+def main() -> None:
+    # 16 edge servers, each directly connected to ~3 peers, each holding a
+    # private shard of ~190 samples. No server ever shares raw data.
+    workload = credit_svm_workload(
+        n_servers=16,
+        average_degree=3.0,
+        n_train=3_000,
+        n_test=750,
+        seed=42,
+    )
+    print(f"workload: {workload.name}")
+    print(
+        f"  {workload.n_servers} edge servers, "
+        f"{workload.topology.n_edges} links, "
+        f"{sum(s.n_samples for s in workload.shards)} training samples"
+    )
+
+    # All schemes race to the same loss target (2% above the centrally
+    # attainable optimum), so iteration counts and traffic are comparable.
+    target = reference_target_loss(workload)
+    results = run_comparison(
+        workload,
+        schemes=("centralized", "snap", "snap0", "sno"),
+        max_rounds=300,
+        detector_kwargs={"target_loss": target},
+    )
+
+    rows = []
+    for scheme, result in results.items():
+        rows.append(
+            [
+                scheme,
+                result.iterations_to_converge,
+                f"{result.final_accuracy:.4f}",
+                format_bytes(result.total_bytes),
+            ]
+        )
+    print()
+    print(ascii_table(["scheme", "iterations", "accuracy", "traffic"], rows))
+
+    snap = results["snap"]
+    sno = results["sno"]
+    print()
+    print(
+        f"SNAP reached {snap.final_accuracy:.2%} accuracy using "
+        f"{format_bytes(snap.total_bytes)} of network traffic — "
+        f"{snap.total_bytes / sno.total_bytes:.0%} of what exchanging every "
+        "parameter every round (SNO) would have cost, with the raw data never "
+        "leaving the edge servers."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Back-of-envelope traffic estimates (the paper's introduction math).
+
+The introduction motivates SNAP with: a 3-layer network with hundreds of
+inputs, hundreds of hidden perceptrons and tens of outputs has ~1e5
+parameters; with 8-byte values and tens of edge servers, "there would be
+~1e10 bytes injected into the network within tens of iterations". These
+helpers make that arithmetic executable (and testable), and generalize it so
+users can size their own deployments before simulating them.
+"""
+
+from __future__ import annotations
+
+from repro.network.frames import FLOAT_BYTES
+from repro.utils.validation import check_positive_int
+
+
+def mlp_parameter_count(inputs: int, hidden: int, outputs: int) -> int:
+    """Parameters of a 3-layer fully connected network (weights + biases)."""
+    check_positive_int("inputs", inputs)
+    check_positive_int("hidden", hidden)
+    check_positive_int("outputs", outputs)
+    return inputs * hidden + hidden + hidden * outputs + outputs
+
+
+def parameter_server_traffic(
+    n_params: int,
+    n_workers: int,
+    n_iterations: int,
+    bytes_per_value: int = FLOAT_BYTES,
+) -> int:
+    """Bytes a PS deployment injects: gradients up + parameters down, per round.
+
+    ``2 * n_workers * n_params * bytes_per_value`` per iteration — the
+    quantity the introduction extrapolates to ~1e10 bytes.
+    """
+    check_positive_int("n_params", n_params)
+    check_positive_int("n_workers", n_workers)
+    check_positive_int("n_iterations", n_iterations)
+    check_positive_int("bytes_per_value", bytes_per_value)
+    return 2 * n_workers * n_params * bytes_per_value * n_iterations
+
+
+def neighbor_exchange_traffic(
+    n_params: int,
+    n_servers: int,
+    average_degree: float,
+    n_iterations: int,
+    sent_fraction: float = 1.0,
+    bytes_per_value: int = FLOAT_BYTES,
+) -> float:
+    """Bytes a SNAP-style neighbor exchange injects.
+
+    Every server sends to each of its ``average_degree`` neighbors the
+    ``sent_fraction`` of parameters that exceeded the threshold
+    (``sent_fraction=1`` is SNO; index overhead is ignored at this
+    back-of-envelope level).
+    """
+    check_positive_int("n_params", n_params)
+    check_positive_int("n_servers", n_servers)
+    check_positive_int("n_iterations", n_iterations)
+    if average_degree <= 0:
+        raise ValueError(f"average_degree must be > 0, got {average_degree}")
+    if not 0.0 <= sent_fraction <= 1.0:
+        raise ValueError(f"sent_fraction must be in [0, 1], got {sent_fraction}")
+    return (
+        n_servers
+        * average_degree
+        * n_params
+        * sent_fraction
+        * bytes_per_value
+        * n_iterations
+    )

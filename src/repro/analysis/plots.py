@@ -1,0 +1,76 @@
+"""Terminal plotting: unicode sparklines and simple line charts.
+
+The environment is headless (no matplotlib); these helpers render the
+byte/loss/accuracy traces directly in the terminal so examples and the CLI
+can show trends, not just endpoints.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.exceptions import DataError
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int | None = None) -> str:
+    """Render a sequence as a one-line unicode sparkline.
+
+    Values are min-max scaled into eight block heights. ``width`` (when
+    given) downsamples long sequences by bucket-averaging so the line fits.
+    Non-finite values render as spaces.
+    """
+    data = [float(v) for v in values]
+    if not data:
+        raise DataError("cannot render an empty sparkline")
+    if width is not None:
+        if width <= 0:
+            raise DataError(f"width must be > 0, got {width}")
+        data = _downsample(data, width)
+    finite = [v for v in data if math.isfinite(v)]
+    if not finite:
+        return " " * len(data)
+    low, high = min(finite), max(finite)
+    span = high - low
+    chars = []
+    for value in data:
+        if not math.isfinite(value):
+            chars.append(" ")
+        elif span == 0:
+            chars.append(_BLOCKS[0])
+        else:
+            level = int((value - low) / span * (len(_BLOCKS) - 1))
+            chars.append(_BLOCKS[level])
+    return "".join(chars)
+
+
+def trace_panel(
+    title: str, values: Sequence[float], width: int = 60
+) -> str:
+    """A labelled sparkline with endpoint annotations.
+
+    Example output::
+
+        loss   1.234 ▇▆▅▄▃▂▁▁▁ 0.412
+    """
+    data = [float(v) for v in values]
+    if not data:
+        raise DataError("cannot render an empty trace")
+    line = sparkline(data, width=width)
+    return f"{title}  {data[0]:.4g} {line} {data[-1]:.4g}"
+
+
+def _downsample(data: list[float], width: int) -> list[float]:
+    """Bucket-average ``data`` down to at most ``width`` points."""
+    if len(data) <= width:
+        return data
+    out = []
+    for bucket in range(width):
+        start = bucket * len(data) // width
+        end = max((bucket + 1) * len(data) // width, start + 1)
+        chunk = data[start:end]
+        finite = [v for v in chunk if math.isfinite(v)]
+        out.append(sum(finite) / len(finite) if finite else math.nan)
+    return out

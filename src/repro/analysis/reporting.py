@@ -1,0 +1,51 @@
+"""Plain-text report formatting used by the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a simple aligned table.
+
+    Floats are shown with four significant digits; everything else via
+    ``str``. The benchmark modules print these tables so each figure's
+    series can be eyeballed against the paper.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, bool) or cell is None:
+            return str(cell)
+        if isinstance(cell, float):
+            return f"{cell:.4g}"
+        return str(cell)
+
+    rendered = [[fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(c.ljust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_bytes(n_bytes: float) -> str:
+    """Human-readable byte count (binary units)."""
+    if n_bytes < 0:
+        raise ValueError(f"n_bytes must be >= 0, got {n_bytes}")
+    value = float(n_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024.0 or unit == "TiB":
+            if unit == "B":
+                return f"{int(value)} B"
+            return f"{value:.2f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")

@@ -1,0 +1,24 @@
+"""Comparison schemes from Section V of the paper.
+
+* :class:`~repro.baselines.centralized.CentralizedTrainer` — all data in one
+  place, full-batch gradient descent; the accuracy yardstick.
+* :class:`~repro.baselines.parameter_server.ParameterServerTrainer` — the PS
+  scheme: a randomly elected edge server aggregates full-precision gradients
+  over least-hop paths and pushes parameters back.
+* :class:`~repro.baselines.terngrad.TernGradTrainer` — PS with the
+  worker-to-server gradients ternarized to 2 bits per component (Wen et al.),
+  the state-of-the-art communication-reduction baseline the paper beats.
+* SNAP-0 and SNO are :class:`~repro.core.SNAPTrainer` configurations
+  (:meth:`~repro.core.SNAPConfig.snap0` / :meth:`~repro.core.SNAPConfig.sno`).
+"""
+
+from repro.baselines.centralized import CentralizedTrainer
+from repro.baselines.parameter_server import ParameterServerTrainer
+from repro.baselines.terngrad import TernGradTrainer, ternarize
+
+__all__ = [
+    "CentralizedTrainer",
+    "ParameterServerTrainer",
+    "TernGradTrainer",
+    "ternarize",
+]

@@ -1,0 +1,63 @@
+"""TernGrad — the state-of-the-art communication-reduction baseline.
+
+Wen et al. (NeurIPS 2017) quantize each worker-to-server gradient to ternary
+levels: component ``g_k`` becomes ``s * sign(g_k) * b_k`` where
+``s = max|g|`` and ``b_k ~ Bernoulli(|g_k| / s)``. The encoding is unbiased
+(``E[ternarize(g)] = g``) and needs only 2 bits per component plus the scale
+factor — but the injected variance slows convergence and costs accuracy,
+which is exactly the trade-off the paper's Figs. 4, 6 and 7 exhibit: "it may
+be because TernGrad introduces too much noise with fewer bits for
+quantification so that the algorithm fails to identify the steepest descent
+direction".
+
+The server-to-worker parameter push stays full precision, as in the paper's
+setup ("uses only 2 bits to encode the gradients sent in the worker-to-server
+direction").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.parameter_server import ParameterServerTrainer
+from repro.network.frames import terngrad_vector_bytes
+from repro.types import Params, SeedLike
+from repro.utils.rng import make_rng
+
+
+def ternarize(gradient: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Stochastic ternary quantization of a gradient vector.
+
+    Returns a vector whose entries are in ``{-s, 0, +s}`` with
+    ``s = max|gradient|`` and ``P[keep component k] = |g_k| / s`` — an
+    unbiased estimator of ``gradient``. The zero vector passes through
+    unchanged.
+    """
+    gradient = np.asarray(gradient, dtype=float)
+    scale = float(np.max(np.abs(gradient))) if gradient.size else 0.0
+    if scale == 0.0:
+        return gradient.copy()
+    keep_probability = np.abs(gradient) / scale
+    kept = rng.random(gradient.shape) < keep_probability
+    return scale * np.sign(gradient) * kept
+
+
+class TernGradTrainer(ParameterServerTrainer):
+    """Parameter-server training with ternarized worker-to-server gradients.
+
+    Identical to :class:`ParameterServerTrainer` except for the gradient
+    encoding hook: the server receives the ternarized gradient and the wire
+    charge is 2 bits per component plus one 8-byte scale factor.
+    """
+
+    scheme_name = "terngrad"
+
+    def __init__(self, *args, quantization_seed: SeedLike = None, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._quantization_rng = make_rng(
+            quantization_seed if quantization_seed is not None else self._rng
+        )
+
+    def encode_gradient(self, gradient: Params) -> tuple[Params, int]:
+        encoded = ternarize(gradient, self._quantization_rng)
+        return encoded, terngrad_vector_bytes(gradient.size)

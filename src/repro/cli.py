@@ -1,0 +1,260 @@
+"""Command-line interface for running SNAP experiments.
+
+Three subcommands::
+
+    python -m repro run      --scheme snap --workload credit --n-servers 20
+    python -m repro compare  --schemes snap,snap0,ps --workload credit
+    python -m repro plan     --n-servers 12 --threshold 0.02
+
+``run`` trains one scheme and optionally writes the full result as JSON;
+``compare`` races several schemes on the same workload and prints a summary
+table; ``plan`` performs the Section IV-D neighbor-set planning and prints
+the pruned topology.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.analysis.reporting import ascii_table, format_bytes
+from repro.core.config import SNAPConfig, StragglerStrategy
+from repro.results import TrainingResult
+from repro.simulation.experiments import (
+    Workload,
+    credit_svm_workload,
+    mnist_mlp_workload,
+)
+from repro.simulation.runner import SCHEMES, reference_target_loss, run_scheme
+from repro.topology.failures import IndependentLinkFailures, IndependentNodeFailures
+from repro.weights.planning import plan_neighbor_sets
+
+#: Exit code for bad arguments (argparse uses 2; we reuse it for semantic errors).
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SNAP (ICDCS 2020) reproduction — decentralized edge ML",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run = subparsers.add_parser("run", help="train one scheme on a workload")
+    _add_workload_arguments(run)
+    run.add_argument(
+        "--scheme", choices=SCHEMES, default="snap", help="training scheme"
+    )
+    run.add_argument(
+        "--failure-rate",
+        type=float,
+        default=0.0,
+        help="per-round link failure probability (Fig. 9 stragglers)",
+    )
+    run.add_argument(
+        "--node-failure-rate",
+        type=float,
+        default=0.0,
+        help="per-round server outage probability (Section IV-D 'server shut down')",
+    )
+    run.add_argument(
+        "--straggler-strategy",
+        choices=[strategy.value for strategy in StragglerStrategy],
+        default=StragglerStrategy.STALE.value,
+        help="how missing neighbor updates are handled",
+    )
+    run.add_argument(
+        "--output", type=str, default=None, help="write the result JSON here"
+    )
+
+    compare = subparsers.add_parser(
+        "compare", help="race several schemes on one workload"
+    )
+    _add_workload_arguments(compare)
+    compare.add_argument(
+        "--schemes",
+        type=str,
+        default="centralized,snap,snap0",
+        help="comma-separated scheme list",
+    )
+    compare.add_argument(
+        "--target-margin",
+        type=float,
+        default=0.02,
+        help="convergence target: loss within this fraction of the "
+        "centralized optimum",
+    )
+
+    plan = subparsers.add_parser(
+        "plan", help="Section IV-D neighbor-set planning"
+    )
+    plan.add_argument("--n-servers", type=int, default=12)
+    plan.add_argument("--threshold", type=float, default=0.02)
+    plan.add_argument("--iterations", type=int, default=150)
+
+    return parser
+
+
+def _add_workload_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workload",
+        choices=("credit", "mnist"),
+        default="credit",
+        help="credit = 24-feature SVM simulation; mnist = 784-30-10 MLP testbed",
+    )
+    parser.add_argument("--n-servers", type=int, default=16)
+    parser.add_argument("--degree", type=float, default=3.0)
+    parser.add_argument("--n-train", type=int, default=3_000)
+    parser.add_argument("--n-test", type=int, default=750)
+    parser.add_argument("--rounds", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--alpha", type=float, default=None, help="step size")
+    parser.add_argument(
+        "--no-optimize-weights",
+        action="store_true",
+        help="use the eq. (24) Metropolis weights instead of the optimized ones",
+    )
+
+
+def _build_workload(args: argparse.Namespace) -> Workload:
+    if args.workload == "credit":
+        return credit_svm_workload(
+            n_servers=args.n_servers,
+            average_degree=args.degree,
+            n_train=args.n_train,
+            n_test=args.n_test,
+            seed=args.seed,
+        )
+    return mnist_mlp_workload(
+        n_servers=args.n_servers,
+        n_train=args.n_train,
+        n_test=args.n_test,
+        seed=args.seed,
+    )
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    workload = _build_workload(args)
+    failure_model = (
+        IndependentLinkFailures(args.failure_rate, seed=args.seed)
+        if args.failure_rate > 0
+        else None
+    )
+    node_failure_model = (
+        IndependentNodeFailures(args.node_failure_rate, seed=args.seed)
+        if args.node_failure_rate > 0
+        else None
+    )
+    config = SNAPConfig(
+        straggler_strategy=StragglerStrategy(args.straggler_strategy),
+        max_rounds=args.rounds,
+    )
+    result = run_scheme(
+        args.scheme,
+        workload,
+        max_rounds=args.rounds,
+        alpha=args.alpha,
+        optimize_weights=not args.no_optimize_weights,
+        failure_model=failure_model,
+        node_failure_model=node_failure_model,
+        snap_config=config if args.scheme in ("snap", "snap0", "sno") else None,
+    )
+    _print_result(result)
+    if args.output:
+        path = result.save(args.output)
+        print(f"result written to {path}")
+    return 0
+
+
+def _print_result(result: TrainingResult) -> None:
+    summary = result.summary()
+    rows = [
+        ["scheme", summary["scheme"]],
+        ["rounds run", summary["rounds"]],
+        ["converged at", summary["converged_at"]],
+        ["final loss", summary["final_loss"]],
+        ["final accuracy", summary["final_accuracy"]],
+        ["total traffic", format_bytes(summary["total_bytes"])],
+        ["total hop-weighted cost", format_bytes(summary["total_cost"])],
+    ]
+    print(ascii_table(["metric", "value"], rows))
+
+
+def _command_compare(args: argparse.Namespace) -> int:
+    schemes = tuple(s.strip() for s in args.schemes.split(",") if s.strip())
+    unknown = [s for s in schemes if s not in SCHEMES]
+    if unknown:
+        print(
+            f"unknown scheme(s): {', '.join(unknown)}; choose from {', '.join(SCHEMES)}",
+            file=sys.stderr,
+        )
+        return EXIT_USAGE
+    workload = _build_workload(args)
+    target = reference_target_loss(workload, margin=args.target_margin)
+    rows = []
+    for scheme in schemes:
+        result = run_scheme(
+            scheme,
+            workload,
+            max_rounds=args.rounds,
+            alpha=args.alpha,
+            optimize_weights=not args.no_optimize_weights,
+            detector_kwargs={"target_loss": target},
+        )
+        summary = result.summary()
+        rows.append(
+            [
+                scheme,
+                summary["iterations_to_converge"],
+                "yes" if summary["converged_at"] is not None else "no",
+                f"{summary['final_accuracy']:.4f}",
+                format_bytes(summary["total_bytes"]),
+                format_bytes(summary["total_cost"]),
+            ]
+        )
+    print(f"workload: {workload.name}   target loss: {target:.5f}")
+    print(
+        ascii_table(
+            ["scheme", "iterations", "converged", "accuracy", "traffic", "cost"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _command_plan(args: argparse.Namespace) -> int:
+    plan = plan_neighbor_sets(
+        args.n_servers,
+        weight_threshold=args.threshold,
+        iterations=args.iterations,
+    )
+    print(
+        f"kept {plan.kept_edges} links "
+        f"(average degree {plan.topology.average_degree():.2f}); "
+        f"rate score {plan.report.rate_score:.4f} "
+        f"(dense optimum: {plan.dense_report.rate_score:.4f})"
+    )
+    rows = [
+        [node, " ".join(str(n) for n in plan.topology.neighbors(node))]
+        for node in plan.topology
+    ]
+    print(ascii_table(["server", "neighbors"], rows))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "compare":
+        return _command_compare(args)
+    if args.command == "plan":
+        return _command_plan(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

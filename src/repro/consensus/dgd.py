@@ -1,0 +1,89 @@
+"""Decentralized gradient descent (DGD) — the classical inexact baseline.
+
+.. math::
+
+    x^{k+1} = W x^k - \\alpha \\nabla f(x^k)
+
+DGD with a constant step size converges only to a neighborhood of the optimum
+(its fixed point is biased); EXTRA's correction term removes that bias. The
+engine is included so tests and ablations can demonstrate the gap that
+motivated the paper's choice of EXTRA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.types import GradFn, ParamMatrix, WeightMatrix
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class DGDState:
+    """Rolling state of the DGD recursion."""
+
+    current: ParamMatrix
+    iteration: int = 0
+
+
+class DGDIteration:
+    """Decentralized gradient descent over explicit local gradients."""
+
+    def __init__(
+        self,
+        weight_matrix: WeightMatrix,
+        local_gradients: Sequence[GradFn],
+        alpha: float,
+    ):
+        self.weight_matrix = np.asarray(weight_matrix, dtype=float)
+        n = self.weight_matrix.shape[0]
+        if self.weight_matrix.shape != (n, n):
+            raise ConfigurationError(
+                f"weight matrix must be square, got shape {self.weight_matrix.shape}"
+            )
+        if len(local_gradients) != n:
+            raise ConfigurationError(
+                f"need {n} local gradient functions, got {len(local_gradients)}"
+            )
+        self.local_gradients = list(local_gradients)
+        self.alpha = check_positive("alpha", alpha)
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of edge servers."""
+        return self.weight_matrix.shape[0]
+
+    def step(self, state: DGDState) -> DGDState:
+        """One DGD update (in place, returns ``state``)."""
+        gradient = np.stack(
+            [grad(state.current[i]) for i, grad in enumerate(self.local_gradients)]
+        )
+        state.current = self.weight_matrix @ state.current - self.alpha * gradient
+        state.iteration += 1
+        return state
+
+    def run(
+        self,
+        initial: ParamMatrix,
+        n_iterations: int,
+        callback: Callable[[DGDState], None] | None = None,
+    ) -> DGDState:
+        """Run ``n_iterations`` steps from ``initial``."""
+        if n_iterations < 0:
+            raise ConfigurationError(f"n_iterations must be >= 0, got {n_iterations}")
+        initial = np.asarray(initial, dtype=float)
+        if initial.ndim != 2 or initial.shape[0] != self.n_nodes:
+            raise ConfigurationError(
+                f"initial parameters must have shape ({self.n_nodes}, P), "
+                f"got {initial.shape}"
+            )
+        state = DGDState(current=initial.copy())
+        for _ in range(n_iterations):
+            state = self.step(state)
+            if callback is not None:
+                callback(state)
+        return state

@@ -1,0 +1,211 @@
+"""Executable Section IV-B theory: the simplified linear-rate bound (17).
+
+The paper derives, from EXTRA's equation (3.38), that when
+
+.. math::
+
+    g(x) = f(x) + \\tfrac{1}{4\\alpha}\\|x\\|^2_{\\widetilde W - W}
+
+is strongly convex with constant :math:`\\mu_g > 0` and the step size obeys
+:math:`\\alpha < 2\\mu_g \\lambda_{min}(\\widetilde W)/L_f^2`, the iteration
+converges linearly at rate :math:`O((1+\\delta)^{-k})` with δ bounded by
+(17):
+
+.. math::
+
+    \\delta \\le \\min\\Big\\{
+      \\frac{\\alpha(2\\mu_g - \\eta)\\,\\bar\\lambda_{min}(I - W)}
+           {2\\theta\\alpha^2 L_f^2 + \\bar\\lambda_{min}(I - W)},\\;
+      \\frac{(\\theta - 1)(\\eta + \\eta\\lambda_{min}(W) - 2\\alpha L_f^2)
+            \\,\\bar\\lambda_{min}(I - W)}
+           {4\\theta\\eta(1 + \\alpha L_f)^2}
+    \\Big\\}
+
+for any :math:`\\theta > 1` and :math:`\\eta \\in (0, 2\\mu_g)`. The
+simplification from the general bound (11) uses the identities (12)-(16),
+which :func:`verify_simplifications` checks numerically for any feasible
+weight matrix. Maximizing (17) over W is what motivates problems (22)/(23),
+and :func:`delta_bound` is the quantitative version of the qualitative
+rate score used by the weight-matrix selection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.types import WeightMatrix
+from repro.utils.linalg import (
+    second_largest_eigenvalue,
+    smallest_eigenvalue,
+    sorted_eigenvalues,
+)
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class SimplificationReport:
+    """Numerical check of the identities (12)-(16) for a weight matrix.
+
+    Attributes map one-to-one to the paper's equations:
+
+    * ``lambda_max_is_one`` — (12): :math:`\\lambda_{max}(W) = 1`;
+    * ``lambda_max_tilde_is_one`` — (13): :math:`\\lambda_{max}(\\widetilde W) = 1`;
+    * ``correction_vanishes`` — (14): :math:`I + W - 2\\widetilde W = 0`;
+    * ``difference_is_half_gap`` — (15): :math:`\\widetilde W - W = (I - W)/2`;
+    * ``sigma_max_tilde_is_one`` — (16): :math:`\\sigma_{max}(\\widetilde W) = 1`.
+    """
+
+    lambda_max_is_one: bool
+    lambda_max_tilde_is_one: bool
+    correction_vanishes: bool
+    difference_is_half_gap: bool
+    sigma_max_tilde_is_one: bool
+
+    @property
+    def all_hold(self) -> bool:
+        """Whether every identity holds (they must, for any feasible W)."""
+        return (
+            self.lambda_max_is_one
+            and self.lambda_max_tilde_is_one
+            and self.correction_vanishes
+            and self.difference_is_half_gap
+            and self.sigma_max_tilde_is_one
+        )
+
+
+def verify_simplifications(
+    weight_matrix: WeightMatrix, atol: float = 1e-8
+) -> SimplificationReport:
+    """Check the identities (12)-(16) numerically for ``weight_matrix``."""
+    W = np.asarray(weight_matrix, dtype=float)
+    n = W.shape[0]
+    identity = np.eye(n)
+    w_tilde = (W + identity) / 2.0
+    eigenvalues = sorted_eigenvalues(W)
+    tilde_eigenvalues = sorted_eigenvalues(w_tilde)
+    singular_values = np.linalg.svd(w_tilde, compute_uv=False)
+    return SimplificationReport(
+        lambda_max_is_one=bool(abs(eigenvalues[0] - 1.0) <= atol),
+        lambda_max_tilde_is_one=bool(abs(tilde_eigenvalues[0] - 1.0) <= atol),
+        correction_vanishes=bool(
+            np.allclose(identity + W - 2.0 * w_tilde, 0.0, atol=atol)
+        ),
+        difference_is_half_gap=bool(
+            np.allclose(w_tilde - W, (identity - W) / 2.0, atol=atol)
+        ),
+        sigma_max_tilde_is_one=bool(abs(singular_values[0] - 1.0) <= atol),
+    )
+
+
+def max_step_size_for_linear_rate(
+    weight_matrix: WeightMatrix, mu_g: float, lipschitz: float
+) -> float:
+    """The linear-rate step cap :math:`2\\mu_g\\lambda_{min}(\\widetilde W)/L_f^2`.
+
+    Stricter than the plain-convergence cap
+    :func:`repro.consensus.step_size.extra_max_step_size`; satisfying it buys
+    the geometric rate of eq. (17).
+    """
+    check_positive("mu_g", mu_g)
+    check_positive("lipschitz", lipschitz)
+    W = np.asarray(weight_matrix, dtype=float)
+    w_tilde = (W + np.eye(W.shape[0])) / 2.0
+    lam_min = smallest_eigenvalue(w_tilde)
+    if lam_min <= 0:
+        raise ConfigurationError(
+            f"λ_min(W̃) = {lam_min:.3e} <= 0; not a valid mixing matrix"
+        )
+    return 2.0 * mu_g * lam_min / lipschitz**2
+
+
+def delta_bound(
+    weight_matrix: WeightMatrix,
+    alpha: float,
+    mu_g: float,
+    lipschitz: float,
+    theta: float = 2.0,
+    eta: float | None = None,
+) -> float:
+    """Evaluate the simplified rate bound (17) for one (W, α) pair.
+
+    Parameters
+    ----------
+    weight_matrix:
+        A feasible symmetric doubly stochastic mixing matrix.
+    alpha:
+        Step size; must satisfy the linear-rate cap for a positive bound.
+    mu_g:
+        Strong-convexity constant of ``g``.
+    lipschitz:
+        Gradient Lipschitz constant ``L_f`` of the aggregate objective.
+    theta:
+        Free parameter, ``theta > 1``.
+    eta:
+        Free parameter in ``(0, 2 mu_g)``; defaults to ``mu_g``.
+
+    Returns
+    -------
+    float
+        The bound's value. May be nonpositive when the step size violates
+        the second term's condition (meaning the bound certifies nothing);
+        callers can maximize over ``theta``/``eta`` for a sharper value.
+    """
+    check_positive("alpha", alpha)
+    check_positive("mu_g", mu_g)
+    check_positive("lipschitz", lipschitz)
+    if theta <= 1.0:
+        raise ConfigurationError(f"theta must be > 1, got {theta}")
+    if eta is None:
+        eta = mu_g
+    if not 0.0 < eta < 2.0 * mu_g:
+        raise ConfigurationError(
+            f"eta must lie in (0, 2 mu_g) = (0, {2 * mu_g}), got {eta}"
+        )
+    W = np.asarray(weight_matrix, dtype=float)
+    # \bar\lambda_min(I - W) = 1 - \bar\lambda_max(W): the smallest *positive*
+    # eigenvalue of I - W.
+    gap = 1.0 - second_largest_eigenvalue(W)
+    lam_min = smallest_eigenvalue(W)
+
+    first = (
+        alpha * (2.0 * mu_g - eta) * gap
+        / (2.0 * theta * alpha**2 * lipschitz**2 + gap)
+    )
+    second = (
+        (theta - 1.0)
+        * (eta + eta * lam_min - 2.0 * alpha * lipschitz**2)
+        * gap
+        / (4.0 * theta * eta * (1.0 + alpha * lipschitz) ** 2)
+    )
+    return float(min(first, second))
+
+
+def best_delta_bound(
+    weight_matrix: WeightMatrix,
+    alpha: float,
+    mu_g: float,
+    lipschitz: float,
+    theta_grid: tuple[float, ...] = (1.1, 1.5, 2.0, 4.0, 8.0),
+    eta_fractions: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0, 1.5),
+) -> float:
+    """Maximize :func:`delta_bound` over a small (θ, η) grid.
+
+    θ and η are free analysis parameters; the tightest certificate is their
+    maximum. Returns the best (largest) bound found.
+    """
+    best = -np.inf
+    for theta in theta_grid:
+        for fraction in eta_fractions:
+            eta = fraction * mu_g
+            if not 0.0 < eta < 2.0 * mu_g:
+                continue
+            best = max(
+                best,
+                delta_bound(
+                    weight_matrix, alpha, mu_g, lipschitz, theta=theta, eta=eta
+                ),
+            )
+    return float(best)

@@ -1,0 +1,142 @@
+"""Checkpoint / resume for SNAP training runs.
+
+Edge deployments run for a long time and servers restart; a checkpoint
+captures every piece of *optimization* state — per-server iterates, the
+EXTRA recursion memory, cached neighbor views, per-neighbor link state,
+freshness flags, and the APE schedules — so a restored run continues
+bit-for-bit identically to an uninterrupted one (verified by
+``tests/core/test_checkpoint.py``).
+
+What is deliberately *not* captured: the data shards, the model, and the
+topology (the caller reconstructs the trainer from those — checkpoints stay
+small), and the communication-cost ledger (accounting restarts at zero; add
+the checkpointed run's totals if cumulative traffic is needed).
+
+Format: a single ``.npz`` file. Arrays are stored under structured keys
+(``server3/views/5``); scalars ride in a JSON blob under ``meta``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+#: Format version written into every checkpoint.
+CHECKPOINT_VERSION = 1
+
+
+def save_checkpoint(trainer, path: str | Path) -> Path:
+    """Write ``trainer``'s full optimization state to ``path`` (.npz)."""
+    arrays: dict[str, np.ndarray] = {}
+    meta: dict = {
+        "version": CHECKPOINT_VERSION,
+        "n_servers": len(trainer.servers),
+        "n_params": trainer.model.n_params,
+        "alpha": trainer.alpha,
+        "selection": trainer.config.selection.value,
+        "rounds_completed": trainer.rounds_completed,
+        "servers": [],
+    }
+    for index, server in enumerate(trainer.servers):
+        prefix = f"server{index}"
+        arrays[f"{prefix}/params"] = server.params
+        if server.previous_params is not None:
+            arrays[f"{prefix}/previous_params"] = server.previous_params
+        if server._previous_gradient is not None:
+            arrays[f"{prefix}/previous_gradient"] = server._previous_gradient
+        for neighbor, view in server.views.items():
+            arrays[f"{prefix}/views/{neighbor}"] = view
+        for neighbor, view in server.previous_views.items():
+            arrays[f"{prefix}/previous_views/{neighbor}"] = view
+        for neighbor, sent in server.last_sent.items():
+            arrays[f"{prefix}/last_sent/{neighbor}"] = sent
+        meta["servers"].append(
+            {
+                "iteration": server.iteration,
+                "has_previous": server.previous_params is not None,
+                "fresh": {str(k): bool(v) for k, v in server.fresh.items()},
+                "previous_fresh": {
+                    str(k): bool(v) for k, v in server.previous_fresh.items()
+                },
+            }
+        )
+    if trainer._schedules is not None:
+        meta["schedules"] = [s.state_dict() for s in trainer._schedules]
+    arrays["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    path = Path(path)
+    np.savez(path, **arrays)
+    # np.savez appends .npz when missing; normalize the returned path.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def restore_checkpoint(trainer, path: str | Path) -> None:
+    """Load a checkpoint into a freshly constructed, *matching* trainer.
+
+    The trainer must have been built with the same model, shard count and
+    topology as the checkpointed one; mismatches raise
+    :class:`~repro.exceptions.ConfigurationError`.
+    """
+    with np.load(Path(path)) as archive:
+        if "__meta__" not in archive:
+            raise ConfigurationError(f"{path} is not a SNAP checkpoint")
+        meta = json.loads(bytes(archive["__meta__"].tobytes()).decode("utf-8"))
+        if meta.get("version") != CHECKPOINT_VERSION:
+            raise ConfigurationError(
+                f"checkpoint version {meta.get('version')} unsupported "
+                f"(expected {CHECKPOINT_VERSION})"
+            )
+        if meta["n_servers"] != len(trainer.servers):
+            raise ConfigurationError(
+                f"checkpoint has {meta['n_servers']} servers, trainer has "
+                f"{len(trainer.servers)}"
+            )
+        if meta["n_params"] != trainer.model.n_params:
+            raise ConfigurationError(
+                f"checkpoint model dimension {meta['n_params']} does not match "
+                f"trainer's {trainer.model.n_params}"
+            )
+        for index, server in enumerate(trainer.servers):
+            prefix = f"server{index}"
+            state = meta["servers"][index]
+            server.params = archive[f"{prefix}/params"].copy()
+            if state["has_previous"]:
+                server.previous_params = archive[f"{prefix}/previous_params"].copy()
+                server._previous_gradient = archive[
+                    f"{prefix}/previous_gradient"
+                ].copy()
+            else:
+                server.previous_params = None
+                server._previous_gradient = None
+            server.views = _load_group(archive, f"{prefix}/views/")
+            server.previous_views = _load_group(archive, f"{prefix}/previous_views/")
+            server.last_sent = _load_group(archive, f"{prefix}/last_sent/")
+            server.fresh = {int(k): v for k, v in state["fresh"].items()}
+            server.previous_fresh = {
+                int(k): v for k, v in state["previous_fresh"].items()
+            }
+            server.iteration = int(state["iteration"])
+        trainer.rounds_completed = int(meta.get("rounds_completed", 0))
+        if trainer._schedules is not None:
+            schedule_states = meta.get("schedules")
+            if schedule_states is None:
+                raise ConfigurationError(
+                    "trainer uses APE schedules but the checkpoint has none "
+                    f"(it was taken from a '{meta.get('selection')}' run)"
+                )
+            for schedule, state in zip(trainer._schedules, schedule_states):
+                schedule.load_state_dict(state)
+
+
+def _load_group(archive, prefix: str) -> dict[int, np.ndarray]:
+    group: dict[int, np.ndarray] = {}
+    for key in archive.files:
+        if key.startswith(prefix):
+            neighbor = int(key[len(prefix):])
+            group[neighbor] = archive[key].copy()
+    return group

@@ -1,0 +1,178 @@
+"""Configuration for a SNAP training run."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+)
+
+
+class SelectionPolicy(enum.Enum):
+    """Which parameters a server transmits each round."""
+
+    #: Full SNAP: suppress parameters whose change is below the APE threshold.
+    APE = "ape"
+    #: SNAP-0: threshold zero — send everything that changed at all.
+    CHANGED_ONLY = "changed_only"
+    #: SNO: send the complete parameter vector every round (dense frames).
+    DENSE = "dense"
+
+
+class ShardWeighting(enum.Enum):
+    """How each server's local objective enters the aggregate sum (eq. 4)."""
+
+    #: The paper's formulation: every server weighted equally, regardless of
+    #: shard size. With the paper's near-equal random allocation the two
+    #: weightings coincide.
+    UNIFORM = "uniform"
+    #: Sample-weighted federation: server i's objective is scaled by
+    #: ``n_i * N / sum_j n_j``, so the consensual optimum equals the
+    #: pooled-data (centralized) optimum even under unequal shard sizes —
+    #: the regime non-IID partitions create.
+    SAMPLES = "samples"
+
+
+class StragglerStrategy(enum.Enum):
+    """How a server treats a neighbor whose update did not arrive this round."""
+
+    #: The paper's rule (Section IV-D): keep using the latest values
+    #: previously received from that neighbor. Simple, but stale values leak
+    #: mass out of the doubly-stochastic mixing, leaving a small bias
+    #: proportional to the failure rate.
+    STALE = "stale"
+    #: Ablation: substitute the server's *own* parameters for the missing
+    #: neighbor (equivalent to moving that link's weight onto the diagonal
+    #: for the round). Each round's effective mixing matrix stays symmetric
+    #: doubly stochastic, eliminating the bias at the cost of slower mixing
+    #: during outages.
+    REWEIGHT = "reweight"
+
+
+@dataclass
+class SNAPConfig:
+    """All knobs of a SNAP run, defaulting to the paper's Section V settings.
+
+    Attributes
+    ----------
+    alpha:
+        EXTRA step size; ``None`` selects ``safety * 2 λ_min(W̃) / L_f``
+        automatically from the weight matrix and the data
+        (:func:`repro.consensus.safe_step_size`).
+    step_safety:
+        Fraction of the theoretical step-size cap used when ``alpha`` is
+        ``None``.
+    selection:
+        Transmission policy (SNAP / SNAP-0 / SNO).
+    optimize_weights:
+        Run the Section IV-B weight-matrix optimization; ``False`` uses the
+        Metropolis baseline of eq. (24) (the "without optimization" series
+        of Fig. 5).
+    weight_iterations:
+        Subgradient steps for the weight-matrix solvers.
+    ape_initial_fraction:
+        Initial APE threshold as a fraction of the mean absolute initial
+        parameter value — the paper initializes it "to be 10% of the mean
+        value of all the parameters".
+    ape_stage_iterations:
+        Minimum iterations per threshold stage (``I_k``); the paper ensures
+        "the APE threshold will effect in at least 10 iterations".
+    ape_decay:
+        Multiplicative threshold decay between stages; the paper "reduces it
+        by 10%", i.e. multiplies by 0.9.
+    ape_epsilon_fraction:
+        The schedule ends (threshold treated as zero) once the threshold
+        drops below this fraction of its initial value — Algorithm 1's ε.
+    curvature_bound:
+        Second-order bound ``G`` of Algorithm 1. When given, the APE growth
+        factor is ``1 + alpha * G``; when ``None``, the growth factor falls
+        back to ``ape_growth``. (The step-size machinery always uses the
+        model's gradient-Lipschitz bound regardless.)
+    ape_growth:
+        Default APE error-amplification factor per iteration, used when
+        ``curvature_bound`` is not supplied. The paper's worked example
+        operates at ``1 + alpha G = 1.01``; plugging the worst-case
+        Lipschitz constant into ``G`` instead makes the bound so
+        conservative that nothing is ever suppressed (the theoretical bound
+        assumes errors amplify every round, while EXTRA in fact contracts
+        them).
+    straggler_strategy:
+        How missing neighbor updates are handled: the paper's
+        reuse-the-stale-value rule (default) or the bias-free
+        reweight-to-self ablation.
+    shard_weighting:
+        The paper's equal-weight aggregate (default) or sample-weighted
+        federation, which makes the consensual optimum match the pooled
+        optimum under unequal shard sizes.
+    max_rounds:
+        Hard iteration cap.
+    seed:
+        Seed for tie-breaking randomness (none in the core loop itself, but
+        threaded to failure models created from this config).
+    """
+
+    alpha: float | None = None
+    step_safety: float = 0.5
+    selection: SelectionPolicy = SelectionPolicy.APE
+    optimize_weights: bool = True
+    weight_iterations: int = 150
+    ape_initial_fraction: float = 0.10
+    ape_stage_iterations: int = 10
+    ape_decay: float = 0.9
+    ape_epsilon_fraction: float = 0.01
+    curvature_bound: float | None = None
+    ape_growth: float = 1.01
+    straggler_strategy: StragglerStrategy = StragglerStrategy.STALE
+    shard_weighting: ShardWeighting = ShardWeighting.UNIFORM
+    max_rounds: int = 500
+    seed: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.alpha is not None:
+            check_positive("alpha", self.alpha)
+        check_fraction("step_safety", self.step_safety)
+        if not isinstance(self.selection, SelectionPolicy):
+            raise ConfigurationError(
+                f"selection must be a SelectionPolicy, got {self.selection!r}"
+            )
+        check_positive_int("weight_iterations", self.weight_iterations)
+        check_positive("ape_initial_fraction", self.ape_initial_fraction)
+        check_positive_int("ape_stage_iterations", self.ape_stage_iterations)
+        check_fraction("ape_decay", self.ape_decay)
+        check_non_negative("ape_epsilon_fraction", self.ape_epsilon_fraction)
+        if self.curvature_bound is not None:
+            check_positive("curvature_bound", self.curvature_bound)
+        if self.ape_growth < 1.0:
+            raise ConfigurationError(
+                f"ape_growth must be >= 1 (errors cannot shrink in the worst "
+                f"case), got {self.ape_growth}"
+            )
+        if not isinstance(self.straggler_strategy, StragglerStrategy):
+            raise ConfigurationError(
+                f"straggler_strategy must be a StragglerStrategy, got "
+                f"{self.straggler_strategy!r}"
+            )
+        if not isinstance(self.shard_weighting, ShardWeighting):
+            raise ConfigurationError(
+                f"shard_weighting must be a ShardWeighting, got "
+                f"{self.shard_weighting!r}"
+            )
+        check_positive_int("max_rounds", self.max_rounds)
+
+    @classmethod
+    def snap0(cls, **overrides) -> "SNAPConfig":
+        """Convenience constructor for the SNAP-0 comparison scheme."""
+        overrides.setdefault("selection", SelectionPolicy.CHANGED_ONLY)
+        return cls(**overrides)
+
+    @classmethod
+    def sno(cls, **overrides) -> "SNAPConfig":
+        """Convenience constructor for the Select-Neighbor-Only scheme."""
+        overrides.setdefault("selection", SelectionPolicy.DENSE)
+        return cls(**overrides)

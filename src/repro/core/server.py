@@ -1,0 +1,284 @@
+"""One simulated edge server: local data, model replica, EXTRA state, views.
+
+Each server implements the per-node EXTRA update (8) of the paper:
+
+.. math::
+
+    x^1_{(i)} &= \\sum_j w_{ij} x^0_{(j)} - \\alpha \\nabla f_i(x^0_{(i)}) \\\\
+    x^{k+2}_{(i)} &= x^{k+1}_{(i)}
+        + \\sum_j w_{ij} x^{k+1}_{(j)}
+        - \\sum_j \\widetilde w_{ij} x^k_{(j)}
+        - \\alpha (\\nabla f_i(x^{k+1}_{(i)}) - \\nabla f_i(x^k_{(i)}))
+
+but — crucially — the neighbor terms :math:`x_{(j)}` are the server's *cached
+views*, updated only by the parameters the neighbors actually transmitted
+(and not at all across failed links). Own parameters and own gradients are
+always exact. This is precisely the message-level semantics that makes the
+APE analysis of Section IV-C necessary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.config import StragglerStrategy
+from repro.core.selection import Selection, select_parameters
+from repro.exceptions import ConfigurationError, ProtocolError
+from repro.models.base import Model
+from repro.network.messages import ParameterUpdate
+from repro.types import NodeId, Params
+
+
+class EdgeServer:
+    """State and update rule of one edge server.
+
+    Parameters
+    ----------
+    node_id:
+        This server's index (row in the stacked parameter matrix).
+    model:
+        The shared stateless model object.
+    X, y:
+        This server's private data shard (never leaves the server).
+    neighbors:
+        Neighbor ids :math:`B_i` from the topology.
+    weight_row:
+        Row ``i`` of the weight matrix ``W`` (length ``N``); must be zero
+        outside ``neighbors + {node_id}``.
+    alpha:
+        EXTRA step size.
+    initial_params:
+        The common initial model ``x^0`` (every server starts from the same
+        copy of the global model, Section II-B).
+    straggler_strategy:
+        What to mix for a neighbor whose update never arrived: the stale
+        cached view (the paper's rule) or the server's own parameters (the
+        bias-free reweight ablation).
+    objective_scale:
+        Multiplier on this server's local loss and gradient. The paper's
+        aggregate objective (eq. 4) weights every server equally
+        (``scale = 1``); sample-weighted federation passes
+        ``n_i * N / sum_j n_j`` so the consensual optimum matches the
+        pooled-data optimum even when shard sizes are unequal.
+    """
+
+    def __init__(
+        self,
+        node_id: NodeId,
+        model: Model,
+        X: np.ndarray,
+        y: np.ndarray,
+        neighbors: tuple[NodeId, ...],
+        weight_row: np.ndarray,
+        alpha: float,
+        initial_params: Params,
+        straggler_strategy: StragglerStrategy = StragglerStrategy.STALE,
+        objective_scale: float = 1.0,
+    ):
+        self.node_id = int(node_id)
+        self.model = model
+        self.X = np.asarray(X, dtype=float)
+        self.y = np.asarray(y)
+        self.neighbors = tuple(int(n) for n in neighbors)
+        self.weight_row = np.asarray(weight_row, dtype=float)
+        if alpha <= 0:
+            raise ConfigurationError(f"alpha must be > 0, got {alpha}")
+        self.alpha = float(alpha)
+        if objective_scale <= 0:
+            raise ConfigurationError(
+                f"objective_scale must be > 0, got {objective_scale}"
+            )
+        self.objective_scale = float(objective_scale)
+
+        allowed = set(self.neighbors) | {self.node_id}
+        nonzero = set(np.flatnonzero(np.abs(self.weight_row) > 1e-12).tolist())
+        if not nonzero <= allowed:
+            raise ConfigurationError(
+                f"weight row of server {self.node_id} has mass outside its "
+                f"neighbor set: {sorted(nonzero - allowed)}"
+            )
+
+        initial = model.check_params(initial_params).copy()
+        #: Exact own parameters x^{k+1} (the latest iterate).
+        self.params: Params = initial
+        #: Exact own parameters x^k (None before the first step).
+        self.previous_params: Params | None = None
+        #: Cached local gradient at x^k.
+        self._previous_gradient: Params | None = None
+        #: Per-neighbor record of what each neighbor actually holds about this
+        #: server. Advanced only on *confirmed* delivery (the paper's edge
+        #: servers talk over persistent TCP connections, so the sender learns
+        #: about failed transfers) — which makes a missed update self-healing:
+        #: the next successful send automatically carries everything that
+        #: neighbor missed.
+        self.last_sent: dict[NodeId, Params] = {
+            j: initial.copy() for j in self.neighbors
+        }
+        #: Cached neighbor views at the current iteration (x^{k+1} layer).
+        self.views: dict[NodeId, Params] = {
+            j: initial.copy() for j in self.neighbors
+        }
+        #: Cached neighbor views at the previous iteration (x^k layer).
+        self.previous_views: dict[NodeId, Params] = {}
+        self.straggler_strategy = straggler_strategy
+        #: Whether each neighbor's current-layer view was refreshed this round
+        #: (views start exact because everyone shares x^0).
+        self.fresh: dict[NodeId, bool] = {j: True for j in self.neighbors}
+        #: Freshness of the previous-iteration layer.
+        self.previous_fresh: dict[NodeId, bool] = {}
+        #: Completed local iterations.
+        self.iteration = 0
+
+    # -- local objective ------------------------------------------------------
+
+    def local_loss(self, params: Params | None = None) -> float:
+        """Loss :math:`f_i` on this server's shard (defaults to own params)."""
+        target = self.params if params is None else params
+        return self.objective_scale * self.model.loss(target, self.X, self.y)
+
+    def local_gradient(self, params: Params) -> Params:
+        """Exact gradient :math:`\\nabla f_i` on this server's shard."""
+        return self.objective_scale * self.model.gradient(params, self.X, self.y)
+
+    # -- communication ----------------------------------------------------------
+
+    def build_update(
+        self, neighbor: NodeId, round_index: int, send_threshold: float
+    ) -> tuple[ParameterUpdate, Selection]:
+        """Select the parameters ``neighbor`` is missing and wrap them in a frame.
+
+        Selection compares the current parameters against ``last_sent[neighbor]``
+        — what that neighbor is known to hold — so a coordinate is
+        transmitted whenever the neighbor's copy has drifted more than the
+        threshold, whether from fresh changes or from an earlier failed
+        delivery.
+        """
+        if neighbor not in self.last_sent:
+            raise ProtocolError(
+                f"server {self.node_id} has no link state for non-neighbor {neighbor}"
+            )
+        selection = select_parameters(
+            self.params, self.last_sent[neighbor], send_threshold
+        )
+        message = ParameterUpdate(
+            sender=self.node_id,
+            round_index=round_index,
+            total_params=self.model.n_params,
+            indices=selection.indices,
+            values=selection.values,
+        )
+        return message, selection
+
+    def mark_delivered(self, neighbor: NodeId, message: ParameterUpdate) -> None:
+        """Record a confirmed delivery: ``neighbor`` now holds the sent values."""
+        if neighbor not in self.last_sent:
+            raise ProtocolError(
+                f"server {self.node_id} has no link state for non-neighbor {neighbor}"
+            )
+        self.last_sent[neighbor][message.indices] = message.values
+
+    def advance_views(self) -> None:
+        """Shift the view layers: current views become the previous-iteration layer.
+
+        Called once per round *before* applying incoming updates, so a failed
+        link simply leaves the current layer stale — the paper's straggler
+        rule ("leverage the latest parameter updates ... to continue").
+        Freshness flags shift along with the views; the new current layer
+        starts pessimistic (not fresh) and is upgraded by each delivery.
+        """
+        self.previous_views = {j: view.copy() for j, view in self.views.items()}
+        self.previous_fresh = dict(self.fresh)
+        self.fresh = {j: False for j in self.neighbors}
+
+    def receive_update(self, message: ParameterUpdate) -> None:
+        """Overlay a delivered neighbor update onto the current view layer."""
+        sender = message.sender
+        if sender not in self.views:
+            raise ProtocolError(
+                f"server {self.node_id} received an update from non-neighbor {sender}"
+            )
+        self.views[sender] = message.apply_to(self.views[sender])
+        self.fresh[sender] = True
+
+    def _neighbor_value(self, neighbor: NodeId, current_layer: bool) -> Params:
+        """The value mixed in for ``neighbor`` on one of the two layers.
+
+        Under :attr:`StragglerStrategy.STALE` this is always the cached view.
+        Under ``REWEIGHT``, a layer whose update never arrived substitutes
+        this server's own parameters on that layer, which is algebraically
+        the same as moving the link's weight onto the diagonal for the round.
+        """
+        if current_layer:
+            view, fresh, own = self.views[neighbor], self.fresh[neighbor], self.params
+        else:
+            view = self.previous_views[neighbor]
+            fresh = self.previous_fresh.get(neighbor, True)
+            own = self.previous_params
+        if self.straggler_strategy is StragglerStrategy.REWEIGHT and not fresh:
+            return own
+        return view
+
+    # -- the EXTRA update ---------------------------------------------------------
+
+    def step(self) -> Params:
+        """Run one local EXTRA update against the cached views; returns the new params."""
+        w = self.weight_row
+        own = self.node_id
+        if self.previous_params is None:
+            # First iteration: x^1 = sum_j w_ij x^0_(j) - alpha grad_i(x^0).
+            mixed = w[own] * self.params
+            for j in self.neighbors:
+                mixed = mixed + w[j] * self._neighbor_value(j, current_layer=True)
+            gradient = self.local_gradient(self.params)
+            new_params = mixed - self.alpha * gradient
+        else:
+            if not self.previous_views:
+                raise ProtocolError(
+                    "advance_views() must run before the second step so the "
+                    "previous-iteration view layer exists"
+                )
+            # w_tilde row: (w_ij)/2 off-diagonal, (w_ii + 1)/2 on the diagonal.
+            mixed_current = w[own] * self.params
+            mixed_previous = 0.5 * (w[own] + 1.0) * self.previous_params
+            for j in self.neighbors:
+                mixed_current = mixed_current + w[j] * self._neighbor_value(
+                    j, current_layer=True
+                )
+                mixed_previous = mixed_previous + 0.5 * w[j] * self._neighbor_value(
+                    j, current_layer=False
+                )
+            gradient = self.local_gradient(self.params)
+            new_params = (
+                self.params
+                + mixed_current
+                - mixed_previous
+                - self.alpha * (gradient - self._previous_gradient)
+            )
+        self.previous_params = self.params
+        self._previous_gradient = gradient
+        self.params = new_params
+        self.iteration += 1
+        return new_params
+
+    def restart_recursion(self) -> None:
+        """Forget the EXTRA history and treat the current parameters as ``x^0``.
+
+        Algorithm 1 runs EXTRA in stages and "restart[s] the iteration from
+        the solution derived by" the previous stage. Restarting clears the
+        two-term recursion's memory (previous iterate and cached gradient),
+        so errors accumulated under the previous stage's coarser suppression
+        threshold cannot bias the new stage's fixed point — which is what
+        makes the paper's "we can still derive the optimal solution when the
+        APE threshold approaches 0" true. Neighbor views and per-neighbor
+        link state survive: they describe current network knowledge, not
+        recursion history.
+        """
+        self.previous_params = None
+        self._previous_gradient = None
+        self.previous_views = {}
+
+    def __repr__(self) -> str:
+        return (
+            f"EdgeServer(id={self.node_id}, samples={len(self.y)}, "
+            f"neighbors={self.neighbors}, iteration={self.iteration})"
+        )

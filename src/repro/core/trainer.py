@@ -1,0 +1,372 @@
+"""The SNAP training loop.
+
+One trainer owns N edge servers over a topology and advances them in
+synchronized rounds (the paper assumes a shared global clock, Section IV-D).
+Every round:
+
+1. each server runs its local EXTRA update (8) against its cached neighbor
+   views;
+2. each server selects the parameters whose change exceeds its APE-derived
+   threshold (Algorithm 1) and broadcasts one frame-encoded update to every
+   neighbor;
+3. the channel delivers the updates — except across failed links, where the
+   receiver silently keeps its stale view (the straggler rule);
+4. losses, consensus error and traffic are recorded, and the convergence
+   detector decides whether to stop.
+
+Setting the selection policy to ``CHANGED_ONLY`` or ``DENSE`` turns the same
+loop into the paper's SNAP-0 and SNO comparison schemes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.consensus.convergence import ConvergenceDetector, consensus_error
+from repro.consensus.step_size import safe_step_size
+from repro.core.config import SelectionPolicy, ShardWeighting, SNAPConfig
+from repro.core.server import EdgeServer
+from repro.data.dataset import Dataset
+from repro.exceptions import ConfigurationError
+from repro.models.base import Model
+from repro.models.metrics import accuracy_score
+from repro.network.channel import Channel
+from repro.network.cost import CommunicationCostTracker
+from repro.network.messages import ParameterUpdate
+from repro.core.ape import APESchedule
+from repro.results import RoundRecord, TrainingResult
+from repro.topology.failures import (
+    LinkFailureModel,
+    NodeFailureModel,
+    NoNodeFailures,
+)
+from repro.topology.graph import Topology
+from repro.types import Params, WeightMatrix
+from repro.weights.construction import metropolis_weights
+from repro.weights.optimizer import optimize_weight_matrix
+from repro.weights.validation import check_weight_matrix
+
+
+class SNAPTrainer:
+    """Decentralized trainer implementing SNAP and its SNAP-0/SNO variants.
+
+    Parameters
+    ----------
+    model:
+        Shared stateless model (one logical "uniform model", N replicas).
+    shards:
+        One private :class:`~repro.data.Dataset` per edge server.
+    topology:
+        The neighbor graph; must be connected for consensus to be reachable.
+    config:
+        All algorithm knobs; defaults reproduce the paper's Section V setup.
+    failure_model:
+        Optional link-outage injector (Fig. 9); ``None`` means no failures.
+    node_failure_model:
+        Optional server-outage injector (Section IV-D's "server shut down"):
+        a downed server skips the round entirely — no local step, no
+        transmissions, no receptions — and resumes from its last state.
+    weight_matrix:
+        Explicit mixing matrix override; when ``None`` the matrix comes from
+        the Section IV-B optimization (or eq. 24 if
+        ``config.optimize_weights`` is false).
+    initial_params:
+        Common initial model ``x^0``; defaults to ``model.init_params(seed)``.
+    """
+
+    def __init__(
+        self,
+        model: Model,
+        shards: list[Dataset],
+        topology: Topology,
+        config: SNAPConfig | None = None,
+        failure_model: LinkFailureModel | None = None,
+        node_failure_model: NodeFailureModel | None = None,
+        weight_matrix: WeightMatrix | None = None,
+        initial_params: Params | None = None,
+    ):
+        self.model = model
+        self.topology = topology
+        self.config = config if config is not None else SNAPConfig()
+        if len(shards) != topology.n_nodes:
+            raise ConfigurationError(
+                f"{len(shards)} shards for {topology.n_nodes} servers"
+            )
+        if not topology.is_connected():
+            raise ConfigurationError(
+                "topology is disconnected; consensus cannot be reached"
+            )
+        self.shards = shards
+
+        if weight_matrix is None:
+            if self.config.optimize_weights:
+                optimization = optimize_weight_matrix(
+                    topology, iterations=self.config.weight_iterations
+                )
+                weight_matrix = optimization.matrix
+                self._weight_info = {
+                    "weight_problem": optimization.problem,
+                    "rate_score": optimization.report.rate_score,
+                }
+            else:
+                weight_matrix = metropolis_weights(topology)
+                self._weight_info = {"weight_problem": "metropolis"}
+        else:
+            self._weight_info = {"weight_problem": "explicit"}
+        self.weight_matrix = check_weight_matrix(weight_matrix, topology)
+
+        if self.config.shard_weighting is ShardWeighting.SAMPLES:
+            total_samples = sum(shard.n_samples for shard in shards)
+            self._objective_scales = [
+                shard.n_samples * len(shards) / total_samples for shard in shards
+            ]
+        else:
+            self._objective_scales = [1.0] * len(shards)
+        self.lipschitz = max(
+            scale * model.gradient_lipschitz_bound(shard.X)
+            for scale, shard in zip(self._objective_scales, shards)
+        )
+        self.alpha = (
+            self.config.alpha
+            if self.config.alpha is not None
+            else safe_step_size(
+                self.weight_matrix, self.lipschitz, self.config.step_safety
+            )
+        )
+
+        if initial_params is None:
+            initial_params = model.init_params(self.config.seed)
+        self.initial_params = model.check_params(initial_params)
+
+        self.servers = [
+            EdgeServer(
+                node_id=node,
+                model=model,
+                X=shards[node].X,
+                y=shards[node].y,
+                neighbors=topology.neighbors(node),
+                weight_row=self.weight_matrix[node],
+                alpha=self.alpha,
+                initial_params=self.initial_params,
+                straggler_strategy=self.config.straggler_strategy,
+                objective_scale=self._objective_scales[node],
+            )
+            for node in topology
+        ]
+
+        self.tracker = CommunicationCostTracker()
+        self.channel = Channel(topology, self.tracker, failure_model)
+        self.node_failure_model = (
+            node_failure_model if node_failure_model is not None else NoNodeFailures()
+        )
+        #: Global round counter across run() calls (and across checkpoint
+        #: resumes): failure models sample by round index, so a resumed run
+        #: must keep numbering where the checkpointed one stopped.
+        self.rounds_completed = 0
+        self._schedules = self._build_schedules()
+
+    def _build_schedules(self) -> list[APESchedule] | None:
+        """One APE schedule per server, operating in *relative* units.
+
+        The paper initializes the APE threshold "to be 10% of the mean value
+        of all the parameters". The parameters' scale changes over training
+        (an SVM initialized near zero grows to O(1) weights), so the
+        schedule here works in units of the server's current mean absolute
+        parameter: thresholds and suppressed changes are divided by that
+        scale before entering Algorithm 1, and multiplied back when applied.
+        This keeps the 10%-of-the-parameters semantics true throughout the
+        run instead of freezing it at the (arbitrary) initialization scale.
+        """
+        if self.config.selection is not SelectionPolicy.APE:
+            return None
+        initial_threshold = self.config.ape_initial_fraction
+        epsilon = self.config.ape_epsilon_fraction * initial_threshold
+        if self.config.curvature_bound is not None:
+            growth = 1.0 + self.alpha * self.config.curvature_bound
+        else:
+            growth = self.config.ape_growth
+        return [
+            APESchedule(
+                initial_threshold=initial_threshold,
+                growth=growth,
+                stage_iterations=self.config.ape_stage_iterations,
+                decay=self.config.ape_decay,
+                epsilon=epsilon,
+            )
+            for _ in self.servers
+        ]
+
+    @staticmethod
+    def _parameter_scale(server: EdgeServer) -> float:
+        """Mean absolute parameter value — the unit of the relative schedule."""
+        return max(float(np.mean(np.abs(server.params))), 1e-8)
+
+    # -- observation helpers ---------------------------------------------------
+
+    def stacked_params(self) -> np.ndarray:
+        """The ``(N, P)`` matrix of current per-server parameters."""
+        return np.stack([server.params for server in self.servers])
+
+    def mean_params(self) -> Params:
+        """The network-average model (what gets evaluated on the test set)."""
+        return self.stacked_params().mean(axis=0)
+
+    def mean_local_loss(self) -> float:
+        """Mean over servers of each server's loss at its own parameters."""
+        return float(np.mean([server.local_loss() for server in self.servers]))
+
+    # -- the training loop ---------------------------------------------------------
+
+    def run(
+        self,
+        max_rounds: int | None = None,
+        detector: ConvergenceDetector | None = None,
+        test_set: Dataset | None = None,
+        eval_every: int = 0,
+        stop_on_convergence: bool = True,
+        on_round=None,
+    ) -> TrainingResult:
+        """Train until convergence or the round cap; returns the full trace.
+
+        Parameters
+        ----------
+        max_rounds:
+            Iteration cap (defaults to ``config.max_rounds``).
+        detector:
+            Convergence detector; a default-configured one when ``None``.
+        test_set:
+            Optional held-out data; enables accuracy reporting.
+        eval_every:
+            Evaluate test accuracy every this many rounds (0 = only at the
+            end).
+        stop_on_convergence:
+            Stop as soon as the detector fires (the paper measures traffic
+            "before algorithm converges"); set ``False`` to always run the
+            full budget, e.g. for trace-shape studies.
+        on_round:
+            Optional observer called after each round with the fresh
+            :class:`~repro.results.RoundRecord` (live progress reporting,
+            custom early stopping via exceptions, tracing, ...).
+        """
+        cap = max_rounds if max_rounds is not None else self.config.max_rounds
+        if cap <= 0:
+            raise ConfigurationError(f"max_rounds must be > 0, got {cap}")
+        if detector is None:
+            detector = ConvergenceDetector()
+        records: list[RoundRecord] = []
+
+        for _ in range(cap):
+            round_index = self.rounds_completed + 1
+            down = self.node_failure_model.failed_nodes(self.topology, round_index)
+            for server in self.servers:
+                if server.node_id not in down:
+                    server.step()
+
+            params_sent = self._communicate(round_index, down)
+            self.rounds_completed = round_index
+
+            mean_loss = self.mean_local_loss()
+            consensus = consensus_error(self.stacked_params())
+            accuracy = None
+            if test_set is not None and eval_every > 0 and round_index % eval_every == 0:
+                accuracy = self._evaluate(test_set)
+            record = RoundRecord(
+                round_index=round_index,
+                mean_loss=mean_loss,
+                consensus_error=consensus,
+                bytes_sent=self.tracker.round_bytes(round_index),
+                cost=self.tracker.round_cost(round_index),
+                params_sent=params_sent,
+                accuracy=accuracy,
+            )
+            records.append(record)
+            if on_round is not None:
+                on_round(record)
+            converged = detector.observe(mean_loss, consensus)
+            if converged and stop_on_convergence:
+                break
+
+        final_params = self.mean_params()
+        final_accuracy = self._evaluate(test_set) if test_set is not None else None
+        info = {
+            "alpha": self.alpha,
+            "lipschitz_bound": self.lipschitz,
+            "selection": self.config.selection.value,
+            **self._weight_info,
+        }
+        return TrainingResult(
+            scheme=self._scheme_name(),
+            rounds=records,
+            converged_at=detector.converged_at,
+            final_params=final_params,
+            total_bytes=self.tracker.total_bytes,
+            total_cost=self.tracker.total_cost,
+            final_accuracy=final_accuracy,
+            info=info,
+        )
+
+    def _scheme_name(self) -> str:
+        return {
+            SelectionPolicy.APE: "snap",
+            SelectionPolicy.CHANGED_ONLY: "snap0",
+            SelectionPolicy.DENSE: "sno",
+        }[self.config.selection]
+
+    def _communicate(self, round_index: int, down: frozenset = frozenset()) -> int:
+        """Send every server's per-neighbor updates; returns params sent.
+
+        View layers shift first (so a failed link leaves the receiver's
+        current layer stale, per the straggler rule), then each server builds
+        one message per neighbor against that neighbor's known state and
+        advances its link state only on confirmed delivery. Servers in
+        ``down`` neither advance, send, nor receive this round.
+        """
+        for server in self.servers:
+            if server.node_id not in down:
+                server.advance_views()
+
+        params_sent = 0
+        for server_index, server in enumerate(self.servers):
+            if server.node_id in down:
+                continue
+            scale = self._parameter_scale(server)
+            threshold = self._send_threshold(server_index) * scale
+            suppressed_max = 0.0
+            for neighbor in server.neighbors:
+                if neighbor in down:
+                    # The peer is offline: the connection fails before any
+                    # bytes enter the network; link state stays pending.
+                    continue
+                if self.config.selection is SelectionPolicy.DENSE:
+                    message = ParameterUpdate.dense(
+                        server.node_id, round_index, server.params
+                    )
+                else:
+                    message, selection = server.build_update(
+                        neighbor, round_index, threshold
+                    )
+                    suppressed_max = max(suppressed_max, selection.suppressed_max)
+                report = self.channel.send(server.node_id, neighbor, message)
+                if report.delivered:
+                    self.servers[neighbor].receive_update(message)
+                    server.mark_delivered(neighbor, message)
+                    params_sent += message.n_sent
+            if self._schedules is not None:
+                schedule = self._schedules[server_index]
+                stage_before = schedule.stage
+                schedule.record_round(suppressed_max / scale)
+                if schedule.stage != stage_before:
+                    # Algorithm 1 stage boundary: restart EXTRA from the
+                    # current solution under the tightened threshold.
+                    server.restart_recursion()
+        return params_sent
+
+    def _send_threshold(self, server_index: int) -> float:
+        """The current relative send threshold (0 outside the APE policy)."""
+        if self._schedules is not None:
+            return self._schedules[server_index].send_threshold
+        return 0.0
+
+    def _evaluate(self, test_set: Dataset) -> float:
+        predictions = self.model.predict(self.mean_params(), test_set.X)
+        return accuracy_score(test_set.y, predictions)

@@ -1,0 +1,86 @@
+"""The :class:`Dataset` container and split helpers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.types import SeedLike
+from repro.utils.rng import make_rng
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """An immutable ``(X, y)`` pair with shape validation.
+
+    Attributes
+    ----------
+    X:
+        Feature matrix of shape ``(n_samples, n_features)``.
+    y:
+        Label vector of shape ``(n_samples,)``.
+    """
+
+    X: np.ndarray
+    y: np.ndarray
+
+    def __post_init__(self) -> None:
+        X = np.asarray(self.X)
+        y = np.asarray(self.y)
+        if X.ndim != 2:
+            raise DataError(f"X must be 2-D, got ndim={X.ndim}")
+        if y.ndim != 1:
+            raise DataError(f"y must be 1-D, got ndim={y.ndim}")
+        if X.shape[0] != y.shape[0]:
+            raise DataError(f"X has {X.shape[0]} rows but y has {y.shape[0]} labels")
+        object.__setattr__(self, "X", X)
+        object.__setattr__(self, "y", y)
+
+    @property
+    def n_samples(self) -> int:
+        """Number of rows."""
+        return self.X.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        """Number of feature columns."""
+        return self.X.shape[1]
+
+    def subset(self, indices: np.ndarray) -> "Dataset":
+        """New dataset containing only ``indices`` (copying, order preserved)."""
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.n_samples):
+            raise DataError(
+                f"indices out of range 0..{self.n_samples - 1}"
+            )
+        return Dataset(self.X[indices].copy(), self.y[indices].copy())
+
+    def shuffled(self, seed: SeedLike = None) -> "Dataset":
+        """Row-shuffled copy."""
+        rng = make_rng(seed)
+        order = rng.permutation(self.n_samples)
+        return self.subset(order)
+
+    def __len__(self) -> int:
+        return self.n_samples
+
+
+def train_test_split(
+    dataset: Dataset, test_fraction: float = 0.2, seed: SeedLike = None
+) -> tuple[Dataset, Dataset]:
+    """Shuffle and split into ``(train, test)``.
+
+    ``test_fraction`` of the samples (at least one, at most ``n - 1``) go to
+    the test set.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise DataError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    if dataset.n_samples < 2:
+        raise DataError("need at least 2 samples to split")
+    rng = make_rng(seed)
+    order = rng.permutation(dataset.n_samples)
+    n_test = int(round(dataset.n_samples * test_fraction))
+    n_test = min(max(n_test, 1), dataset.n_samples - 1)
+    return dataset.subset(order[n_test:]), dataset.subset(order[:n_test])

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to discriminate between configuration mistakes, infeasible
+optimization problems, and simulation-time faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid configuration value or combination was supplied."""
+
+
+class TopologyError(ReproError):
+    """A graph/topology operation failed (disconnected, bad degree, ...)."""
+
+
+class WeightMatrixError(ReproError):
+    """A weight matrix violated its structural constraints.
+
+    Raised when a matrix is not symmetric, not doubly stochastic, or does not
+    respect the sparsity pattern imposed by the neighbor sets.
+    """
+
+
+class OptimizationError(ReproError):
+    """A numerical optimization (weight-matrix solver) failed to make progress."""
+
+
+class ConvergenceError(ReproError):
+    """A training run failed to converge within its iteration budget."""
+
+
+class ProtocolError(ReproError):
+    """A network frame or message could not be encoded or decoded."""
+
+
+class DataError(ReproError):
+    """A dataset or partition request was invalid."""

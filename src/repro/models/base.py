@@ -1,0 +1,94 @@
+"""The :class:`Model` interface shared by every trainable model.
+
+A model is a *stateless* description of an objective: parameters live in flat
+numpy vectors owned by the caller (each simulated edge server owns its own
+copy, per Section II-B of the paper), and the model maps ``(params, X, y)``
+to losses, gradients, and predictions. Statelessness is what lets one model
+object serve all N servers and all baselines simultaneously.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.types import Params, SeedLike
+from repro.utils.rng import make_rng
+
+
+class Model(abc.ABC):
+    """Abstract objective: flat parameters -> loss / gradient / predictions."""
+
+    @property
+    @abc.abstractmethod
+    def n_params(self) -> int:
+        """Dimension ``P`` of the flat parameter vector."""
+
+    @abc.abstractmethod
+    def loss(self, params: Params, X: np.ndarray, y: np.ndarray) -> float:
+        """Mean loss of ``params`` on the batch ``(X, y)`` (regularizer included)."""
+
+    @abc.abstractmethod
+    def gradient(self, params: Params, X: np.ndarray, y: np.ndarray) -> Params:
+        """Exact gradient of :meth:`loss` with respect to ``params``."""
+
+    @abc.abstractmethod
+    def predict(self, params: Params, X: np.ndarray) -> np.ndarray:
+        """Predicted labels for ``X``."""
+
+    def init_params(self, seed: SeedLike = None, scale: float = 0.01) -> Params:
+        """Small random initial parameter vector.
+
+        A shared default: zero-mean Gaussian entries with standard deviation
+        ``scale``. Subclasses may override (the MLP uses per-layer scaling).
+        """
+        rng = make_rng(seed)
+        return rng.normal(0.0, scale, size=self.n_params)
+
+    def gradient_lipschitz_bound(self, X: np.ndarray) -> float:
+        """An upper bound on the gradient's Lipschitz constant ``L_f`` on ``X``.
+
+        EXTRA's step-size rule ``α < 2 λ_min(W̃) / L_f`` and SNAP's APE
+        schedule (Algorithm 1 takes the second-order bound ``G`` as input)
+        both need this. The default — the largest squared singular value of
+        the feature matrix over the batch size — is exact for quadratic
+        losses and a safe overestimate for the other smooth losses used here.
+        Subclasses refine it with their loss curvature constants.
+        """
+        X = np.asarray(X, dtype=float)
+        if X.size == 0:
+            return 1.0
+        top_singular = float(np.linalg.norm(X, ord=2))
+        return top_singular**2 / X.shape[0]
+
+    def check_batch(self, X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Validate and normalize a batch to float arrays with matching lengths."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise DataError(f"X must be 2-D (n_samples, n_features), got ndim={X.ndim}")
+        if y.ndim != 1:
+            raise DataError(f"y must be 1-D, got ndim={y.ndim}")
+        if X.shape[0] != y.shape[0]:
+            raise DataError(
+                f"X has {X.shape[0]} rows but y has {y.shape[0]} labels"
+            )
+        if X.shape[0] == 0:
+            raise DataError("batch is empty")
+        return X, y
+
+    def check_params(self, params: Params) -> Params:
+        """Validate the parameter vector's shape and dtype."""
+        params = np.asarray(params, dtype=float)
+        if params.shape != (self.n_params,):
+            raise DataError(
+                f"params shape {params.shape} does not match n_params={self.n_params}"
+            )
+        return params
+
+
+def add_bias_column(X: np.ndarray) -> np.ndarray:
+    """Append a constant-one column so linear models learn an intercept."""
+    return np.hstack([X, np.ones((X.shape[0], 1))])

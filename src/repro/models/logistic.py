@@ -1,0 +1,102 @@
+"""Binary logistic regression with L2 regularization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataError
+from repro.models.base import Model, add_bias_column
+from repro.types import Params
+from repro.utils.validation import check_non_negative, check_positive_int
+
+
+class LogisticRegression(Model):
+    """Mean negative log-likelihood of a Bernoulli model plus L2 penalty.
+
+    .. math::
+
+        f(w) = \\frac{1}{n} \\sum_i \\log(1 + e^{-y_i w^T x_i})
+               + \\frac{\\lambda}{2}\\|w\\|^2
+
+    Labels accepted in ``{0, 1}`` or ``{-1, +1}``; predictions in ``{0, 1}``.
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        regularization: float = 1e-3,
+        fit_intercept: bool = True,
+    ):
+        self.n_features = check_positive_int("n_features", n_features)
+        self.regularization = check_non_negative("regularization", regularization)
+        self.fit_intercept = bool(fit_intercept)
+
+    @property
+    def n_params(self) -> int:
+        return self.n_features + (1 if self.fit_intercept else 0)
+
+    def _design(self, X: np.ndarray) -> np.ndarray:
+        if X.shape[1] != self.n_features:
+            raise DataError(
+                f"X has {X.shape[1]} features, model expects {self.n_features}"
+            )
+        return add_bias_column(X) if self.fit_intercept else X
+
+    @staticmethod
+    def _signed_labels(y: np.ndarray) -> np.ndarray:
+        y = np.asarray(y, dtype=float)
+        unique = np.unique(y)
+        if np.all(np.isin(unique, (-1.0, 1.0))):
+            return y
+        if np.all(np.isin(unique, (0.0, 1.0))):
+            return 2.0 * y - 1.0
+        raise DataError(
+            f"labels must be in {{-1,+1}} or {{0,1}}, got values {unique[:5]}"
+        )
+
+    def loss(self, params: Params, X: np.ndarray, y: np.ndarray) -> float:
+        params = self.check_params(params)
+        X, y = self.check_batch(X, y)
+        signed = self._signed_labels(y)
+        margins = signed * (self._design(X) @ params)
+        # log(1 + exp(-m)) computed stably via logaddexp(0, -m).
+        data_term = float(np.mean(np.logaddexp(0.0, -margins)))
+        return data_term + 0.5 * self.regularization * float(params @ params)
+
+    def gradient(self, params: Params, X: np.ndarray, y: np.ndarray) -> Params:
+        params = self.check_params(params)
+        X, y = self.check_batch(X, y)
+        signed = self._signed_labels(y)
+        design = self._design(X)
+        margins = signed * (design @ params)
+        # sigmoid(-m) = 1 / (1 + exp(m)), computed stably.
+        weights = _stable_sigmoid(-margins)
+        coefficients = -(weights * signed) / design.shape[0]
+        return design.T @ coefficients + self.regularization * params
+
+    def predict_proba(self, params: Params, X: np.ndarray) -> np.ndarray:
+        """P(y = 1 | x) for each row of ``X``."""
+        params = self.check_params(params)
+        X = np.asarray(X, dtype=float)
+        return _stable_sigmoid(self._design(X) @ params)
+
+    def predict(self, params: Params, X: np.ndarray) -> np.ndarray:
+        """Labels in ``{0, 1}`` thresholded at probability 0.5."""
+        return (self.predict_proba(params, X) >= 0.5).astype(float)
+
+    def gradient_lipschitz_bound(self, X: np.ndarray) -> float:
+        """``L_f <= σ_max(X̃)² / (4n) + λ`` (logistic curvature is at most 1/4)."""
+        X = np.asarray(X, dtype=float)
+        design = self._design(X)
+        top_singular = float(np.linalg.norm(design, ord=2))
+        return top_singular**2 / (4.0 * design.shape[0]) + self.regularization
+
+
+def _stable_sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic function."""
+    out = np.empty_like(z, dtype=float)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out

@@ -1,0 +1,186 @@
+"""Fully connected multilayer perceptron with hand-derived backpropagation.
+
+The paper's testbed model is "a 3-layer fully connected conventional neural
+network" with 784 inputs, 30 hidden perceptrons and 10 outputs, trained on
+MNIST. :class:`MLPClassifier` generalizes that to any layer-size list while
+keeping the same full-batch, exact-gradient contract the consensus engines
+require. Hidden activations are tanh (smooth, so the bounded-curvature
+assumption behind the APE analysis in Section IV-C is reasonable); the output
+layer is softmax with cross-entropy loss.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.models.base import Model
+from repro.types import Params, SeedLike
+from repro.utils.rng import make_rng
+from repro.utils.validation import check_non_negative
+
+
+class MLPClassifier(Model):
+    """Feed-forward classifier: tanh hidden layers, softmax cross-entropy output.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Sizes of every layer including input and output, e.g. the paper's
+        testbed network is ``(784, 30, 10)``. At least two entries.
+    regularization:
+        L2 penalty applied to all weights and biases.
+    """
+
+    def __init__(self, layer_sizes: Sequence[int], regularization: float = 1e-4):
+        sizes = tuple(int(s) for s in layer_sizes)
+        if len(sizes) < 2:
+            raise ConfigurationError(
+                f"layer_sizes needs at least input and output, got {sizes}"
+            )
+        if any(s <= 0 for s in sizes):
+            raise ConfigurationError(f"layer sizes must be positive, got {sizes}")
+        self.layer_sizes = sizes
+        self.regularization = check_non_negative("regularization", regularization)
+        self._shapes: list[tuple[tuple[int, int], tuple[int]]] = [
+            ((sizes[i], sizes[i + 1]), (sizes[i + 1],)) for i in range(len(sizes) - 1)
+        ]
+
+    @property
+    def n_classes(self) -> int:
+        """Output dimensionality (number of classes)."""
+        return self.layer_sizes[-1]
+
+    @property
+    def n_params(self) -> int:
+        return sum(w[0] * w[1] + b[0] for w, b in self._shapes)
+
+    # -- parameter packing ---------------------------------------------------
+
+    def unpack(self, params: Params) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Split the flat vector into per-layer ``(weight, bias)`` views."""
+        params = self.check_params(params)
+        layers = []
+        offset = 0
+        for (rows, cols), (bias_len,) in self._shapes:
+            weight = params[offset : offset + rows * cols].reshape(rows, cols)
+            offset += rows * cols
+            bias = params[offset : offset + bias_len]
+            offset += bias_len
+            layers.append((weight, bias))
+        return layers
+
+    def pack(self, layers: Sequence[tuple[np.ndarray, np.ndarray]]) -> Params:
+        """Flatten per-layer ``(weight, bias)`` pairs into one vector."""
+        pieces = []
+        for weight, bias in layers:
+            pieces.append(np.asarray(weight, dtype=float).reshape(-1))
+            pieces.append(np.asarray(bias, dtype=float).reshape(-1))
+        params = np.concatenate(pieces)
+        return self.check_params(params)
+
+    def init_params(self, seed: SeedLike = None, scale: float | None = None) -> Params:
+        """Xavier/Glorot initialization (per-layer ``1/sqrt(fan_in)`` scaling)."""
+        rng = make_rng(seed)
+        layers = []
+        for (rows, cols), (bias_len,) in self._shapes:
+            std = scale if scale is not None else 1.0 / np.sqrt(rows)
+            layers.append(
+                (rng.normal(0.0, std, size=(rows, cols)), np.zeros(bias_len))
+            )
+        return self.pack(layers)
+
+    # -- forward / backward ----------------------------------------------------
+
+    def _check_inputs(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=float)
+        if X.shape[1] != self.layer_sizes[0]:
+            raise DataError(
+                f"X has {X.shape[1]} features, model expects {self.layer_sizes[0]}"
+            )
+        return X
+
+    def _check_labels(self, y: np.ndarray) -> np.ndarray:
+        labels = np.asarray(y).astype(np.int64)
+        if not np.array_equal(labels, np.asarray(y)):
+            raise DataError("labels must be integers")
+        if labels.min() < 0 or labels.max() >= self.n_classes:
+            raise DataError(
+                f"labels must lie in 0..{self.n_classes - 1}, got range "
+                f"[{labels.min()}, {labels.max()}]"
+            )
+        return labels
+
+    def _forward(self, params: Params, X: np.ndarray):
+        """Return (activations per layer, log-probabilities)."""
+        layers = self.unpack(params)
+        activations = [X]
+        hidden = X
+        for weight, bias in layers[:-1]:
+            hidden = np.tanh(hidden @ weight + bias)
+            activations.append(hidden)
+        weight, bias = layers[-1]
+        logits = hidden @ weight + bias
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+        return activations, log_probs
+
+    def loss(self, params: Params, X: np.ndarray, y: np.ndarray) -> float:
+        params = self.check_params(params)
+        X, y = self.check_batch(X, y)
+        X = self._check_inputs(X)
+        labels = self._check_labels(y)
+        _, log_probs = self._forward(params, X)
+        data_term = -float(np.mean(log_probs[np.arange(len(labels)), labels]))
+        return data_term + 0.5 * self.regularization * float(params @ params)
+
+    def gradient(self, params: Params, X: np.ndarray, y: np.ndarray) -> Params:
+        params = self.check_params(params)
+        X, y = self.check_batch(X, y)
+        X = self._check_inputs(X)
+        labels = self._check_labels(y)
+        layers = self.unpack(params)
+        activations, log_probs = self._forward(params, X)
+        n = X.shape[0]
+
+        # Output-layer delta: softmax probabilities minus one-hot labels.
+        delta = np.exp(log_probs)
+        delta[np.arange(n), labels] -= 1.0
+        delta /= n
+
+        grads: list[tuple[np.ndarray, np.ndarray]] = [None] * len(layers)  # type: ignore[list-item]
+        for layer_index in range(len(layers) - 1, -1, -1):
+            weight, _bias = layers[layer_index]
+            upstream = activations[layer_index]
+            grads[layer_index] = (upstream.T @ delta, delta.sum(axis=0))
+            if layer_index > 0:
+                # Propagate through tanh: derivative is 1 - activation^2.
+                delta = (delta @ weight.T) * (1.0 - upstream**2)
+
+        flat = self.pack(grads)
+        return flat + self.regularization * params
+
+    def predict_proba(self, params: Params, X: np.ndarray) -> np.ndarray:
+        """Class-probability matrix of shape ``(n_samples, n_classes)``."""
+        params = self.check_params(params)
+        X = self._check_inputs(np.asarray(X, dtype=float))
+        _, log_probs = self._forward(params, X)
+        return np.exp(log_probs)
+
+    def predict(self, params: Params, X: np.ndarray) -> np.ndarray:
+        """Integer class predictions."""
+        return self.predict_proba(params, X).argmax(axis=1)
+
+    def gradient_lipschitz_bound(self, X: np.ndarray) -> float:
+        """Heuristic curvature bound for step-size selection.
+
+        The MLP objective is nonconvex, so no global ``L_f`` exists; the
+        value returned — the softmax-layer bound computed on the raw inputs —
+        works well in practice for the shallow networks the paper uses and
+        keeps the automatic step-size machinery uniform across models.
+        """
+        X = np.asarray(X, dtype=float)
+        top_singular = float(np.linalg.norm(X, ord=2))
+        return top_singular**2 / (2.0 * X.shape[0]) + self.regularization

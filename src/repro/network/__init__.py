@@ -1,0 +1,40 @@
+"""Network substrate: frames, messages, cost accounting, lossy delivery.
+
+The paper defines communication cost as flow size times physical hop count
+(Section II-B) and measures "the number of bytes written into the socket"
+(Section V-A). This package reproduces that accounting exactly: the two
+candidate frame structures of Fig. 3 with their byte formulas, a cost tracker
+that weights every flow by its hop count, and a channel that drops deliveries
+on failed links (the straggler model of Fig. 9).
+"""
+
+from repro.network.frames import (
+    FLOAT_BYTES,
+    INT_BYTES,
+    FrameFormat,
+    frame_size_bytes,
+    full_vector_bytes,
+    select_frame_format,
+)
+from repro.network.codec import decode_update, encode_update
+from repro.network.messages import ParameterUpdate
+from repro.network.cost import CommunicationCostTracker
+from repro.network.channel import Channel, DeliveryReport
+from repro.network.timing import GIGABIT_PER_SECOND, LinkTimingModel
+
+__all__ = [
+    "decode_update",
+    "encode_update",
+    "FLOAT_BYTES",
+    "INT_BYTES",
+    "FrameFormat",
+    "frame_size_bytes",
+    "full_vector_bytes",
+    "select_frame_format",
+    "ParameterUpdate",
+    "CommunicationCostTracker",
+    "Channel",
+    "DeliveryReport",
+    "GIGABIT_PER_SECOND",
+    "LinkTimingModel",
+]

@@ -1,0 +1,93 @@
+"""One-hop delivery between neighbors with link-failure injection.
+
+SNAP traffic always travels exactly one hop (neighbors are directly
+connected), so the channel's job is simple: check the failure model, record
+the cost on success, and report drops so the receiver can fall back to its
+cached view (Section IV-D, "Stragglers").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import TopologyError
+from repro.network.cost import CommunicationCostTracker
+from repro.network.messages import ParameterUpdate
+from repro.topology.failures import LinkFailureModel, NoFailures
+from repro.topology.graph import Topology
+from repro.types import NodeId
+
+
+@dataclass(frozen=True)
+class DeliveryReport:
+    """Outcome of one send attempt."""
+
+    delivered: bool
+    size_bytes: int
+    source: NodeId
+    destination: NodeId
+    round_index: int
+
+
+class Channel:
+    """Delivers :class:`ParameterUpdate` messages between direct neighbors.
+
+    Parameters
+    ----------
+    topology:
+        The edge-server graph; sends are only allowed along its edges.
+    tracker:
+        Cost tracker credited one hop per successful delivery.
+    failure_model:
+        Which links are down each round; failed links drop the message
+        without charging any cost (nothing enters the network).
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        tracker: CommunicationCostTracker,
+        failure_model: LinkFailureModel | None = None,
+    ):
+        self.topology = topology
+        self.tracker = tracker
+        self.failure_model = failure_model if failure_model is not None else NoFailures()
+
+    def link_up(self, source: NodeId, destination: NodeId, round_index: int) -> bool:
+        """Whether the (undirected) link is available this round."""
+        edge = (min(source, destination), max(source, destination))
+        failed = self.failure_model.failed_links(self.topology, round_index)
+        return edge not in failed
+
+    def send(
+        self, source: NodeId, destination: NodeId, message: ParameterUpdate
+    ) -> DeliveryReport:
+        """Attempt a one-hop delivery; records cost only when the link is up."""
+        if not self.topology.has_edge(source, destination):
+            raise TopologyError(
+                f"{source} and {destination} are not neighbors; SNAP only sends "
+                "along topology edges"
+            )
+        round_index = message.round_index
+        if not self.link_up(source, destination, round_index):
+            return DeliveryReport(
+                delivered=False,
+                size_bytes=0,
+                source=source,
+                destination=destination,
+                round_index=round_index,
+            )
+        self.tracker.record(
+            round_index=round_index,
+            source=source,
+            destination=destination,
+            size_bytes=message.size_bytes,
+            hops=1,
+        )
+        return DeliveryReport(
+            delivered=True,
+            size_bytes=message.size_bytes,
+            source=source,
+            destination=destination,
+            round_index=round_index,
+        )

@@ -1,0 +1,161 @@
+"""Binary wire codecs for the two Fig. 3 frame structures.
+
+:mod:`repro.network.frames` does the byte *accounting*; this module does the
+actual *encoding* — producing byte strings whose lengths match those formulas
+exactly, and decoding them back. The simulation never needs real bytes (it
+charges sizes), but a production deployment does, and round-tripping through
+the real codec is the strongest possible test that the size formulas are
+honest.
+
+Wire layouts (big-endian):
+
+* ``UNCHANGED_INDEX`` — ``u32 M`` (count of unchanged parameters), then the
+  ``M`` unchanged indexes as ``u32``, then the ``N - M`` updated values as
+  ``f64`` in ascending index order. ``4 + 4M + 8(N - M)`` bytes.
+* ``INDEX_VALUE`` — ``N - M`` records of ``u32 index`` + ``f64 value``.
+  ``12 (N - M)`` bytes.
+
+The decoder needs to know the frame format and (for UNCHANGED_INDEX) the
+total parameter count ``N``; in a deployment both ride in the transport
+header, exactly as the paper's "frame structure" field would.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.exceptions import ProtocolError
+from repro.network.frames import FrameFormat, frame_size_bytes
+from repro.network.messages import ParameterUpdate
+
+_U32 = struct.Struct(">I")
+
+
+def encode_update(update: ParameterUpdate) -> bytes:
+    """Serialize an update in its (auto-selected) frame format.
+
+    The returned payload's length equals ``update.size_bytes`` — the byte
+    accounting and the real wire format agree by construction.
+    """
+    if update.frame_format is FrameFormat.UNCHANGED_INDEX:
+        payload = _encode_unchanged_index(update)
+    else:
+        payload = _encode_index_value(update)
+    if len(payload) != update.size_bytes:
+        raise ProtocolError(
+            f"encoded size {len(payload)} != accounted size {update.size_bytes}"
+        )
+    return payload
+
+
+def decode_update(
+    payload: bytes,
+    frame_format: FrameFormat,
+    total_params: int,
+    sender: int,
+    round_index: int,
+) -> ParameterUpdate:
+    """Parse a payload back into a :class:`ParameterUpdate`.
+
+    ``frame_format`` and ``total_params`` come from the transport header.
+    Raises :class:`~repro.exceptions.ProtocolError` on any malformed input.
+    """
+    if frame_format is FrameFormat.UNCHANGED_INDEX:
+        indices, values = _decode_unchanged_index(payload, total_params)
+    elif frame_format is FrameFormat.INDEX_VALUE:
+        indices, values = _decode_index_value(payload, total_params)
+    else:
+        raise ProtocolError(f"unknown frame format {frame_format!r}")
+    return ParameterUpdate(
+        sender=sender,
+        round_index=round_index,
+        total_params=total_params,
+        indices=indices,
+        values=values,
+    )
+
+
+# -- UNCHANGED_INDEX -----------------------------------------------------------
+
+
+def _encode_unchanged_index(update: ParameterUpdate) -> bytes:
+    sent_mask = np.zeros(update.total_params, dtype=bool)
+    sent_mask[update.indices] = True
+    unchanged = np.flatnonzero(~sent_mask).astype(np.uint32)
+    parts = [
+        _U32.pack(unchanged.size),
+        unchanged.astype(">u4").tobytes(),
+        update.values.astype(">f8").tobytes(),
+    ]
+    return b"".join(parts)
+
+
+def _decode_unchanged_index(
+    payload: bytes, total_params: int
+) -> tuple[np.ndarray, np.ndarray]:
+    if len(payload) < _U32.size:
+        raise ProtocolError("truncated UNCHANGED_INDEX frame: missing count")
+    (unchanged_count,) = _U32.unpack_from(payload, 0)
+    if unchanged_count > total_params:
+        raise ProtocolError(
+            f"unchanged count {unchanged_count} exceeds total {total_params}"
+        )
+    expected = frame_size_bytes(
+        total_params, unchanged_count, FrameFormat.UNCHANGED_INDEX
+    )
+    if len(payload) != expected:
+        raise ProtocolError(
+            f"UNCHANGED_INDEX frame is {len(payload)} bytes, expected {expected}"
+        )
+    offset = _U32.size
+    unchanged = np.frombuffer(
+        payload, dtype=">u4", count=unchanged_count, offset=offset
+    ).astype(np.int64)
+    offset += 4 * unchanged_count
+    sent_count = total_params - unchanged_count
+    values = np.frombuffer(
+        payload, dtype=">f8", count=sent_count, offset=offset
+    ).astype(float)
+    if unchanged.size and (
+        np.any(np.diff(unchanged) <= 0)
+        or unchanged.min() < 0
+        or unchanged.max() >= total_params
+    ):
+        raise ProtocolError("UNCHANGED_INDEX frame has invalid index list")
+    sent_mask = np.ones(total_params, dtype=bool)
+    sent_mask[unchanged] = False
+    indices = np.flatnonzero(sent_mask).astype(np.int64)
+    return indices, values
+
+
+# -- INDEX_VALUE ---------------------------------------------------------------
+
+
+def _encode_index_value(update: ParameterUpdate) -> bytes:
+    record = np.dtype([("index", ">u4"), ("value", ">f8")])
+    records = np.empty(update.n_sent, dtype=record)
+    records["index"] = update.indices.astype(np.uint32)
+    records["value"] = update.values
+    return records.tobytes()
+
+
+def _decode_index_value(
+    payload: bytes, total_params: int
+) -> tuple[np.ndarray, np.ndarray]:
+    record = np.dtype([("index", ">u4"), ("value", ">f8")])
+    if len(payload) % record.itemsize != 0:
+        raise ProtocolError(
+            f"INDEX_VALUE frame length {len(payload)} is not a multiple of "
+            f"{record.itemsize}"
+        )
+    records = np.frombuffer(payload, dtype=record)
+    indices = records["index"].astype(np.int64)
+    if indices.size and (
+        np.any(np.diff(indices) <= 0)
+        or indices.min() < 0
+        or indices.max() >= total_params
+    ):
+        raise ProtocolError("INDEX_VALUE frame has invalid index sequence")
+    return indices, records["value"].astype(float)

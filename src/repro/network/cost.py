@@ -1,0 +1,119 @@
+"""Hop-weighted communication-cost accounting.
+
+Section II-B: "If a flow traverses h hops of physical links in the network,
+the communication cost incurred by this flow would be h times of the flow
+size." The tracker records every flow with its hop count and answers the
+aggregates the figures need: total cost (Figs. 4c, 8) and per-round series
+(Fig. 4b).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.types import NodeId
+
+
+@dataclass(frozen=True)
+class FlowRecord:
+    """One recorded flow."""
+
+    round_index: int
+    source: NodeId
+    destination: NodeId
+    size_bytes: int
+    hops: int
+
+    @property
+    def cost(self) -> int:
+        """Hop-weighted cost of this flow: ``size_bytes * hops``."""
+        return self.size_bytes * self.hops
+
+
+class CommunicationCostTracker:
+    """Accumulates flows and reports totals and per-round series.
+
+    Parameters
+    ----------
+    hop_counts:
+        Optional dense all-pairs hop matrix (from
+        :func:`repro.topology.all_pairs_hop_counts`). When provided, flows
+        may omit their hop count and it is looked up; when absent, every
+        flow must state its hops explicitly (SNAP traffic is always 1 hop).
+    """
+
+    def __init__(self, hop_counts: np.ndarray | None = None):
+        self._hop_counts = None if hop_counts is None else np.asarray(hop_counts)
+        self._records: list[FlowRecord] = []
+        self._per_round_cost: dict[int, int] = defaultdict(int)
+        self._per_round_bytes: dict[int, int] = defaultdict(int)
+        self._total_cost = 0
+        self._total_bytes = 0
+
+    def record(
+        self,
+        round_index: int,
+        source: NodeId,
+        destination: NodeId,
+        size_bytes: int,
+        hops: int | None = None,
+    ) -> FlowRecord:
+        """Record one flow; returns the stored record."""
+        if size_bytes < 0:
+            raise ConfigurationError(f"size_bytes must be >= 0, got {size_bytes}")
+        if hops is None:
+            if self._hop_counts is None:
+                raise ConfigurationError(
+                    "hops not given and no hop matrix configured"
+                )
+            hops = int(self._hop_counts[source, destination])
+        if hops < 0:
+            raise ConfigurationError(
+                f"no route from {source} to {destination} (hops={hops})"
+            )
+        record = FlowRecord(round_index, source, destination, int(size_bytes), hops)
+        self._records.append(record)
+        self._per_round_cost[round_index] += record.cost
+        self._per_round_bytes[round_index] += record.size_bytes
+        self._total_cost += record.cost
+        self._total_bytes += record.size_bytes
+        return record
+
+    @property
+    def total_cost(self) -> int:
+        """Sum of hop-weighted costs over all recorded flows."""
+        return self._total_cost
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of raw flow sizes (the testbed's "bytes written into the socket")."""
+        return self._total_bytes
+
+    @property
+    def n_flows(self) -> int:
+        """Number of recorded flows."""
+        return len(self._records)
+
+    def round_cost(self, round_index: int) -> int:
+        """Hop-weighted cost of one round."""
+        return self._per_round_cost.get(round_index, 0)
+
+    def round_bytes(self, round_index: int) -> int:
+        """Raw bytes of one round."""
+        return self._per_round_bytes.get(round_index, 0)
+
+    def per_round_costs(self) -> list[tuple[int, int]]:
+        """Sorted ``(round, cost)`` pairs for rounds with any traffic."""
+        return sorted(self._per_round_cost.items())
+
+    def per_round_bytes(self) -> list[tuple[int, int]]:
+        """Sorted ``(round, bytes)`` pairs for rounds with any traffic."""
+        return sorted(self._per_round_bytes.items())
+
+    def records(self) -> tuple[FlowRecord, ...]:
+        """All recorded flows, in insertion order."""
+        return tuple(self._records)

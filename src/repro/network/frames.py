@@ -1,0 +1,101 @@
+"""The two candidate frame structures of Fig. 3 and their byte accounting.
+
+For a server hosting ``N`` parameters of which ``M`` are *not* sent:
+
+* **UNCHANGED_INDEX** frame — a 4-byte count of unchanged parameters, the
+  ``M`` unchanged indexes (4 bytes each), then the ``N - M`` updated values
+  in position order (8 bytes each, no per-value index needed):
+  ``4 + 4M + 8(N - M) = 4 + 8N - 4M`` bytes.
+* **INDEX_VALUE** frame — every updated parameter as an (index, value) pair:
+  ``(4 + 8)(N - M) = 12(N - M)`` bytes.
+
+The first is smaller exactly when ``N > 2M + 1`` (few parameters suppressed);
+the second wins once most parameters are unchanged. SNAP picks per message.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.exceptions import ProtocolError
+
+#: Bytes for an integer index/count field (paper: "4 bytes for an integer number").
+INT_BYTES = 4
+#: Bytes for a parameter value (paper: "8 bytes for a double number").
+FLOAT_BYTES = 8
+
+
+class FrameFormat(enum.Enum):
+    """Wire format of a parameter-update frame (Fig. 3)."""
+
+    #: Count + unchanged indexes + raw updated values: ``4 + 8N - 4M`` bytes.
+    UNCHANGED_INDEX = "unchanged_index"
+    #: (index, value) pairs for updated parameters only: ``12 (N - M)`` bytes.
+    INDEX_VALUE = "index_value"
+
+
+def _check_counts(total_params: int, unsent_params: int) -> None:
+    if total_params < 0 or unsent_params < 0:
+        raise ProtocolError(
+            f"counts must be nonnegative, got total={total_params}, "
+            f"unsent={unsent_params}"
+        )
+    if unsent_params > total_params:
+        raise ProtocolError(
+            f"unsent count {unsent_params} exceeds total parameters {total_params}"
+        )
+
+
+def frame_size_bytes(
+    total_params: int, unsent_params: int, frame_format: FrameFormat
+) -> int:
+    """Exact frame size in bytes for ``N = total_params``, ``M = unsent_params``."""
+    _check_counts(total_params, unsent_params)
+    sent = total_params - unsent_params
+    if frame_format is FrameFormat.UNCHANGED_INDEX:
+        return INT_BYTES + INT_BYTES * unsent_params + FLOAT_BYTES * sent
+    if frame_format is FrameFormat.INDEX_VALUE:
+        return (INT_BYTES + FLOAT_BYTES) * sent
+    raise ProtocolError(f"unknown frame format {frame_format!r}")
+
+
+def select_frame_format(total_params: int, unsent_params: int) -> FrameFormat:
+    """The smaller of the two formats; the paper's ``N > 2M + 1`` rule.
+
+    Ties go to INDEX_VALUE (the paper's "otherwise" branch).
+    """
+    _check_counts(total_params, unsent_params)
+    if total_params > 2 * unsent_params + 1:
+        return FrameFormat.UNCHANGED_INDEX
+    return FrameFormat.INDEX_VALUE
+
+
+def encoded_update_bytes(total_params: int, unsent_params: int) -> int:
+    """Bytes of the best frame for this update (what SNAP actually transmits)."""
+    chosen = select_frame_format(total_params, unsent_params)
+    return frame_size_bytes(total_params, unsent_params, chosen)
+
+
+def full_vector_bytes(total_params: int) -> int:
+    """Bytes of a dense, index-free parameter or gradient vector.
+
+    Used by the schemes that always send everything: PS (full gradients both
+    directions), SNO (full parameter vectors), and the server-to-worker leg
+    of TernGrad.
+    """
+    if total_params < 0:
+        raise ProtocolError(f"total_params must be >= 0, got {total_params}")
+    return FLOAT_BYTES * total_params
+
+
+def terngrad_vector_bytes(total_params: int) -> int:
+    """Bytes of a TernGrad-encoded gradient: 2 bits per parameter plus the scaler.
+
+    Wen et al. encode each gradient component with 2 bits (values in
+    {-1, 0, +1}) and ship one full-precision scale factor per vector.
+    """
+    if total_params < 0:
+        raise ProtocolError(f"total_params must be >= 0, got {total_params}")
+    payload_bits = 2 * total_params
+    payload_bytes = (payload_bits + 7) // 8
+    return payload_bytes + FLOAT_BYTES

@@ -1,0 +1,118 @@
+"""Message types exchanged between simulated edge servers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ProtocolError
+from repro.network.frames import (
+    FrameFormat,
+    frame_size_bytes,
+    select_frame_format,
+)
+from repro.types import NodeId
+
+
+@dataclass(frozen=True)
+class ParameterUpdate:
+    """A sparse parameter update from one server to one neighbor.
+
+    Carries the *changed* coordinates only (SNAP's Select Parameters idea):
+    ``indices[k]`` is the flat parameter index whose new value is
+    ``values[k]``. The frame format and byte size are fixed at construction
+    from the paper's Fig. 3 formulas.
+
+    Attributes
+    ----------
+    sender:
+        Originating edge server.
+    round_index:
+        Iteration the update belongs to.
+    total_params:
+        Full model dimension ``N`` in the frame formulas.
+    indices:
+        Sorted flat indices of the transmitted parameters.
+    values:
+        Transmitted values, aligned with ``indices``.
+    frame_format:
+        The cheaper of the two Fig. 3 formats for this update.
+    size_bytes:
+        Exact wire size of the chosen frame.
+    """
+
+    sender: NodeId
+    round_index: int
+    total_params: int
+    indices: np.ndarray
+    values: np.ndarray
+    frame_format: FrameFormat = field(init=False)
+    size_bytes: int = field(init=False)
+
+    def __post_init__(self) -> None:
+        indices = np.asarray(self.indices, dtype=np.int64)
+        values = np.asarray(self.values, dtype=float)
+        if indices.ndim != 1 or values.ndim != 1:
+            raise ProtocolError("indices and values must be 1-D arrays")
+        if indices.shape != values.shape:
+            raise ProtocolError(
+                f"indices ({indices.shape}) and values ({values.shape}) differ in length"
+            )
+        if indices.size:
+            if indices.min() < 0 or indices.max() >= self.total_params:
+                raise ProtocolError(
+                    f"indices out of range 0..{self.total_params - 1}"
+                )
+            if np.any(np.diff(indices) <= 0):
+                raise ProtocolError("indices must be strictly increasing")
+        object.__setattr__(self, "indices", indices)
+        object.__setattr__(self, "values", values)
+        unsent = self.total_params - indices.size
+        chosen = select_frame_format(self.total_params, unsent)
+        object.__setattr__(self, "frame_format", chosen)
+        object.__setattr__(
+            self, "size_bytes", frame_size_bytes(self.total_params, unsent, chosen)
+        )
+
+    @property
+    def n_sent(self) -> int:
+        """Number of transmitted parameters."""
+        return int(self.indices.size)
+
+    @property
+    def n_unsent(self) -> int:
+        """Number of suppressed parameters (``M`` in the frame formulas)."""
+        return self.total_params - self.n_sent
+
+    def apply_to(self, target: np.ndarray) -> np.ndarray:
+        """Overlay the update onto a cached parameter vector (returns a copy).
+
+        The receiver keeps its last view of the sender's parameters and
+        replaces only the transmitted coordinates — the paper's rule that
+        missing parameters default to "the latest values of those parameters
+        from edge server j".
+        """
+        target = np.asarray(target, dtype=float)
+        if target.shape != (self.total_params,):
+            raise ProtocolError(
+                f"target shape {target.shape} does not match total_params "
+                f"{self.total_params}"
+            )
+        updated = target.copy()
+        updated[self.indices] = self.values
+        return updated
+
+    @classmethod
+    def dense(
+        cls, sender: NodeId, round_index: int, params: np.ndarray
+    ) -> "ParameterUpdate":
+        """An update carrying every coordinate (what SNO/SNAP-0's first round sends)."""
+        params = np.asarray(params, dtype=float)
+        return cls(
+            sender=sender,
+            round_index=round_index,
+            total_params=params.size,
+            indices=np.arange(params.size, dtype=np.int64),
+            values=params,
+        )

@@ -1,0 +1,99 @@
+"""Wall-clock timing model for synchronous training rounds.
+
+The paper's testbed connects servers "through links of 1 Gbps" and drives
+rounds off a shared timer sized to "network characteristics (e.g., link
+bandwidth)" (Section IV-D). This model turns the byte traces the simulator
+records into per-round transfer times, answering the deployment question the
+iteration counts alone cannot: *how long would this run take on real links?*
+
+Synchronous-round semantics: within one round, flows that share a (directed)
+link serialize; flows on different links run in parallel; the round's
+communication makespan is the busiest link's transfer time plus one
+propagation latency. Computation is modeled as a fixed per-round cost.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.network.cost import CommunicationCostTracker, FlowRecord
+from repro.results import TrainingResult
+from repro.utils.validation import check_non_negative, check_positive
+
+#: The paper's testbed link speed.
+GIGABIT_PER_SECOND = 1_000_000_000 / 8  # bytes per second
+
+
+@dataclass(frozen=True)
+class LinkTimingModel:
+    """Per-link bandwidth/latency plus per-round compute time.
+
+    Attributes
+    ----------
+    bandwidth_bytes_per_s:
+        Capacity of every (directed) link; defaults to the paper's 1 Gbps.
+    latency_s:
+        One-way propagation delay added once per round with traffic.
+    compute_s_per_round:
+        Fixed local-computation time per round (gradient evaluation etc.).
+    """
+
+    bandwidth_bytes_per_s: float = GIGABIT_PER_SECOND
+    latency_s: float = 1e-3
+    compute_s_per_round: float = 0.0
+
+    def __post_init__(self) -> None:
+        check_positive("bandwidth_bytes_per_s", self.bandwidth_bytes_per_s)
+        check_non_negative("latency_s", self.latency_s)
+        check_non_negative("compute_s_per_round", self.compute_s_per_round)
+
+    def round_makespan(self, flows: list[FlowRecord]) -> float:
+        """Communication+compute time of one synchronous round.
+
+        Each flow occupies its (source, destination) link for
+        ``size_bytes * hops / bandwidth`` seconds (a multi-hop flow crosses
+        ``hops`` store-and-forward links back to back); flows sharing a link
+        serialize, distinct links run in parallel.
+        """
+        if not flows:
+            return self.compute_s_per_round
+        per_link: dict[tuple[int, int], float] = defaultdict(float)
+        for flow in flows:
+            per_link[(flow.source, flow.destination)] += (
+                flow.size_bytes * flow.hops / self.bandwidth_bytes_per_s
+            )
+        return self.compute_s_per_round + self.latency_s + max(per_link.values())
+
+    def total_time(self, tracker: CommunicationCostTracker, n_rounds: int) -> float:
+        """Wall-clock estimate of a whole run from its recorded flows.
+
+        ``n_rounds`` covers rounds with no traffic (they still pay compute).
+        """
+        if n_rounds < 0:
+            raise ValueError(f"n_rounds must be >= 0, got {n_rounds}")
+        by_round: dict[int, list[FlowRecord]] = defaultdict(list)
+        for record in tracker.records():
+            by_round[record.round_index].append(record)
+        total = 0.0
+        for round_index in range(1, n_rounds + 1):
+            total += self.round_makespan(by_round.get(round_index, []))
+        return total
+
+    def estimate_result_time(self, result: TrainingResult) -> float:
+        """Coarser estimate from a :class:`TrainingResult`'s byte trace.
+
+        Without per-flow records the per-link breakdown is unknown, so each
+        round's bytes are treated as if they serialized through a single
+        link — an upper bound on the makespan (real rounds overlap transfers
+        on distinct links). Exact timing needs the tracker
+        (:meth:`total_time`).
+        """
+        total = 0.0
+        for record in result.rounds:
+            total += self.compute_s_per_round
+            if record.bytes_sent > 0:
+                total += self.latency_s + (
+                    record.bytes_sent / self.bandwidth_bytes_per_s
+                )
+        return total

@@ -1,0 +1,187 @@
+"""Result records shared by SNAP and every baseline trainer.
+
+A training run produces one :class:`TrainingResult`: a per-round metric
+trace plus the aggregates the paper's figures plot (iterations to converge,
+total bytes, total hop-weighted cost, final accuracy). Results serialize to
+plain JSON so sweeps can be archived and re-analyzed without rerunning.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Metrics observed after one training iteration.
+
+    Attributes
+    ----------
+    round_index:
+        1-based iteration number.
+    mean_loss:
+        Mean of the servers' local losses at their own parameters (for the
+        centralized baseline: the global loss).
+    consensus_error:
+        RMS deviation of the per-server parameters from their mean
+        (0 for schemes with a single parameter copy).
+    bytes_sent:
+        Raw bytes injected into the network this round.
+    cost:
+        Hop-weighted communication cost this round.
+    params_sent:
+        Total parameter values transmitted this round across all flows.
+    accuracy:
+        Test accuracy of the network-average model, when evaluated this
+        round (``None`` otherwise).
+    """
+
+    round_index: int
+    mean_loss: float
+    consensus_error: float
+    bytes_sent: int
+    cost: int
+    params_sent: int
+    accuracy: float | None = None
+
+
+@dataclass
+class TrainingResult:
+    """Complete outcome of one training run.
+
+    Attributes
+    ----------
+    scheme:
+        Scheme label (``"snap"``, ``"snap0"``, ``"sno"``, ``"ps"``,
+        ``"terngrad"``, ``"centralized"``).
+    rounds:
+        Per-round metric records, in order.
+    converged_at:
+        First round at which the convergence detector fired, or ``None`` if
+        the run hit its round cap without converging.
+    final_params:
+        The network-average parameter vector at the end of the run.
+    total_bytes:
+        Raw bytes summed over the whole run.
+    total_cost:
+        Hop-weighted cost summed over the whole run.
+    final_accuracy:
+        Test accuracy of ``final_params`` (``None`` when no test set given).
+    info:
+        Free-form extras (step size, weight-matrix report, ...).
+    """
+
+    scheme: str
+    rounds: list[RoundRecord]
+    converged_at: int | None
+    final_params: np.ndarray
+    total_bytes: int
+    total_cost: int
+    final_accuracy: float | None = None
+    info: dict = field(default_factory=dict)
+
+    @property
+    def n_rounds(self) -> int:
+        """Number of iterations actually run."""
+        return len(self.rounds)
+
+    @property
+    def iterations_to_converge(self) -> int:
+        """``converged_at`` if converged, else the number of rounds run.
+
+        This is the quantity plotted on the y-axis of Figs. 5, 6 and 9.
+        """
+        return self.converged_at if self.converged_at is not None else self.n_rounds
+
+    def loss_trace(self) -> list[float]:
+        """Per-round mean losses."""
+        return [record.mean_loss for record in self.rounds]
+
+    def bytes_trace(self) -> list[int]:
+        """Per-round raw bytes (the Fig. 4(b) series)."""
+        return [record.bytes_sent for record in self.rounds]
+
+    def accuracy_trace(self) -> list[tuple[int, float]]:
+        """``(round, accuracy)`` pairs for rounds where accuracy was evaluated."""
+        return [
+            (record.round_index, record.accuracy)
+            for record in self.rounds
+            if record.accuracy is not None
+        ]
+
+    def summary(self) -> dict:
+        """Flat dictionary of the headline aggregates (for report tables)."""
+        return {
+            "scheme": self.scheme,
+            "rounds": self.n_rounds,
+            "converged_at": self.converged_at,
+            "iterations_to_converge": self.iterations_to_converge,
+            "total_bytes": self.total_bytes,
+            "total_cost": self.total_cost,
+            "final_accuracy": self.final_accuracy,
+            "final_loss": self.rounds[-1].mean_loss if self.rounds else None,
+        }
+
+    # -- persistence -------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe dictionary with the full per-round trace."""
+        payload = {
+            "scheme": self.scheme,
+            "rounds": [asdict(record) for record in self.rounds],
+            "converged_at": self.converged_at,
+            "final_params": np.asarray(self.final_params, dtype=float).tolist(),
+            "total_bytes": int(self.total_bytes),
+            "total_cost": int(self.total_cost),
+            "final_accuracy": self.final_accuracy,
+            "info": _jsonable(self.info),
+        }
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "TrainingResult":
+        """Rebuild a result from :meth:`to_dict` output."""
+        try:
+            rounds = [RoundRecord(**record) for record in payload["rounds"]]
+            return cls(
+                scheme=payload["scheme"],
+                rounds=rounds,
+                converged_at=payload["converged_at"],
+                final_params=np.asarray(payload["final_params"], dtype=float),
+                total_bytes=int(payload["total_bytes"]),
+                total_cost=int(payload["total_cost"]),
+                final_accuracy=payload.get("final_accuracy"),
+                info=payload.get("info", {}),
+            )
+        except (KeyError, TypeError) as error:
+            raise DataError(f"malformed TrainingResult payload: {error}") from error
+
+    def save(self, path: str | Path) -> Path:
+        """Write the result as JSON; returns the path written."""
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2))
+        return path
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TrainingResult":
+        """Read a result previously written by :meth:`save`."""
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+
+def _jsonable(value):
+    """Recursively coerce numpy scalars/arrays so ``json.dumps`` accepts them."""
+    if isinstance(value, dict):
+        return {key: _jsonable(inner) for key, inner in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(inner) for inner in value]
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.generic):
+        return value.item()
+    return value

@@ -1,0 +1,319 @@
+"""The networked testbed: one thread + one TCP listener per edge server.
+
+Reproduces the paper's small-scale testbed setup: servers hold *persistent*
+connections to their neighbors (Section II-B) and exchange binary Fig. 3
+frames every round, synchronized by a shared clock (Section IV-D) — modeled
+here as thread barriers, the single-host stand-in for the paper's timer.
+
+Algorithmic state is the same :class:`~repro.core.server.EdgeServer` and
+:class:`~repro.core.ape.APESchedule` machinery the simulator uses (built by
+an internal :class:`~repro.core.SNAPTrainer`), so a testbed run is
+bit-for-bit identical to a simulated run on the same inputs — the
+correspondence the integration tests assert.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from dataclasses import dataclass
+from queue import Empty, Queue
+
+import numpy as np
+
+from repro.core.config import SelectionPolicy, SNAPConfig
+from repro.core.trainer import SNAPTrainer
+from repro.data.dataset import Dataset
+from repro.exceptions import ConfigurationError, ProtocolError
+from repro.models.base import Model
+from repro.network.messages import ParameterUpdate
+from repro.runtime.transport import HEADER_BYTES, FrameConnection
+from repro.topology.graph import Topology
+from repro.types import Params, WeightMatrix
+
+#: Seconds a node waits at a barrier / for a frame before declaring the run dead.
+DEFAULT_TIMEOUT_S = 30.0
+
+
+@dataclass
+class TestbedResult:
+    """Outcome of a networked run.
+
+    Attributes
+    ----------
+    final_params:
+        Stacked ``(N, P)`` per-server parameters after the last round.
+    mean_loss_trace:
+        Per-round mean of the servers' local losses.
+    per_round_payload_bytes:
+        Fig. 3 payload bytes that crossed sockets each round (the quantity
+        the paper's testbed measures).
+    payload_bytes_total:
+        Sum of the above.
+    header_bytes_total:
+        Transport-header overhead (not part of the paper's accounting).
+    n_rounds:
+        Rounds executed.
+    """
+
+    __test__ = False
+
+    final_params: np.ndarray
+    mean_loss_trace: list[float]
+    per_round_payload_bytes: list[int]
+    payload_bytes_total: int
+    header_bytes_total: int
+    n_rounds: int
+
+
+class _Node:
+    """Runtime wrapper around one EdgeServer: sockets, inbox, per-round loop."""
+
+    def __init__(self, server, schedule, runtime: "TestbedRuntime"):
+        self.server = server
+        self.schedule = schedule
+        self.runtime = runtime
+        self.listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.listener.bind(("127.0.0.1", 0))
+        self.listener.listen(len(server.neighbors) + 1)
+        self.port = self.listener.getsockname()[1]
+        self.send_connections: dict[int, FrameConnection] = {}
+        self.recv_connections: list[FrameConnection] = []
+        self.inbox: Queue = Queue()
+        self.loss_trace: list[float] = []
+        self.payload_bytes = 0
+        self.reader_threads: list[threading.Thread] = []
+
+    # -- wiring ----------------------------------------------------------------
+
+    def accept_from_neighbors(self) -> None:
+        """Accept one inbound connection per neighbor; peers say hello with their id."""
+        expected = set(self.server.neighbors)
+        while expected:
+            sock, _ = self.listener.accept()
+            hello = b""
+            while len(hello) < 4:
+                chunk = sock.recv(4 - len(hello))
+                if not chunk:
+                    raise ProtocolError("peer closed during hello")
+                hello += chunk
+            sender = int.from_bytes(hello, "big")
+            if sender not in expected:
+                raise ProtocolError(
+                    f"node {self.server.node_id} got a hello from unexpected "
+                    f"peer {sender}"
+                )
+            expected.discard(sender)
+            connection = FrameConnection(sock)
+            self.recv_connections.append(connection)
+            thread = threading.Thread(
+                target=self._reader_loop, args=(connection,), daemon=True
+            )
+            thread.start()
+            self.reader_threads.append(thread)
+
+    def connect_to_neighbors(self, ports: dict[int, int]) -> None:
+        """Open one persistent outbound connection per neighbor."""
+        for neighbor in self.server.neighbors:
+            sock = socket.create_connection(("127.0.0.1", ports[neighbor]))
+            sock.sendall(int(self.server.node_id).to_bytes(4, "big"))
+            self.send_connections[neighbor] = FrameConnection(sock)
+
+    def _reader_loop(self, connection: FrameConnection) -> None:
+        try:
+            while True:
+                update = connection.recv_update()
+                self.inbox.put(update)
+        except ProtocolError:
+            return  # connection closed at shutdown
+        except OSError:
+            return
+
+    # -- the per-round protocol -------------------------------------------------
+
+    def run_round(self, round_index: int) -> None:
+        """One synchronized round (called between the runtime's barriers)."""
+        server = self.server
+        server.step()
+        self.loss_trace.append(server.local_loss())
+        self.runtime.barrier_wait()  # everyone stepped
+
+        server.advance_views()
+        scale = max(float(np.mean(np.abs(server.params))), 1e-8)
+        if self.runtime.selection is SelectionPolicy.DENSE:
+            threshold = None
+        elif self.schedule is not None:
+            threshold = self.schedule.send_threshold * scale
+        else:
+            threshold = 0.0
+        suppressed_max = 0.0
+        for neighbor in server.neighbors:
+            if threshold is None:
+                message = ParameterUpdate.dense(
+                    server.node_id, round_index, server.params
+                )
+            else:
+                message, selection = server.build_update(
+                    neighbor, round_index, threshold
+                )
+                suppressed_max = max(suppressed_max, selection.suppressed_max)
+            self.payload_bytes += self.send_connections[neighbor].send_update(message)
+            server.mark_delivered(neighbor, message)
+        if self.schedule is not None:
+            stage_before = self.schedule.stage
+            self.schedule.record_round(suppressed_max / scale)
+            if self.schedule.stage != stage_before:
+                server.restart_recursion()
+
+        # Collect exactly one frame from each neighbor for this round.
+        pending = set(server.neighbors)
+        while pending:
+            try:
+                update = self.inbox.get(timeout=self.runtime.timeout_s)
+            except Empty as error:
+                raise ProtocolError(
+                    f"node {server.node_id} timed out waiting for round "
+                    f"{round_index} frames from {sorted(pending)}"
+                ) from error
+            if update.round_index != round_index:
+                raise ProtocolError(
+                    f"node {server.node_id} got a round-{update.round_index} "
+                    f"frame during round {round_index}"
+                )
+            server.receive_update(update)
+            pending.discard(update.sender)
+        self.runtime.barrier_wait()  # everyone exchanged
+
+    def close(self) -> None:
+        for connection in self.send_connections.values():
+            connection.close()
+        for connection in self.recv_connections:
+            connection.close()
+        self.listener.close()
+
+
+class TestbedRuntime:
+    """Run SNAP over real localhost TCP sockets.
+
+    Accepts the same inputs as :class:`~repro.core.SNAPTrainer` (which it
+    uses internally to build the weight matrix, step size, servers, and APE
+    schedules). Link/node failure injection is a simulator feature; the
+    testbed runs the failure-free protocol, as the paper's testbed does.
+    """
+
+    #: Not a pytest test class, despite the name.
+    __test__ = False
+
+    def __init__(
+        self,
+        model: Model,
+        shards: list[Dataset],
+        topology: Topology,
+        config: SNAPConfig | None = None,
+        weight_matrix: WeightMatrix | None = None,
+        initial_params: Params | None = None,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+    ):
+        trainer = SNAPTrainer(
+            model,
+            shards,
+            topology,
+            config=config,
+            weight_matrix=weight_matrix,
+            initial_params=initial_params,
+        )
+        if timeout_s <= 0:
+            raise ConfigurationError(f"timeout_s must be > 0, got {timeout_s}")
+        self.timeout_s = float(timeout_s)
+        self.selection = trainer.config.selection
+        self.alpha = trainer.alpha
+        self._trainer = trainer
+        schedules = trainer._schedules or [None] * len(trainer.servers)
+        self.nodes = [
+            _Node(server, schedule, self)
+            for server, schedule in zip(trainer.servers, schedules)
+        ]
+        self._barrier = threading.Barrier(len(self.nodes))
+        self._errors: list[BaseException] = []
+        self._error_lock = threading.Lock()
+
+    def barrier_wait(self) -> None:
+        """Synchronize all node threads (the shared-clock stand-in)."""
+        self._barrier.wait(timeout=self.timeout_s)
+
+    def run(self, n_rounds: int) -> TestbedResult:
+        """Execute ``n_rounds`` synchronized rounds over the real network."""
+        if n_rounds <= 0:
+            raise ConfigurationError(f"n_rounds must be > 0, got {n_rounds}")
+        ports = {node.server.node_id: node.port for node in self.nodes}
+
+        # Wire up: accept loops first (threads), then outbound connections.
+        acceptors = [
+            threading.Thread(target=node.accept_from_neighbors, daemon=True)
+            for node in self.nodes
+        ]
+        for thread in acceptors:
+            thread.start()
+        for node in self.nodes:
+            node.connect_to_neighbors(ports)
+        for thread in acceptors:
+            thread.join(timeout=self.timeout_s)
+            if thread.is_alive():
+                raise ProtocolError("testbed wiring timed out")
+
+        workers = [
+            threading.Thread(
+                target=self._node_loop, args=(node, n_rounds), daemon=True
+            )
+            for node in self.nodes
+        ]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join(timeout=self.timeout_s * (n_rounds + 2))
+        for node in self.nodes:
+            node.close()
+        if self._errors:
+            raise self._errors[0]
+
+        per_round = [
+            int(
+                sum(
+                    node.per_round_payload[r] for node in self.nodes
+                )
+            )
+            for r in range(n_rounds)
+        ]
+        mean_loss = [
+            float(np.mean([node.loss_trace[r] for node in self.nodes]))
+            for r in range(n_rounds)
+        ]
+        payload_total = sum(node.payload_bytes for node in self.nodes)
+        n_frames = sum(
+            len(node.server.neighbors) * n_rounds for node in self.nodes
+        )
+        return TestbedResult(
+            final_params=np.stack([node.server.params for node in self.nodes]),
+            mean_loss_trace=mean_loss,
+            per_round_payload_bytes=per_round,
+            payload_bytes_total=payload_total,
+            header_bytes_total=n_frames * HEADER_BYTES,
+            n_rounds=n_rounds,
+        )
+
+    def _node_loop(self, node: _Node, n_rounds: int) -> None:
+        node.per_round_payload = []
+        try:
+            for round_index in range(1, n_rounds + 1):
+                before = node.payload_bytes
+                node.run_round(round_index)
+                node.per_round_payload.append(node.payload_bytes - before)
+        except BaseException as error:  # noqa: BLE001 - surfaced to the caller
+            with self._error_lock:
+                self._errors.append(error)
+            self._barrier.abort()
+
+    def stacked_params(self) -> np.ndarray:
+        """Current per-server parameters (rows aligned with node ids)."""
+        return np.stack([node.server.params for node in self.nodes])

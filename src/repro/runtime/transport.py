@@ -1,0 +1,104 @@
+"""Length-prefixed frame transport over TCP sockets.
+
+One :class:`FrameHeader` precedes every Fig. 3 payload on the wire:
+
+```
+>u32 sender        originating server id
+>u32 round_index   iteration the update belongs to
+>u8  frame_format  0 = UNCHANGED_INDEX, 1 = INDEX_VALUE
+>u32 total_params  model dimension N (needed to decode frame A)
+>u32 payload_len   bytes of codec payload that follow
+```
+
+The header is transport overhead and is accounted separately from the
+paper's frame-size formulas (the testbed's "bytes written into the socket"
+measurement in the paper likewise measures payloads).
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from dataclasses import dataclass
+
+from repro.exceptions import ProtocolError
+from repro.network.codec import decode_update, encode_update
+from repro.network.frames import FrameFormat
+from repro.network.messages import ParameterUpdate
+
+_HEADER = struct.Struct(">IIBII")
+
+#: Wire bytes of the transport header preceding each payload.
+HEADER_BYTES = _HEADER.size
+
+_FORMAT_CODES = {FrameFormat.UNCHANGED_INDEX: 0, FrameFormat.INDEX_VALUE: 1}
+_FORMAT_BY_CODE = {code: fmt for fmt, code in _FORMAT_CODES.items()}
+
+
+@dataclass(frozen=True)
+class FrameHeader:
+    """Decoded transport header."""
+
+    sender: int
+    round_index: int
+    frame_format: FrameFormat
+    total_params: int
+    payload_len: int
+
+
+class FrameConnection:
+    """A persistent, bidirectionally usable frame channel over one socket."""
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        # Disable Nagle: rounds are latency-bound, frames are small.
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    def send_update(self, update: ParameterUpdate) -> int:
+        """Encode and transmit one update; returns *payload* bytes written."""
+        payload = encode_update(update)
+        header = _HEADER.pack(
+            update.sender,
+            update.round_index,
+            _FORMAT_CODES[update.frame_format],
+            update.total_params,
+            len(payload),
+        )
+        self._sock.sendall(header + payload)
+        return len(payload)
+
+    def recv_update(self) -> ParameterUpdate:
+        """Block until one full frame arrives; decode and return it."""
+        header_bytes = self._recv_exactly(HEADER_BYTES)
+        sender, round_index, code, total_params, payload_len = _HEADER.unpack(
+            header_bytes
+        )
+        if code not in _FORMAT_BY_CODE:
+            raise ProtocolError(f"unknown frame-format code {code}")
+        payload = self._recv_exactly(payload_len)
+        return decode_update(
+            payload,
+            _FORMAT_BY_CODE[code],
+            total_params,
+            sender,
+            round_index,
+        )
+
+    def _recv_exactly(self, n_bytes: int) -> bytes:
+        chunks = []
+        remaining = n_bytes
+        while remaining > 0:
+            chunk = self._sock.recv(remaining)
+            if not chunk:
+                raise ProtocolError("connection closed mid-frame")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def close(self) -> None:
+        """Close the underlying socket."""
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()

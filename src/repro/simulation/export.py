@@ -1,0 +1,86 @@
+"""Exporting sweep rows and result traces to CSV.
+
+Sweeps return lists of flat dictionaries; results carry per-round traces.
+These helpers write them as CSV so figures can be re-plotted from archived
+runs without rerunning experiments (the standard library ``csv`` module —
+no pandas dependency).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+from repro.exceptions import DataError
+from repro.results import TrainingResult
+
+
+def write_rows_csv(rows: Sequence[dict], path: str | Path) -> Path:
+    """Write a list of flat dictionaries (e.g. sweep output) as CSV.
+
+    The header is the union of all keys, in first-appearance order; rows
+    missing a key get an empty cell.
+    """
+    if not rows:
+        raise DataError("no rows to write")
+    fieldnames: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames, restval="")
+        writer.writeheader()
+        writer.writerows(rows)
+    return path
+
+
+def read_rows_csv(path: str | Path) -> list[dict]:
+    """Read back a CSV written by :func:`write_rows_csv`.
+
+    Values come back as strings (CSV is untyped); numeric-looking cells are
+    converted to ``int``/``float``, empty cells to ``None``.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        return [
+            {key: _convert(value) for key, value in row.items()}
+            for row in reader
+        ]
+
+
+def write_trace_csv(result: TrainingResult, path: str | Path) -> Path:
+    """Write one result's per-round trace (the Fig. 4-style series) as CSV."""
+    rows = [
+        {
+            "round": record.round_index,
+            "mean_loss": record.mean_loss,
+            "consensus_error": record.consensus_error,
+            "bytes_sent": record.bytes_sent,
+            "cost": record.cost,
+            "params_sent": record.params_sent,
+            "accuracy": record.accuracy,
+        }
+        for record in result.rounds
+    ]
+    if not rows:
+        raise DataError("result has no rounds to export")
+    return write_rows_csv(rows, path)
+
+
+def _convert(value: str | None):
+    if value is None or value == "":
+        return None
+    for cast in (int, float):
+        try:
+            return cast(value)
+        except ValueError:
+            continue
+    if value == "True":
+        return True
+    if value == "False":
+        return False
+    return value

@@ -1,0 +1,122 @@
+"""Parameter sweeps over network scale and node degree (Figs. 5–8).
+
+Each sweep builds a fresh credit-SVM workload per point (new topology, new
+IID allocation — the paper regenerates its random networks per setting),
+derives a common convergence target from a centralized reference run, and
+runs the requested schemes, returning one flat row per (point, scheme) with
+the aggregates the figures plot.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.simulation.experiments import Workload, credit_svm_workload
+from repro.simulation.runner import reference_target_loss, run_scheme
+
+
+def _run_point(
+    workload: Workload,
+    schemes: Sequence[str],
+    max_rounds: int,
+    optimize_weights: bool,
+    target_margin: float,
+    extra_detector_kwargs: dict | None,
+    alpha: float | None = None,
+) -> list[dict]:
+    """Run all schemes on one workload against a shared loss target."""
+    target = reference_target_loss(workload, margin=target_margin)
+    detector_kwargs = {"target_loss": target, **(extra_detector_kwargs or {})}
+    rows = []
+    for scheme in schemes:
+        result = run_scheme(
+            scheme,
+            workload,
+            max_rounds=max_rounds,
+            optimize_weights=optimize_weights,
+            detector_kwargs=detector_kwargs,
+            alpha=alpha,
+        )
+        rows.append(
+            {
+                "n_servers": workload.topology.n_nodes,
+                "average_degree": workload.topology.average_degree(),
+                "target_loss": target,
+                **result.summary(),
+            }
+        )
+    return rows
+
+
+def sweep_network_scale(
+    schemes: Sequence[str],
+    n_servers_values: Sequence[int],
+    average_degree: float = 3.0,
+    max_rounds: int = 300,
+    seed: int = 0,
+    n_train: int = 6_000,
+    n_test: int = 1_500,
+    optimize_weights: bool = True,
+    target_margin: float = 0.02,
+    detector_kwargs: dict | None = None,
+    alpha: float | None = None,
+) -> list[dict]:
+    """Vary the number of edge servers at fixed average degree (Figs. 5a/6a/7a/8a)."""
+    rows = []
+    for n_servers in n_servers_values:
+        workload = credit_svm_workload(
+            n_servers=n_servers,
+            average_degree=average_degree,
+            n_train=n_train,
+            n_test=n_test,
+            seed=seed,
+        )
+        rows.extend(
+            _run_point(
+                workload,
+                schemes,
+                max_rounds=max_rounds,
+                optimize_weights=optimize_weights,
+                target_margin=target_margin,
+                extra_detector_kwargs=detector_kwargs,
+                alpha=alpha,
+            )
+        )
+    return rows
+
+
+def sweep_node_degree(
+    schemes: Sequence[str],
+    degree_values: Sequence[float],
+    n_servers: int = 60,
+    max_rounds: int = 300,
+    seed: int = 0,
+    n_train: int = 6_000,
+    n_test: int = 1_500,
+    optimize_weights: bool = True,
+    target_margin: float = 0.02,
+    detector_kwargs: dict | None = None,
+    alpha: float | None = None,
+) -> list[dict]:
+    """Vary the average node degree at fixed network size (Figs. 5b/6b/7b/8b/8c)."""
+    rows = []
+    for degree in degree_values:
+        workload = credit_svm_workload(
+            n_servers=n_servers,
+            average_degree=degree,
+            n_train=n_train,
+            n_test=n_test,
+            seed=seed,
+        )
+        rows.extend(
+            _run_point(
+                workload,
+                schemes,
+                max_rounds=max_rounds,
+                optimize_weights=optimize_weights,
+                target_margin=target_margin,
+                extra_detector_kwargs=detector_kwargs,
+                alpha=alpha,
+            )
+        )
+    return rows

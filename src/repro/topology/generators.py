@@ -1,0 +1,226 @@
+"""Topology generators.
+
+The large-scale simulations in the paper (Section V-B) "randomly generate
+networks with various topologies and average node degrees". We reproduce that
+with :func:`random_topology`, which samples connected graphs whose average
+node degree matches a target, plus deterministic structured topologies (ring,
+grid, star, complete) used in tests, examples and the 3-server testbed
+reproduction (a complete graph on 3 nodes).
+"""
+
+from __future__ import annotations
+
+import networkx as nx
+
+from repro.exceptions import TopologyError
+from repro.topology.graph import Topology
+from repro.types import SeedLike
+from repro.utils.rng import make_rng
+
+
+def complete_topology(n_nodes: int) -> Topology:
+    """Fully connected topology on ``n_nodes`` servers (the paper's testbed is K3)."""
+    if n_nodes <= 0:
+        raise TopologyError(f"n_nodes must be > 0, got {n_nodes}")
+    edges = [(u, v) for u in range(n_nodes) for v in range(u + 1, n_nodes)]
+    return Topology(n_nodes, edges)
+
+
+def ring_topology(n_nodes: int) -> Topology:
+    """Cycle topology; every server has exactly two neighbors."""
+    if n_nodes < 3:
+        raise TopologyError(f"a ring needs >= 3 nodes, got {n_nodes}")
+    edges = [(i, (i + 1) % n_nodes) for i in range(n_nodes)]
+    return Topology(n_nodes, edges)
+
+
+def star_topology(n_nodes: int, center: int = 0) -> Topology:
+    """Star topology: node ``center`` is connected to all others.
+
+    Useful as a worst-case for the incast problem the paper motivates.
+    """
+    if n_nodes < 2:
+        raise TopologyError(f"a star needs >= 2 nodes, got {n_nodes}")
+    if not 0 <= center < n_nodes:
+        raise TopologyError(f"center {center} outside 0..{n_nodes - 1}")
+    edges = [(center, i) for i in range(n_nodes) if i != center]
+    return Topology(n_nodes, edges)
+
+
+def grid_topology(rows: int, cols: int) -> Topology:
+    """2-D grid topology of ``rows x cols`` servers (base stations on a lattice)."""
+    if rows <= 0 or cols <= 0:
+        raise TopologyError(f"grid dimensions must be > 0, got {rows}x{cols}")
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            node = r * cols + c
+            if c + 1 < cols:
+                edges.append((node, node + 1))
+            if r + 1 < rows:
+                edges.append((node, node + cols))
+    return Topology(rows * cols, edges)
+
+
+def random_topology(
+    n_nodes: int,
+    average_degree: float,
+    seed: SeedLike = None,
+    max_attempts: int = 200,
+) -> Topology:
+    """Sample a connected random topology with a target average node degree.
+
+    The construction starts from a random spanning tree (guaranteeing
+    connectivity, average degree ``2(n-1)/n``) and then adds uniformly random
+    extra edges until the average degree reaches the target. This mirrors the
+    paper's randomly generated peer-to-peer networks where each edge is a
+    one-hop connection.
+
+    Parameters
+    ----------
+    n_nodes:
+        Number of edge servers.
+    average_degree:
+        Target mean node degree. Must satisfy
+        ``2 * (n_nodes - 1) / n_nodes <= average_degree <= n_nodes - 1``.
+    seed:
+        Seed or generator for reproducibility.
+    max_attempts:
+        Retries for degenerate corner cases.
+    """
+    if n_nodes < 2:
+        raise TopologyError(f"n_nodes must be >= 2, got {n_nodes}")
+    tree_degree = 2.0 * (n_nodes - 1) / n_nodes
+    if average_degree > n_nodes - 1 + 1e-9:
+        raise TopologyError(
+            f"average_degree {average_degree} exceeds the complete-graph degree "
+            f"{n_nodes - 1}"
+        )
+    if average_degree < tree_degree - 1e-9:
+        raise TopologyError(
+            f"average_degree {average_degree} is below the spanning-tree minimum "
+            f"{tree_degree:.3f} for a connected graph on {n_nodes} nodes"
+        )
+    target_edges = int(round(average_degree * n_nodes / 2.0))
+    target_edges = max(target_edges, n_nodes - 1)
+    max_edges = n_nodes * (n_nodes - 1) // 2
+    target_edges = min(target_edges, max_edges)
+
+    rng = make_rng(seed)
+    for _ in range(max_attempts):
+        edges = _random_spanning_tree_edges(n_nodes, rng)
+        existing = set(edges)
+        candidates = [
+            (u, v)
+            for u in range(n_nodes)
+            for v in range(u + 1, n_nodes)
+            if (u, v) not in existing
+        ]
+        extra_needed = target_edges - len(edges)
+        if extra_needed > 0:
+            chosen = rng.choice(len(candidates), size=extra_needed, replace=False)
+            edges.extend(candidates[int(i)] for i in chosen)
+        topology = Topology(n_nodes, edges)
+        if topology.is_connected():
+            return topology
+    raise TopologyError(
+        f"failed to sample a connected topology after {max_attempts} attempts"
+    )
+
+
+def _random_spanning_tree_edges(n_nodes, rng) -> list[tuple[int, int]]:
+    """Uniform-ish random spanning tree via a random node permutation.
+
+    Each node (after the first) attaches to a uniformly random earlier node in
+    a random order, yielding a random recursive tree — cheap, connected, and
+    unbiased enough for simulation purposes.
+    """
+    order = rng.permutation(n_nodes)
+    edges: list[tuple[int, int]] = []
+    for idx in range(1, n_nodes):
+        parent_pos = int(rng.integers(0, idx))
+        u, v = int(order[parent_pos]), int(order[idx])
+        edges.append((min(u, v), max(u, v)))
+    return edges
+
+
+def small_world_topology(
+    n_nodes: int,
+    base_degree: int = 4,
+    rewire_probability: float = 0.1,
+    seed: SeedLike = None,
+    max_attempts: int = 50,
+) -> Topology:
+    """Connected Watts–Strogatz small-world topology.
+
+    Edge networks often look like this: mostly local (geographic) links plus
+    a few long-range shortcuts (backhaul). Small diameter at low degree —
+    a friendly regime for consensus.
+    """
+    if base_degree >= n_nodes:
+        raise TopologyError(
+            f"base_degree {base_degree} must be < n_nodes {n_nodes}"
+        )
+    if base_degree < 2 or base_degree % 2 != 0:
+        raise TopologyError(f"base_degree must be even and >= 2, got {base_degree}")
+    if not 0.0 <= rewire_probability <= 1.0:
+        raise TopologyError(
+            f"rewire_probability must be in [0, 1], got {rewire_probability}"
+        )
+    rng = make_rng(seed)
+    for _ in range(max_attempts):
+        graph_seed = int(rng.integers(0, 2**31 - 1))
+        graph = nx.watts_strogatz_graph(
+            n_nodes, base_degree, rewire_probability, seed=graph_seed
+        )
+        if nx.is_connected(graph):
+            return Topology.from_networkx(graph)
+    raise TopologyError(
+        f"failed to sample a connected small-world graph after {max_attempts} attempts"
+    )
+
+
+def scale_free_topology(
+    n_nodes: int, attachments: int = 2, seed: SeedLike = None
+) -> Topology:
+    """Barabási–Albert scale-free topology (always connected).
+
+    A few hub servers with many links and a long tail of low-degree leaves —
+    the regime where the incast concern the paper raises about parameter
+    servers is sharpest, and where degree-heterogeneous weight optimization
+    has the most room to help.
+    """
+    if not 1 <= attachments < n_nodes:
+        raise TopologyError(
+            f"attachments must be in [1, n_nodes), got {attachments} for "
+            f"{n_nodes} nodes"
+        )
+    graph_seed = int(make_rng(seed).integers(0, 2**31 - 1))
+    graph = nx.barabasi_albert_graph(n_nodes, attachments, seed=graph_seed)
+    return Topology.from_networkx(graph)
+
+
+def random_regular_topology(
+    n_nodes: int, degree: int, seed: SeedLike = None, max_attempts: int = 50
+) -> Topology:
+    """Connected random regular topology (every node has exactly ``degree`` neighbors).
+
+    Handy for controlled experiments where degree variance should be zero.
+    """
+    if degree >= n_nodes:
+        raise TopologyError(f"degree {degree} must be < n_nodes {n_nodes}")
+    if (n_nodes * degree) % 2 != 0:
+        raise TopologyError(
+            f"n_nodes * degree must be even, got {n_nodes} * {degree}"
+        )
+    if degree < 2:
+        raise TopologyError("degree must be >= 2 for a connected regular graph")
+    rng = make_rng(seed)
+    for _ in range(max_attempts):
+        graph_seed = int(rng.integers(0, 2**31 - 1))
+        graph = nx.random_regular_graph(degree, n_nodes, seed=graph_seed)
+        if nx.is_connected(graph):
+            return Topology.from_networkx(graph)
+    raise TopologyError(
+        f"failed to sample a connected {degree}-regular graph after {max_attempts} attempts"
+    )

@@ -1,0 +1,39 @@
+"""Shared type aliases used across the :mod:`repro` package.
+
+Keeping the aliases in one module makes signatures self-documenting
+(``Params`` instead of a bare ``np.ndarray``) without forcing every module to
+redefine them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence, Union
+
+import numpy as np
+
+#: A flat parameter vector for one model replica, shape ``(P,)``.
+Params = np.ndarray
+
+#: A stacked parameter matrix, one row per edge server, shape ``(N, P)``.
+ParamMatrix = np.ndarray
+
+#: A symmetric doubly stochastic weight matrix, shape ``(N, N)``.
+WeightMatrix = np.ndarray
+
+#: Node identifier within a topology (0-based integer index).
+NodeId = int
+
+#: An undirected edge, stored with ``u < v``.
+Edge = tuple[NodeId, NodeId]
+
+#: Mapping from node id to the set/sequence of its neighbor ids.
+NeighborMap = Mapping[NodeId, Sequence[NodeId]]
+
+#: Loss callable: params -> scalar loss.
+LossFn = Callable[[Params], float]
+
+#: Gradient callable: params -> gradient vector of the same shape.
+GradFn = Callable[[Params], Params]
+
+#: Anything accepted as a random seed by :func:`repro.utils.rng.make_rng`.
+SeedLike = Union[int, np.random.Generator, None]

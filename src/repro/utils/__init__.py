@@ -1,0 +1,38 @@
+"""Cross-cutting utilities: RNG handling, validation, linear algebra predicates."""
+
+from repro.utils.rng import make_rng, spawn_rngs
+from repro.utils.validation import (
+    check_fraction,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_positive_int,
+    check_probability,
+)
+from repro.utils.linalg import (
+    is_doubly_stochastic,
+    is_nonnegative,
+    is_symmetric,
+    second_largest_eigenvalue,
+    smallest_eigenvalue,
+    sorted_eigenvalues,
+    spectral_gap,
+)
+
+__all__ = [
+    "make_rng",
+    "spawn_rngs",
+    "check_fraction",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_positive_int",
+    "check_probability",
+    "is_doubly_stochastic",
+    "is_nonnegative",
+    "is_symmetric",
+    "second_largest_eigenvalue",
+    "smallest_eigenvalue",
+    "sorted_eigenvalues",
+    "spectral_gap",
+]

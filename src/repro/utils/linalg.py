@@ -1,0 +1,94 @@
+"""Linear-algebra predicates and spectral helpers for weight matrices.
+
+The notation follows Section III-A of the paper: for a symmetric matrix ``W``
+we care about its sorted eigenvalue spectrum, its largest eigenvalue smaller
+than one (written :math:`\\bar\\lambda_{max}`), and its smallest eigenvalue.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import WeightMatrixError
+
+#: Default tolerance for structural checks on weight matrices.
+DEFAULT_ATOL = 1e-8
+
+
+def is_symmetric(matrix: np.ndarray, atol: float = DEFAULT_ATOL) -> bool:
+    """Return ``True`` when ``matrix`` equals its transpose within ``atol``."""
+    matrix = np.asarray(matrix)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    return bool(np.allclose(matrix, matrix.T, atol=atol))
+
+
+def is_nonnegative(matrix: np.ndarray, atol: float = DEFAULT_ATOL) -> bool:
+    """Return ``True`` when every entry is ``>= -atol``."""
+    return bool(np.all(np.asarray(matrix) >= -atol))
+
+
+def is_doubly_stochastic(matrix: np.ndarray, atol: float = DEFAULT_ATOL) -> bool:
+    """Return ``True`` when rows and columns sum to one and entries are nonnegative."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+        return False
+    if not is_nonnegative(matrix, atol=atol):
+        return False
+    ones = np.ones(matrix.shape[0])
+    return bool(
+        np.allclose(matrix @ ones, ones, atol=atol)
+        and np.allclose(matrix.T @ ones, ones, atol=atol)
+    )
+
+
+def sorted_eigenvalues(matrix: np.ndarray) -> np.ndarray:
+    """Eigenvalues of a symmetric matrix, sorted descending.
+
+    Raises :class:`~repro.exceptions.WeightMatrixError` when the matrix is not
+    symmetric, because ``eigh`` would silently use only one triangle.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    if not is_symmetric(matrix, atol=1e-6):
+        raise WeightMatrixError("sorted_eigenvalues requires a symmetric matrix")
+    return np.linalg.eigvalsh(matrix)[::-1]
+
+
+def second_largest_eigenvalue(matrix: np.ndarray, one_tol: float = 1e-9) -> float:
+    """Largest eigenvalue strictly smaller than ``1`` (:math:`\\bar\\lambda_{max}`).
+
+    For a doubly stochastic ``W`` the top eigenvalue is exactly one; this
+    returns the next one down, skipping any further eigenvalues equal to one
+    (which occur when the support graph is disconnected).
+    """
+    eigenvalues = sorted_eigenvalues(matrix)
+    below_one = eigenvalues[eigenvalues < 1.0 - one_tol]
+    if below_one.size == 0:
+        raise WeightMatrixError(
+            "matrix has no eigenvalue below 1; it is a projection onto constants "
+            "or the identity"
+        )
+    return float(below_one[0])
+
+
+def smallest_eigenvalue(matrix: np.ndarray) -> float:
+    """Smallest eigenvalue :math:`\\lambda_{min}` of a symmetric matrix."""
+    return float(sorted_eigenvalues(matrix)[-1])
+
+
+def spectral_gap(matrix: np.ndarray) -> float:
+    """Convergence-rate score ``min(1 - second_largest, 1 + smallest)``.
+
+    EXTRA's linear rate improves when both the second largest eigenvalue of
+    ``W`` decreases (problem (23) in the paper) and the smallest eigenvalue
+    increases (problem (22)). The minimum of the two one-sided gaps is the
+    scalar SNAP uses to pick between the two optimized matrices.
+    """
+    eigenvalues = sorted_eigenvalues(matrix)
+    below_one = eigenvalues[eigenvalues < 1.0 - 1e-9]
+    if below_one.size == 0:
+        # Identity-like matrix: no mixing at all through the off-diagonal.
+        return 0.0
+    second = float(below_one[0])
+    smallest = float(eigenvalues[-1])
+    return min(1.0 - second, 1.0 + smallest)

@@ -1,0 +1,38 @@
+"""Deterministic random-number handling.
+
+Everything stochastic in the library (data generation, topology sampling,
+partitioning, link failures, TernGrad quantization) flows through a
+:class:`numpy.random.Generator` created here, so a single integer seed makes
+an entire experiment reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.types import SeedLike
+
+
+def make_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Accepts an ``int`` seed, an existing generator (returned unchanged so
+    callers can thread one generator through a pipeline), or ``None`` for an
+    OS-entropy-seeded generator.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Create ``count`` statistically independent child generators.
+
+    Used to give each simulated edge server its own RNG stream so per-server
+    randomness does not depend on the order in which servers are stepped.
+    """
+    if count < 0:
+        raise ValueError(f"count must be >= 0, got {count}")
+    root = make_rng(seed)
+    seeds = root.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

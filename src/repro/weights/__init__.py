@@ -1,0 +1,46 @@
+"""Weight-matrix construction and optimization (Section IV-B of the paper).
+
+The EXTRA averaging step mixes neighbor parameters through a symmetric doubly
+stochastic matrix ``W`` whose support is restricted to the topology's edges.
+The paper's contribution is to *optimize* ``W`` instead of using a predefined
+one: problem (23) minimizes the largest eigenvalue below one
+(:math:`\\bar\\lambda_{max}`), problem (22) maximizes the smallest eigenvalue
+(:math:`\\lambda_{min}`), and SNAP keeps whichever of the two optima yields
+the better convergence-rate score.
+
+This package provides the Metropolis–Hastings initial matrix (eq. 24), the
+edge-Laplacian parametrization that makes the feasible set a simple polytope,
+projected-subgradient solvers for both problems, and the rate-score selection.
+"""
+
+from repro.weights.construction import (
+    max_degree_weights,
+    metropolis_weights,
+    uniform_neighbor_weights,
+)
+from repro.weights.parametrization import EdgeParametrization
+from repro.weights.spectrum import MixingReport, analyze_weight_matrix
+from repro.weights.optimizer import (
+    WeightOptimizationResult,
+    maximize_smallest_eigenvalue,
+    minimize_second_eigenvalue,
+    optimize_weight_matrix,
+)
+from repro.weights.planning import NeighborPlan, plan_neighbor_sets
+from repro.weights.validation import check_weight_matrix
+
+__all__ = [
+    "NeighborPlan",
+    "plan_neighbor_sets",
+    "max_degree_weights",
+    "metropolis_weights",
+    "uniform_neighbor_weights",
+    "EdgeParametrization",
+    "MixingReport",
+    "analyze_weight_matrix",
+    "WeightOptimizationResult",
+    "maximize_smallest_eigenvalue",
+    "minimize_second_eigenvalue",
+    "optimize_weight_matrix",
+    "check_weight_matrix",
+]

@@ -1,0 +1,98 @@
+"""Predefined (non-optimized) weight-matrix constructions.
+
+These are the baselines the paper's weight-matrix optimization is compared
+against in Fig. 5. :func:`metropolis_weights` is exactly equation (24): the
+Metropolis–Hastings rule with a small :math:`\\epsilon` in the denominator,
+which the paper uses both as the non-optimized baseline and as the feasible
+starting point for the interior-point (here: projected subgradient) solver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import TopologyError
+from repro.topology.graph import Topology
+from repro.types import WeightMatrix
+from repro.utils.validation import check_non_negative
+
+
+def metropolis_weights(topology: Topology, epsilon: float = 0.01) -> WeightMatrix:
+    """Metropolis–Hastings weights, equation (24) of the paper.
+
+    .. math::
+
+        w_{ij} = \\begin{cases}
+            1 / (\\max\\{deg(i), deg(j)\\} + \\epsilon) & j \\in B_i \\\\
+            0 & j \\notin B_i, i \\neq j \\\\
+            1 - \\sum_{k \\neq i} w_{ik} & i = j
+        \\end{cases}
+
+    The resulting matrix is symmetric, doubly stochastic, respects the
+    topology's sparsity pattern, and (thanks to ``epsilon > 0``) has strictly
+    positive diagonal entries, which keeps it in the interior of the feasible
+    set — exactly what the paper needs to seed its solver.
+    """
+    check_non_negative("epsilon", epsilon)
+    n = topology.n_nodes
+    matrix = np.zeros((n, n), dtype=float)
+    for u, v in topology.edges:
+        weight = 1.0 / (max(topology.degree(u), topology.degree(v)) + epsilon)
+        matrix[u, v] = weight
+        matrix[v, u] = weight
+    _fill_diagonal_to_stochastic(matrix)
+    return matrix
+
+
+def max_degree_weights(topology: Topology) -> WeightMatrix:
+    """Uniform weights ``1 / (max_degree + 1)`` on every edge.
+
+    The simplest classical construction: every link gets the same weight,
+    sized so that even the busiest node keeps a nonnegative self-weight.
+    """
+    if topology.n_edges == 0:
+        return np.eye(topology.n_nodes)
+    max_degree = max(topology.degree(node) for node in topology)
+    weight = 1.0 / (max_degree + 1.0)
+    n = topology.n_nodes
+    matrix = np.zeros((n, n), dtype=float)
+    for u, v in topology.edges:
+        matrix[u, v] = weight
+        matrix[v, u] = weight
+    _fill_diagonal_to_stochastic(matrix)
+    return matrix
+
+
+def uniform_neighbor_weights(topology: Topology, self_weight: float = 0.5) -> WeightMatrix:
+    """Each node splits ``1 - self_weight`` equally among its neighbors, symmetrized.
+
+    The raw per-node split is not symmetric when degrees differ, so edge
+    weights are set to the minimum of the two endpoints' shares; the surplus
+    goes back onto the diagonal. The result is symmetric doubly stochastic.
+    """
+    if not 0.0 <= self_weight < 1.0:
+        raise TopologyError(f"self_weight must be in [0, 1), got {self_weight}")
+    n = topology.n_nodes
+    matrix = np.zeros((n, n), dtype=float)
+    share = np.zeros(n)
+    for node in topology:
+        degree = topology.degree(node)
+        share[node] = (1.0 - self_weight) / degree if degree else 0.0
+    for u, v in topology.edges:
+        weight = min(share[u], share[v])
+        matrix[u, v] = weight
+        matrix[v, u] = weight
+    _fill_diagonal_to_stochastic(matrix)
+    return matrix
+
+
+def _fill_diagonal_to_stochastic(matrix: np.ndarray) -> None:
+    """Set each diagonal entry to one minus its row's off-diagonal sum (in place)."""
+    np.fill_diagonal(matrix, 0.0)
+    row_sums = matrix.sum(axis=1)
+    if np.any(row_sums > 1.0 + 1e-9):
+        raise TopologyError(
+            "off-diagonal weights sum above 1 on some row; the construction "
+            "cannot produce a doubly stochastic matrix"
+        )
+    np.fill_diagonal(matrix, 1.0 - row_sums)

@@ -1,0 +1,210 @@
+"""Edge-Laplacian parametrization of the feasible weight-matrix set.
+
+Both weight-optimization problems in the paper share the feasible set
+
+.. math::
+
+    \\{ W \\in S_N :\\; W = W^T,\\; w_{ij} = 0 \\; \\forall j \\notin B_i \\}
+
+(Theorem 2 proves it convex). Parametrizing by one scalar per topology edge
+turns this set into a simple polytope: writing :math:`L_e = (e_u - e_v)(e_u -
+e_v)^T` for the Laplacian of a single edge ``e = (u, v)``,
+
+.. math::
+
+    W(\\theta) = I - \\sum_{e \\in E} \\theta_e L_e
+
+is automatically symmetric with unit row sums for *any* θ; double
+stochasticity then reduces to two linear constraint families:
+
+* ``θ_e >= 0`` — off-diagonal entries nonnegative;
+* ``sum_{e ∋ i} θ_e <= 1`` for every node ``i`` — diagonal entries nonnegative.
+
+This is the same reformulation Boyd et al. use for the fastest-mixing Markov
+chain, and it lets us solve the paper's problems (22)/(23) with a projected
+subgradient method instead of the interior-point solver the paper mentions —
+the optimum is the same because the problems are convex.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import OptimizationError, WeightMatrixError
+from repro.topology.graph import Topology
+from repro.types import WeightMatrix
+
+
+class EdgeParametrization:
+    """Bijection between edge-weight vectors θ and feasible weight matrices.
+
+    Parameters
+    ----------
+    topology:
+        The edge-server graph whose edges index the coordinates of θ.
+    min_edge_weight:
+        Lower bound enforced on every θ_e. Zero allows the optimizer to
+        *remove* links entirely (the paper notes zero weights mean the two
+        servers "do not need to exchange parameters").
+    min_self_weight:
+        Lower bound enforced on every diagonal entry of ``W(θ)``. A small
+        positive value keeps the matrix in the interior of the feasible set
+        (mirroring the ε in eq. 24) and keeps ``λ_max = 1`` simple.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        min_edge_weight: float = 0.0,
+        min_self_weight: float = 1e-3,
+    ):
+        if min_edge_weight < 0:
+            raise WeightMatrixError(
+                f"min_edge_weight must be >= 0, got {min_edge_weight}"
+            )
+        if not 0.0 <= min_self_weight < 1.0:
+            raise WeightMatrixError(
+                f"min_self_weight must be in [0, 1), got {min_self_weight}"
+            )
+        self.topology = topology
+        self.min_edge_weight = float(min_edge_weight)
+        self.min_self_weight = float(min_self_weight)
+        self._edges = topology.edges
+        # incidence[i] = indices of θ coordinates touching node i
+        self._node_edges: list[np.ndarray] = [
+            np.array(
+                [k for k, (u, v) in enumerate(self._edges) if u == i or v == i],
+                dtype=np.int64,
+            )
+            for i in range(topology.n_nodes)
+        ]
+        max_degree = max((len(e) for e in self._node_edges), default=0)
+        feasible_total = 1.0 - self.min_self_weight
+        if max_degree and max_degree * self.min_edge_weight > feasible_total + 1e-12:
+            raise WeightMatrixError(
+                "min_edge_weight is too large: the busiest node cannot keep a "
+                "nonnegative self-weight"
+            )
+
+    @property
+    def n_edges(self) -> int:
+        """Dimension of the θ vector (one coordinate per undirected edge)."""
+        return len(self._edges)
+
+    # -- θ <-> W -----------------------------------------------------------
+
+    def to_matrix(self, theta: np.ndarray) -> WeightMatrix:
+        """Build ``W(θ) = I - Σ θ_e L_e``."""
+        theta = self._check_theta(theta)
+        n = self.topology.n_nodes
+        matrix = np.zeros((n, n), dtype=float)
+        for value, (u, v) in zip(theta, self._edges):
+            matrix[u, v] = value
+            matrix[v, u] = value
+        diagonal = 1.0 - matrix.sum(axis=1)
+        matrix[np.arange(n), np.arange(n)] = diagonal
+        return matrix
+
+    def from_matrix(self, matrix: WeightMatrix) -> np.ndarray:
+        """Extract θ from a feasible matrix (reads the edge entries)."""
+        matrix = np.asarray(matrix, dtype=float)
+        n = self.topology.n_nodes
+        if matrix.shape != (n, n):
+            raise WeightMatrixError(
+                f"matrix shape {matrix.shape} does not match topology size {n}"
+            )
+        return np.array([matrix[u, v] for u, v in self._edges], dtype=float)
+
+    # -- feasibility --------------------------------------------------------
+
+    def is_feasible(self, theta: np.ndarray, atol: float = 1e-9) -> bool:
+        """Whether θ satisfies both constraint families (within ``atol``)."""
+        theta = self._check_theta(theta)
+        if np.any(theta < self.min_edge_weight - atol):
+            return False
+        for edges in self._node_edges:
+            if theta[edges].sum() > 1.0 - self.min_self_weight + atol:
+                return False
+        return True
+
+    def project(
+        self, theta: np.ndarray, max_iterations: int = 500, tol: float = 1e-12
+    ) -> np.ndarray:
+        """Euclidean projection of θ onto the feasible polytope.
+
+        Uses Dykstra's alternating-projection algorithm over the box
+        ``θ >= min_edge_weight`` and one halfspace per node
+        ``Σ_{e ∋ i} θ_e <= 1 - min_self_weight``. Dykstra (unlike plain
+        alternating projection) converges to the exact Euclidean projection
+        onto the intersection of convex sets, which is what subgradient
+        methods need for convergence guarantees.
+        """
+        theta = self._check_theta(theta).astype(float, copy=True)
+        n_sets = 1 + self.topology.n_nodes
+        corrections = [np.zeros_like(theta) for _ in range(n_sets)]
+        budget = 1.0 - self.min_self_weight
+        for _ in range(max_iterations):
+            previous = theta.copy()
+            # Set 0: the box θ >= min_edge_weight.
+            point = theta + corrections[0]
+            projected = np.maximum(point, self.min_edge_weight)
+            corrections[0] = point - projected
+            theta = projected
+            # Sets 1..n: node halfspaces.
+            for node, edges in enumerate(self._node_edges, start=1):
+                idx = edges
+                point = theta + corrections[node]
+                if idx.size:
+                    excess = point[idx].sum() - budget
+                    if excess > 0.0:
+                        projected = point.copy()
+                        projected[idx] -= excess / idx.size
+                    else:
+                        projected = point
+                else:
+                    projected = point
+                corrections[node] = point - projected
+                theta = projected
+            if np.max(np.abs(theta - previous)) < tol:
+                break
+        else:
+            if not self.is_feasible(theta, atol=1e-6):
+                raise OptimizationError(
+                    "Dykstra projection failed to converge to a feasible point"
+                )
+        # Clean up residual numerical violations.
+        theta = np.maximum(theta, self.min_edge_weight)
+        for edges in self._node_edges:
+            if edges.size:
+                total = theta[edges].sum()
+                if total > budget:
+                    theta[edges] *= budget / total
+        return theta
+
+    # -- spectral subgradients ----------------------------------------------
+
+    def eigenvalue_subgradient(self, eigenvector: np.ndarray) -> np.ndarray:
+        """Subgradient of an eigenvalue of ``W(θ)`` with respect to θ.
+
+        For a simple eigenvalue λ with unit eigenvector ``v``,
+        ``∂λ/∂θ_e = -v^T L_e v = -(v_u - v_v)^2``. The formula is also a valid
+        subgradient (of the max of clustered eigenvalues) when λ is repeated.
+        """
+        eigenvector = np.asarray(eigenvector, dtype=float)
+        if eigenvector.shape != (self.topology.n_nodes,):
+            raise WeightMatrixError(
+                f"eigenvector shape {eigenvector.shape} does not match topology "
+                f"size {self.topology.n_nodes}"
+            )
+        return np.array(
+            [-((eigenvector[u] - eigenvector[v]) ** 2) for u, v in self._edges],
+            dtype=float,
+        )
+
+    def _check_theta(self, theta: np.ndarray) -> np.ndarray:
+        theta = np.asarray(theta, dtype=float)
+        if theta.shape != (self.n_edges,):
+            raise WeightMatrixError(
+                f"theta shape {theta.shape} does not match edge count {self.n_edges}"
+            )
+        return theta

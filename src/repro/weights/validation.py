@@ -1,0 +1,51 @@
+"""Structural validation of weight matrices against a topology."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import WeightMatrixError
+from repro.topology.graph import Topology
+from repro.types import WeightMatrix
+from repro.utils.linalg import is_doubly_stochastic, is_symmetric
+
+
+def check_weight_matrix(
+    matrix: WeightMatrix, topology: Topology, atol: float = 1e-7
+) -> WeightMatrix:
+    """Validate that ``matrix`` is a feasible SNAP weight matrix.
+
+    Feasibility (problems (22)/(23) of the paper) requires the matrix to be:
+
+    * square of size ``topology.n_nodes``,
+    * symmetric,
+    * doubly stochastic (nonnegative, rows and columns summing to one),
+    * supported only on the topology's edges plus the diagonal
+      (``w_ij = 0`` whenever ``j not in B_i`` and ``i != j``).
+
+    Returns the validated matrix (as a float array) for inline use; raises
+    :class:`~repro.exceptions.WeightMatrixError` otherwise.
+    """
+    matrix = np.asarray(matrix, dtype=float)
+    n = topology.n_nodes
+    if matrix.shape != (n, n):
+        raise WeightMatrixError(
+            f"weight matrix shape {matrix.shape} does not match topology size {n}"
+        )
+    if not is_symmetric(matrix, atol=atol):
+        raise WeightMatrixError("weight matrix is not symmetric")
+    if not is_doubly_stochastic(matrix, atol=atol):
+        raise WeightMatrixError("weight matrix is not doubly stochastic")
+    allowed = np.eye(n, dtype=bool)
+    for u, v in topology.edges:
+        allowed[u, v] = True
+        allowed[v, u] = True
+    violations = np.abs(matrix) > atol
+    violations &= ~allowed
+    if np.any(violations):
+        bad = np.argwhere(violations)[0]
+        raise WeightMatrixError(
+            f"weight matrix has nonzero entry at non-neighbor pair "
+            f"({int(bad[0])}, {int(bad[1])})"
+        )
+    return matrix

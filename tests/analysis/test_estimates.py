@@ -1,0 +1,64 @@
+"""Tests for repro.analysis.estimates — the paper's introduction arithmetic."""
+
+import pytest
+
+from repro.analysis.estimates import (
+    mlp_parameter_count,
+    neighbor_exchange_traffic,
+    parameter_server_traffic,
+)
+
+
+class TestParameterCount:
+    def test_testbed_network(self):
+        # the paper's 784-30-10 testbed MLP
+        assert mlp_parameter_count(784, 30, 10) == 784 * 30 + 30 + 30 * 10 + 10
+
+    def test_intro_scale_network_has_about_1e5_parameters(self):
+        # "hundreds of inputs, hundreds of perceptrons ... tens of outputs
+        # -> ~1e5 parameters"
+        count = mlp_parameter_count(300, 300, 30)
+        assert 9e4 < count < 2e5
+
+
+class TestIntroTrafficClaim:
+    def test_1e10_bytes_within_tens_of_iterations(self):
+        """The introduction's headline: ~1e10 bytes for tens of servers and
+        tens of iterations at 8 bytes per parameter."""
+        n_params = mlp_parameter_count(300, 300, 30)
+        traffic = parameter_server_traffic(
+            n_params, n_workers=50, n_iterations=100
+        )
+        assert 0.5e10 < traffic < 2e10
+
+    def test_section_ivc_gigabytes_claim(self):
+        """Section IV-C: millions of parameters, tens of servers, 4 neighbors,
+        100 iterations -> tens of gigabytes."""
+        traffic = neighbor_exchange_traffic(
+            n_params=1_000_000,
+            n_servers=30,
+            average_degree=4.0,
+            n_iterations=100,
+        )
+        assert 1e10 < traffic < 2e11
+
+
+class TestScaling:
+    def test_ps_traffic_linear_in_everything(self):
+        base = parameter_server_traffic(1000, 10, 10)
+        assert parameter_server_traffic(2000, 10, 10) == 2 * base
+        assert parameter_server_traffic(1000, 20, 10) == 2 * base
+        assert parameter_server_traffic(1000, 10, 20) == 2 * base
+
+    def test_sent_fraction_scales_neighbor_traffic(self):
+        full = neighbor_exchange_traffic(1000, 10, 3.0, 10, sent_fraction=1.0)
+        half = neighbor_exchange_traffic(1000, 10, 3.0, 10, sent_fraction=0.5)
+        assert half == pytest.approx(full / 2)
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            parameter_server_traffic(0, 10, 10)
+        with pytest.raises(ValueError):
+            neighbor_exchange_traffic(10, 10, 0.0, 10)
+        with pytest.raises(ValueError):
+            neighbor_exchange_traffic(10, 10, 3.0, 10, sent_fraction=1.5)

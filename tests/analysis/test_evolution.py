@@ -1,0 +1,93 @@
+"""Tests for repro.analysis.evolution.ParameterEvolutionRecorder."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.evolution import ParameterEvolutionRecorder
+from repro.consensus.extra import ExtraIteration, ExtraState
+from repro.exceptions import DataError
+from repro.topology.generators import complete_topology
+from repro.weights.construction import metropolis_weights
+
+
+class TestRecorder:
+    def test_skips_initial_state(self):
+        recorder = ParameterEvolutionRecorder()
+        recorder(ExtraState(current=np.zeros((2, 3))))
+        assert recorder.snapshots == []
+
+    def test_records_differences_and_ratios(self):
+        recorder = ParameterEvolutionRecorder()
+        state = ExtraState(
+            current=np.array([[1.0, 2.0]]),
+            previous=np.array([[1.0, 1.0]]),
+            iteration=1,
+        )
+        recorder(state)
+        snapshot = recorder.snapshots[0]
+        np.testing.assert_array_equal(snapshot.differences, [0.0, 1.0])
+        assert snapshot.unchanged_fraction == 0.5
+        np.testing.assert_array_equal(snapshot.change_ratios, [0.0, 1.0])
+
+    def test_ratio_skips_zero_previous(self):
+        recorder = ParameterEvolutionRecorder()
+        state = ExtraState(
+            current=np.array([[1.0, 2.0]]),
+            previous=np.array([[0.0, 1.0]]),
+            iteration=1,
+        )
+        recorder(state)
+        assert recorder.snapshots[0].change_ratios.shape == (1,)
+
+    def test_zero_tol_widens_unchanged(self):
+        loose = ParameterEvolutionRecorder(zero_tol=0.5)
+        state = ExtraState(
+            current=np.array([[1.1, 3.0]]),
+            previous=np.array([[1.0, 1.0]]),
+            iteration=1,
+        )
+        loose(state)
+        assert loose.snapshots[0].unchanged_fraction == 0.5
+
+    def test_negative_tol_rejected(self):
+        with pytest.raises(DataError):
+            ParameterEvolutionRecorder(zero_tol=-1.0)
+
+    def test_snapshot_lookup(self):
+        recorder = ParameterEvolutionRecorder()
+        for k in (1, 2):
+            recorder(
+                ExtraState(
+                    current=np.full((1, 2), float(k + 1)),
+                    previous=np.full((1, 2), float(k)),
+                    iteration=k,
+                )
+            )
+        assert recorder.snapshot_at(2).iteration == 2
+        with pytest.raises(DataError):
+            recorder.snapshot_at(9)
+
+
+class TestWithExtraEngine:
+    def test_differences_shrink_as_extra_converges(self, rng):
+        """The Fig. 2 takeaway: changes get smaller with more iterations."""
+        topo = complete_topology(3)
+        weights = metropolis_weights(topo)
+        centers = rng.normal(size=(3, 4))
+        gradients = [lambda x, c=c: x - c for c in centers]
+        engine = ExtraIteration(weights, gradients, alpha=0.3)
+        recorder = ParameterEvolutionRecorder()
+        engine.run(np.zeros((3, 4)), 40, callback=recorder)
+        early = np.median(recorder.snapshot_at(2).differences)
+        late = np.median(recorder.snapshot_at(40).differences)
+        assert late < early / 10
+
+    def test_unchanged_trace_aligned_with_iterations(self, rng):
+        topo = complete_topology(3)
+        weights = metropolis_weights(topo)
+        gradients = [lambda x: x for _ in range(3)]
+        engine = ExtraIteration(weights, gradients, alpha=0.1)
+        recorder = ParameterEvolutionRecorder()
+        engine.run(rng.normal(size=(3, 2)), 5, callback=recorder)
+        assert [s.iteration for s in recorder.snapshots] == [1, 2, 3, 4, 5]
+        assert recorder.unchanged_trace()[0][0] == 1

@@ -1,0 +1,62 @@
+"""Tests for repro.analysis.plots (terminal sparklines)."""
+
+import math
+
+import pytest
+
+from repro.analysis.plots import sparkline, trace_panel
+from repro.exceptions import DataError
+
+
+class TestSparkline:
+    def test_monotone_ramp_uses_increasing_blocks(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+        assert line == "▁▂▃▄▅▆▇█"
+
+    def test_constant_series_is_flat(self):
+        assert sparkline([5.0, 5.0, 5.0]) == "▁▁▁"
+
+    def test_length_matches_input(self):
+        assert len(sparkline(range(23))) == 23
+
+    def test_downsampling_to_width(self):
+        assert len(sparkline(range(1000), width=40)) == 40
+
+    def test_short_input_not_padded(self):
+        assert len(sparkline([1, 2], width=40)) == 2
+
+    def test_non_finite_values_render_as_spaces(self):
+        line = sparkline([1.0, math.nan, 3.0])
+        assert line[1] == " "
+        assert line[0] != " " and line[2] != " "
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            sparkline([])
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(DataError):
+            sparkline([1, 2], width=0)
+
+    def test_extremes_map_to_extreme_blocks(self):
+        line = sparkline([0.0, 10.0])
+        assert line[0] == "▁"
+        assert line[1] == "█"
+
+
+class TestTracePanel:
+    def test_contains_title_and_endpoints(self):
+        panel = trace_panel("loss", [1.5, 1.0, 0.5])
+        assert panel.startswith("loss")
+        assert "1.5" in panel
+        assert "0.5" in panel
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            trace_panel("loss", [])
+
+    def test_long_trace_fits_width(self):
+        panel = trace_panel("bytes", list(range(500)), width=30)
+        # title + 2 numbers + sparkline; sparkline itself is <= 30 chars
+        spark = panel.split(" ")[-2]
+        assert len(spark) <= 30

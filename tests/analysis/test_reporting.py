@@ -1,0 +1,46 @@
+"""Tests for repro.analysis.reporting."""
+
+import pytest
+
+from repro.analysis.reporting import ascii_table, format_bytes
+
+
+class TestAsciiTable:
+    def test_alignment_and_content(self):
+        table = ascii_table(
+            ["scheme", "bytes"], [["snap", 123], ["terngrad", 4567]]
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("scheme")
+        assert "snap" in lines[2]
+        assert "4567" in lines[3]
+
+    def test_floats_formatted_compactly(self):
+        table = ascii_table(["v"], [[0.123456789]])
+        assert "0.1235" in table
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a", "b"], [[1]])
+
+    def test_handles_none(self):
+        assert "None" in ascii_table(["x"], [[None]])
+
+
+class TestFormatBytes:
+    def test_plain_bytes(self):
+        assert format_bytes(17) == "17 B"
+
+    def test_kib(self):
+        assert format_bytes(2048) == "2.00 KiB"
+
+    def test_mib(self):
+        assert format_bytes(5 * 1024 * 1024) == "5.00 MiB"
+
+    def test_huge_values_capped_at_tib(self):
+        assert format_bytes(2**50) == "1024.00 TiB"
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_bytes(-1)

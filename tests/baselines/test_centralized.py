@@ -1,0 +1,74 @@
+"""Tests for repro.baselines.centralized.CentralizedTrainer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.centralized import CentralizedTrainer
+from repro.consensus.convergence import ConvergenceDetector
+from repro.data.dataset import Dataset
+from repro.data.partition import iid_partition
+from repro.exceptions import ConfigurationError
+from repro.models.ridge import RidgeRegression
+
+
+@pytest.fixture
+def setup(rng):
+    n, p = 150, 3
+    X = rng.normal(size=(n, p))
+    y = X @ rng.normal(size=p) + 0.1 * rng.normal(size=n)
+    shards = iid_partition(Dataset(X, y), 3, seed=0)
+    model = RidgeRegression(p, regularization=0.1)
+    return model, shards, model.solve_exact(X, y)
+
+
+class TestTraining:
+    def test_converges_to_exact_optimum(self, setup):
+        model, shards, exact = setup
+        trainer = CentralizedTrainer(model, shards, seed=0)
+        result = trainer.run(
+            max_rounds=3000,
+            detector=ConvergenceDetector(relative_loss_tolerance=1e-10, loss_window=10),
+        )
+        np.testing.assert_allclose(result.final_params, exact, atol=1e-4)
+
+    def test_loss_is_monotone_under_safe_step(self, setup):
+        model, shards, _ = setup
+        trainer = CentralizedTrainer(model, shards, seed=0)
+        result = trainer.run(max_rounds=50, stop_on_convergence=False)
+        losses = result.loss_trace()
+        assert all(b <= a + 1e-12 for a, b in zip(losses, losses[1:]))
+
+    def test_no_network_traffic(self, setup):
+        model, shards, _ = setup
+        result = CentralizedTrainer(model, shards, seed=0).run(max_rounds=5)
+        assert result.total_bytes == 0
+        assert result.total_cost == 0
+        assert all(r.bytes_sent == 0 for r in result.rounds)
+
+    def test_raw_upload_cost_reported(self, setup):
+        model, shards, _ = setup
+        trainer = CentralizedTrainer(model, shards, seed=0)
+        n_values = sum(s.X.size + s.y.size for s in shards)
+        assert trainer.raw_data_upload_bytes == 8 * n_values
+        result = trainer.run(max_rounds=2, stop_on_convergence=False)
+        assert result.info["raw_data_upload_bytes"] == 8 * n_values
+
+    def test_scheme_name(self, setup):
+        model, shards, _ = setup
+        result = CentralizedTrainer(model, shards, seed=0).run(max_rounds=2)
+        assert result.scheme == "centralized"
+
+    def test_explicit_alpha_respected(self, setup):
+        model, shards, _ = setup
+        trainer = CentralizedTrainer(model, shards, alpha=0.123, seed=0)
+        assert trainer.alpha == 0.123
+
+    def test_empty_shards_rejected(self, setup):
+        model, _, _ = setup
+        with pytest.raises(ConfigurationError):
+            CentralizedTrainer(model, [])
+
+    def test_bad_alpha_rejected(self, setup):
+        model, shards, _ = setup
+        with pytest.raises(ConfigurationError):
+            CentralizedTrainer(model, shards, alpha=-1.0)

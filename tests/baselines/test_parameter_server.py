@@ -1,0 +1,109 @@
+"""Tests for repro.baselines.parameter_server.ParameterServerTrainer."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.centralized import CentralizedTrainer
+from repro.baselines.parameter_server import ParameterServerTrainer
+from repro.data.dataset import Dataset
+from repro.data.partition import iid_partition
+from repro.exceptions import ConfigurationError
+from repro.models.ridge import RidgeRegression
+from repro.network.frames import full_vector_bytes
+from repro.topology.generators import ring_topology
+from repro.topology.routing import all_pairs_hop_counts
+
+
+@pytest.fixture
+def setup(rng):
+    n, p = 160, 3
+    X = rng.normal(size=(n, p))
+    y = X @ rng.normal(size=p) + 0.1 * rng.normal(size=n)
+    shards = iid_partition(Dataset(X, y), 8, seed=0)
+    model = RidgeRegression(p, regularization=0.1)
+    topo = ring_topology(8)
+    return model, shards, topo, model.solve_exact(X, y)
+
+
+class TestTraining:
+    def test_converges_to_near_optimum(self, setup):
+        model, shards, topo, exact = setup
+        trainer = ParameterServerTrainer(model, shards, topo, seed=1)
+        result = trainer.run(max_rounds=3000, stop_on_convergence=False)
+        # Gradient averaging over equal-size IID shards minimizes the mean
+        # objective, whose optimum is close to (not identical to) the pooled
+        # closed-form solution when shard sizes differ by at most one.
+        np.testing.assert_allclose(result.final_params, exact, atol=5e-3)
+
+    def test_equivalent_to_centralized_dynamics(self, rng):
+        """With equal shard sizes, PS gradient-averaging equals full-batch GD."""
+        n, p = 120, 3
+        X = rng.normal(size=(n, p))
+        y = X @ rng.normal(size=p)
+        shards = iid_partition(Dataset(X, y), 4, seed=0)  # 30 each
+        model = RidgeRegression(p, regularization=0.1)
+        init = model.init_params(seed=5)
+        alpha = 0.1
+        ps = ParameterServerTrainer(
+            model, shards, ring_topology(4), alpha=alpha, initial_params=init, seed=0
+        ).run(max_rounds=40, stop_on_convergence=False)
+        central = CentralizedTrainer(
+            model, shards, alpha=alpha, initial_params=init
+        ).run(max_rounds=40, stop_on_convergence=False)
+        np.testing.assert_allclose(ps.final_params, central.final_params, atol=1e-10)
+
+
+class TestCommunicationAccounting:
+    def test_per_round_cost_formula(self, setup):
+        model, shards, topo, _ = setup
+        server_node = 0
+        trainer = ParameterServerTrainer(
+            model, shards, topo, server_node=server_node, seed=0
+        )
+        result = trainer.run(max_rounds=3, stop_on_convergence=False)
+        hops = all_pairs_hop_counts(topo)
+        vec = full_vector_bytes(model.n_params)
+        expected_cost = sum(
+            2 * vec * hops[worker, server_node]
+            for worker in topo
+            if worker != server_node
+        )
+        assert all(r.cost == expected_cost for r in result.rounds)
+
+    def test_cost_exceeds_bytes_on_multi_hop_topology(self, setup):
+        model, shards, topo, _ = setup
+        trainer = ParameterServerTrainer(model, shards, topo, server_node=0, seed=0)
+        result = trainer.run(max_rounds=2, stop_on_convergence=False)
+        assert result.total_cost > result.total_bytes
+
+    def test_constant_traffic_per_round(self, setup):
+        """Fig. 4(b): PS traffic does not decay with iterations."""
+        model, shards, topo, _ = setup
+        result = ParameterServerTrainer(model, shards, topo, seed=0).run(
+            max_rounds=10, stop_on_convergence=False
+        )
+        traces = result.bytes_trace()
+        assert len(set(traces)) == 1
+
+
+class TestServerElection:
+    def test_random_election_is_seeded(self, setup):
+        model, shards, topo, _ = setup
+        a = ParameterServerTrainer(model, shards, topo, seed=7).server_node
+        b = ParameterServerTrainer(model, shards, topo, seed=7).server_node
+        assert a == b
+
+    def test_explicit_server_node(self, setup):
+        model, shards, topo, _ = setup
+        trainer = ParameterServerTrainer(model, shards, topo, server_node=5, seed=0)
+        assert trainer.server_node == 5
+
+    def test_bad_server_node_rejected(self, setup):
+        model, shards, topo, _ = setup
+        with pytest.raises(ConfigurationError):
+            ParameterServerTrainer(model, shards, topo, server_node=99)
+
+    def test_shard_count_mismatch_rejected(self, setup):
+        model, shards, topo, _ = setup
+        with pytest.raises(ConfigurationError):
+            ParameterServerTrainer(model, shards[:3], topo)

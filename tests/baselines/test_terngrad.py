@@ -1,0 +1,112 @@
+"""Tests for repro.baselines.terngrad."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.parameter_server import ParameterServerTrainer
+from repro.baselines.terngrad import TernGradTrainer, ternarize
+from repro.data.dataset import Dataset
+from repro.data.partition import iid_partition
+from repro.models.ridge import RidgeRegression
+from repro.network.frames import full_vector_bytes, terngrad_vector_bytes
+from repro.topology.generators import ring_topology
+
+
+class TestTernarize:
+    def test_values_are_ternary(self, rng):
+        gradient = rng.normal(size=500)
+        encoded = ternarize(gradient, rng)
+        scale = np.max(np.abs(gradient))
+        unique = set(np.round(np.unique(encoded), 12))
+        assert unique <= {-round(scale, 12), 0.0, round(scale, 12)}
+
+    def test_unbiased(self, rng):
+        gradient = np.array([0.5, -0.25, 1.0, 0.0])
+        samples = np.mean([ternarize(gradient, rng) for _ in range(4000)], axis=0)
+        np.testing.assert_allclose(samples, gradient, atol=0.05)
+
+    def test_max_magnitude_component_always_kept(self, rng):
+        gradient = np.array([0.1, -2.0, 0.3])
+        for _ in range(50):
+            encoded = ternarize(gradient, rng)
+            assert encoded[1] == pytest.approx(-2.0)
+
+    def test_zero_vector_passthrough(self, rng):
+        np.testing.assert_array_equal(ternarize(np.zeros(5), rng), np.zeros(5))
+
+    def test_signs_preserved(self, rng):
+        gradient = rng.normal(size=100)
+        encoded = ternarize(gradient, rng)
+        nonzero = encoded != 0
+        np.testing.assert_array_equal(
+            np.sign(encoded[nonzero]), np.sign(gradient[nonzero])
+        )
+
+
+@pytest.fixture
+def setup(rng):
+    n, p = 200, 4
+    X = rng.normal(size=(n, p))
+    y = X @ rng.normal(size=p) + 0.1 * rng.normal(size=n)
+    shards = iid_partition(Dataset(X, y), 6, seed=0)
+    model = RidgeRegression(p, regularization=0.1)
+    return model, shards, ring_topology(6)
+
+
+class TestTernGradTrainer:
+    def test_scheme_name(self, setup):
+        model, shards, topo = setup
+        result = TernGradTrainer(model, shards, topo, seed=0).run(
+            max_rounds=3, stop_on_convergence=False
+        )
+        assert result.scheme == "terngrad"
+
+    def test_worker_to_server_bytes_are_quantized(self, setup):
+        model, shards, topo = setup
+        trainer = TernGradTrainer(model, shards, topo, server_node=0, seed=0)
+        result = trainer.run(max_rounds=1, stop_on_convergence=False)
+        n_workers = topo.n_nodes - 1
+        expected = n_workers * (
+            terngrad_vector_bytes(model.n_params) + full_vector_bytes(model.n_params)
+        )
+        assert result.rounds[0].bytes_sent == expected
+
+    def test_cheaper_per_round_than_ps(self, setup):
+        model, shards, topo = setup
+        terngrad = TernGradTrainer(model, shards, topo, server_node=0, seed=0).run(
+            max_rounds=2, stop_on_convergence=False
+        )
+        ps = ParameterServerTrainer(model, shards, topo, server_node=0, seed=0).run(
+            max_rounds=2, stop_on_convergence=False
+        )
+        assert terngrad.rounds[0].bytes_sent < ps.rounds[0].bytes_sent
+
+    def test_noisier_than_ps_at_same_round_count(self, setup):
+        """Quantization noise leaves TernGrad farther from the optimum."""
+        model, shards, topo = setup
+        init = model.init_params(seed=3)
+        rounds = 150
+        terngrad = TernGradTrainer(
+            model, shards, topo, initial_params=init, seed=0, quantization_seed=1
+        ).run(max_rounds=rounds, stop_on_convergence=False)
+        ps = ParameterServerTrainer(
+            model, shards, topo, initial_params=init, seed=0
+        ).run(max_rounds=rounds, stop_on_convergence=False)
+        assert terngrad.rounds[-1].mean_loss >= ps.rounds[-1].mean_loss
+
+    def test_quantization_seed_reproducible(self, setup):
+        model, shards, topo = setup
+        init = model.init_params(seed=3)
+
+        def run():
+            return TernGradTrainer(
+                model,
+                shards,
+                topo,
+                initial_params=init,
+                server_node=0,
+                seed=0,
+                quantization_seed=42,
+            ).run(max_rounds=5, stop_on_convergence=False)
+
+        np.testing.assert_array_equal(run().final_params, run().final_params)

@@ -1,0 +1,73 @@
+"""Tests for repro.consensus.dgd."""
+
+import numpy as np
+import pytest
+
+from repro.consensus.dgd import DGDIteration
+from repro.exceptions import ConfigurationError
+from repro.topology.generators import complete_topology
+from repro.weights.construction import metropolis_weights
+
+
+@pytest.fixture
+def setup(rng):
+    """Heterogeneous quadratics f_i(x) = a_i/2 ||x - c_i||^2.
+
+    Differing curvatures expose DGD's constant-step bias (with identical
+    curvature the per-node biases cancel and DGD is accidentally exact).
+    """
+    topo = complete_topology(4)
+    weights = metropolis_weights(topo)
+    centers = rng.normal(size=(4, 2))
+    curvatures = np.array([0.3, 0.7, 1.2, 1.8])
+    gradients = [
+        lambda x, c=c, a=a: a * (x - c) for c, a in zip(centers, curvatures)
+    ]
+    optimum = (curvatures[:, None] * centers).sum(axis=0) / curvatures.sum()
+    return weights, gradients, centers, curvatures, optimum
+
+
+class TestDGD:
+    def test_single_step_matches_equation(self, setup, rng):
+        weights, gradients, centers, curvatures, _ = setup
+        alpha = 0.2
+        engine = DGDIteration(weights, gradients, alpha)
+        x0 = rng.normal(size=(4, 2))
+        state = engine.run(x0, 1)
+        expected = weights @ x0 - alpha * (curvatures[:, None] * (x0 - centers))
+        np.testing.assert_allclose(state.current, expected)
+
+    def test_reaches_neighborhood_of_optimum(self, setup):
+        weights, gradients, _, _, optimum = setup
+        engine = DGDIteration(weights, gradients, alpha=0.1)
+        state = engine.run(np.zeros((4, 2)), 800)
+        gap = np.linalg.norm(state.current.mean(axis=0) - optimum)
+        assert 0 < gap < 0.5  # near but not exactly at the optimum
+
+    def test_smaller_step_smaller_bias(self, setup):
+        weights, gradients, _, _, optimum = setup
+
+        def bias(alpha):
+            state = DGDIteration(weights, gradients, alpha).run(
+                np.zeros((4, 2)), 5000
+            )
+            return np.linalg.norm(state.current.mean(axis=0) - optimum)
+
+        assert bias(0.02) < bias(0.2)
+
+    def test_iteration_counter(self, setup):
+        weights, gradients, _, _, _ = setup
+        engine = DGDIteration(weights, gradients, alpha=0.1)
+        state = engine.run(np.zeros((4, 2)), 3)
+        assert state.iteration == 3
+
+    def test_mismatched_gradients_rejected(self, setup):
+        weights, gradients, _, _, _ = setup
+        with pytest.raises(ConfigurationError):
+            DGDIteration(weights, gradients[:2], alpha=0.1)
+
+    def test_bad_initial_shape_rejected(self, setup):
+        weights, gradients, _, _, _ = setup
+        engine = DGDIteration(weights, gradients, alpha=0.1)
+        with pytest.raises(ConfigurationError):
+            engine.run(np.zeros((3, 2)), 1)

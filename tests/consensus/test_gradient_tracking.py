@@ -1,0 +1,96 @@
+"""Tests for repro.consensus.gradient_tracking (DIGing)."""
+
+import numpy as np
+import pytest
+
+from repro.consensus.gradient_tracking import GradientTrackingIteration
+from repro.exceptions import ConfigurationError
+from repro.topology.generators import random_topology
+from repro.weights.construction import metropolis_weights
+from repro.weights.optimizer import lazify
+
+
+@pytest.fixture
+def setup(rng):
+    """Heterogeneous quadratics with a known curvature-weighted optimum."""
+    topo = random_topology(6, 3.0, seed=1)
+    weights = lazify(metropolis_weights(topo))
+    centers = rng.normal(size=(6, 3))
+    curvatures = np.array([0.4, 0.6, 0.9, 1.1, 1.4, 1.6])
+    gradients = [
+        lambda x, c=c, a=a: a * (x - c) for c, a in zip(centers, curvatures)
+    ]
+    optimum = (curvatures[:, None] * centers).sum(axis=0) / curvatures.sum()
+    return weights, gradients, optimum
+
+
+class TestTrackingInvariant:
+    def test_tracker_mean_equals_mean_gradient(self, setup, rng):
+        weights, gradients, _ = setup
+        engine = GradientTrackingIteration(weights, gradients, alpha=0.1)
+        state = engine.initialize(rng.normal(size=(6, 3)))
+        for _ in range(15):
+            engine.step(state)
+            mean_gradient = engine.gradients(state.current).mean(axis=0)
+            np.testing.assert_allclose(
+                state.tracker.mean(axis=0), mean_gradient, atol=1e-10
+            )
+
+
+class TestConvergence:
+    def test_converges_exactly(self, setup):
+        weights, gradients, optimum = setup
+        engine = GradientTrackingIteration(weights, gradients, alpha=0.15)
+        state = engine.run(np.zeros((6, 3)), 800)
+        for row in state.current:
+            np.testing.assert_allclose(row, optimum, atol=1e-8)
+
+    def test_beats_dgd_bias_like_extra_does(self, setup):
+        from repro.consensus.dgd import DGDIteration
+
+        weights, gradients, optimum = setup
+        alpha = 0.15
+        tracking = GradientTrackingIteration(weights, gradients, alpha).run(
+            np.zeros((6, 3)), 800
+        )
+        dgd = DGDIteration(weights, gradients, alpha).run(np.zeros((6, 3)), 800)
+        tracking_gap = np.linalg.norm(tracking.current.mean(axis=0) - optimum)
+        dgd_gap = np.linalg.norm(dgd.current.mean(axis=0) - optimum)
+        assert tracking_gap < 1e-8
+        assert dgd_gap > 1e-3
+
+    def test_comparable_to_extra(self, setup):
+        """Both exact engines land on the same solution."""
+        from repro.consensus.extra import ExtraIteration
+
+        weights, gradients, optimum = setup
+        tracking = GradientTrackingIteration(weights, gradients, 0.15).run(
+            np.zeros((6, 3)), 800
+        )
+        extra = ExtraIteration(weights, gradients, 0.15).run(np.zeros((6, 3)), 800)
+        np.testing.assert_allclose(
+            tracking.current.mean(axis=0), extra.current.mean(axis=0), atol=1e-6
+        )
+
+
+class TestValidation:
+    def test_gradient_count_checked(self, setup):
+        weights, gradients, _ = setup
+        with pytest.raises(ConfigurationError):
+            GradientTrackingIteration(weights, gradients[:2], alpha=0.1)
+
+    def test_initial_shape_checked(self, setup):
+        weights, gradients, _ = setup
+        engine = GradientTrackingIteration(weights, gradients, alpha=0.1)
+        with pytest.raises(ConfigurationError):
+            engine.initialize(np.zeros((3, 3)))
+
+    def test_callback_and_counter(self, setup, rng):
+        weights, gradients, _ = setup
+        engine = GradientTrackingIteration(weights, gradients, alpha=0.1)
+        seen = []
+        state = engine.run(
+            rng.normal(size=(6, 3)), 4, callback=lambda s: seen.append(s.iteration)
+        )
+        assert seen == [1, 2, 3, 4]
+        assert state.iteration == 4

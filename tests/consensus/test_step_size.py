@@ -1,0 +1,49 @@
+"""Tests for repro.consensus.step_size."""
+
+import numpy as np
+import pytest
+
+from repro.consensus.step_size import extra_max_step_size, safe_step_size
+from repro.exceptions import ConfigurationError
+from repro.topology.generators import complete_topology
+from repro.weights.construction import metropolis_weights
+
+
+class TestExtraMaxStepSize:
+    def test_matches_formula_on_known_spectrum(self):
+        # W with eigenvalues {1, 0}: W_tilde has {1, 0.5}, cap = 2*0.5/L.
+        n = 3
+        w = np.full((n, n), 1.0 / n)
+        assert extra_max_step_size(w, lipschitz=2.0) == pytest.approx(0.5)
+
+    def test_identity_matrix_gives_cap_two_over_l(self):
+        # W = I: W_tilde = I, lambda_min = 1, cap = 2/L (centralized GD cap).
+        assert extra_max_step_size(np.eye(4), lipschitz=4.0) == pytest.approx(0.5)
+
+    def test_scales_inversely_with_lipschitz(self):
+        w = metropolis_weights(complete_topology(4))
+        assert extra_max_step_size(w, 1.0) == pytest.approx(
+            2.0 * extra_max_step_size(w, 2.0)
+        )
+
+    def test_rejects_nonpositive_lipschitz(self):
+        with pytest.raises(ConfigurationError):
+            extra_max_step_size(np.eye(3), 0.0)
+
+    def test_rejects_matrix_with_eigenvalue_at_minus_one(self):
+        # W = [[0,1],[1,0]] has eigenvalue -1 -> W_tilde singular.
+        w = np.array([[0.0, 1.0], [1.0, 0.0]])
+        with pytest.raises(ConfigurationError):
+            extra_max_step_size(w, 1.0)
+
+
+class TestSafeStepSize:
+    def test_is_fraction_of_cap(self):
+        w = metropolis_weights(complete_topology(5))
+        cap = extra_max_step_size(w, 3.0)
+        assert safe_step_size(w, 3.0, safety=0.5) == pytest.approx(0.5 * cap)
+
+    def test_safety_must_be_fraction(self):
+        w = np.eye(3)
+        with pytest.raises(ConfigurationError):
+            safe_step_size(w, 1.0, safety=1.0)

@@ -1,0 +1,124 @@
+"""Tests for repro.consensus.theory — the executable Section IV-B math."""
+
+import numpy as np
+import pytest
+
+from repro.consensus.theory import (
+    best_delta_bound,
+    delta_bound,
+    max_step_size_for_linear_rate,
+    verify_simplifications,
+)
+from repro.exceptions import ConfigurationError
+from repro.topology.generators import complete_topology, random_topology, ring_topology
+from repro.weights.construction import metropolis_weights
+from repro.weights.optimizer import lazify, optimize_weight_matrix
+
+
+@pytest.fixture(params=[0, 1, 2])
+def weights(request):
+    topo = random_topology(10, 3.0, seed=request.param)
+    return metropolis_weights(topo)
+
+
+class TestSimplifications:
+    def test_identities_hold_for_metropolis(self, weights):
+        report = verify_simplifications(weights)
+        assert report.all_hold
+
+    def test_identities_hold_for_optimized_matrices(self):
+        topo = random_topology(8, 3.0, seed=5)
+        result = optimize_weight_matrix(topo, iterations=60)
+        assert verify_simplifications(result.matrix).all_hold
+
+    def test_identities_hold_for_structured_topologies(self):
+        for topo in (ring_topology(7), complete_topology(5)):
+            assert verify_simplifications(metropolis_weights(topo)).all_hold
+
+    def test_non_stochastic_matrix_fails_lambda_max(self):
+        report = verify_simplifications(0.5 * np.eye(3))
+        assert not report.lambda_max_is_one
+        assert not report.all_hold
+
+
+class TestStepCap:
+    def test_formula_on_known_spectrum(self):
+        # W = J/n: lambda_min(W~) = 0.5, cap = 2 mu 0.5 / L^2 = mu / L^2.
+        n = 4
+        W = np.full((n, n), 1.0 / n)
+        assert max_step_size_for_linear_rate(W, mu_g=2.0, lipschitz=4.0) == (
+            pytest.approx(2.0 * 2.0 * 0.5 / 16.0)
+        )
+
+    def test_rejects_degenerate_matrix(self):
+        W = np.array([[0.0, 1.0], [1.0, 0.0]])  # lambda_min(W~) = 0
+        with pytest.raises(ConfigurationError):
+            max_step_size_for_linear_rate(W, 1.0, 1.0)
+
+
+class TestDeltaBound:
+    def test_positive_under_valid_step(self, weights):
+        lazy = lazify(weights)
+        mu_g, lipschitz = 0.5, 2.0
+        cap = max_step_size_for_linear_rate(lazy, mu_g, lipschitz)
+        bound = best_delta_bound(lazy, 0.25 * cap, mu_g, lipschitz)
+        assert bound > 0.0
+
+    def test_bound_collapses_for_oversized_step(self, weights):
+        # A huge step violates the second term's condition: the bound
+        # certifies nothing (nonpositive).
+        assert delta_bound(weights, alpha=100.0, mu_g=0.5, lipschitz=2.0) <= 0.0
+
+    def test_better_mixing_gives_a_larger_bound(self):
+        # K_n averaging (gap 1) certifies a faster rate than a ring at the
+        # same (alpha, mu, L).
+        ring = lazify(metropolis_weights(ring_topology(8)))
+        complete = np.full((8, 8), 1.0 / 8.0)
+        mu_g, lipschitz = 0.5, 2.0
+        alpha = 0.1 * max_step_size_for_linear_rate(ring, mu_g, lipschitz)
+        assert best_delta_bound(complete, alpha, mu_g, lipschitz) > (
+            best_delta_bound(ring, alpha, mu_g, lipschitz)
+        )
+
+    def test_parameter_validation(self, weights):
+        with pytest.raises(ConfigurationError):
+            delta_bound(weights, alpha=0.1, mu_g=0.5, lipschitz=2.0, theta=1.0)
+        with pytest.raises(ConfigurationError):
+            delta_bound(weights, alpha=0.1, mu_g=0.5, lipschitz=2.0, eta=1.0)
+
+    def test_best_is_at_least_default(self, weights):
+        lazy = lazify(weights)
+        mu_g, lipschitz = 0.5, 2.0
+        alpha = 0.1 * max_step_size_for_linear_rate(lazy, mu_g, lipschitz)
+        default = delta_bound(lazy, alpha, mu_g, lipschitz)
+        assert best_delta_bound(lazy, alpha, mu_g, lipschitz) >= default - 1e-15
+
+    def test_bound_certifies_observed_rate_on_quadratics(self):
+        """The certified rate must not exceed the empirically observed one.
+
+        Strongly convex quadratics f_i(x) = 0.5||x - c_i||^2 give mu = L = 1
+        (and mu_g >= mu); EXTRA's residual should shrink at least as fast as
+        the (1+delta)^{-k} certificate.
+        """
+        from repro.consensus.extra import ExtraIteration
+
+        rng = np.random.default_rng(0)
+        topo = random_topology(6, 3.0, seed=3)
+        W = lazify(metropolis_weights(topo))
+        centers = rng.normal(size=(6, 2))
+        gradients = [lambda x, c=c: x - c for c in centers]
+        mu_g, lipschitz = 1.0, 1.0
+        alpha = 0.25 * max_step_size_for_linear_rate(W, mu_g, lipschitz)
+        delta = best_delta_bound(W, alpha, mu_g, lipschitz)
+        assert delta > 0
+
+        engine = ExtraIteration(W, gradients, alpha)
+        optimum = centers.mean(axis=0)
+        state = engine.initialize(np.zeros((6, 2)))
+        errors = []
+        for _ in range(200):
+            engine.step(state)
+            errors.append(np.linalg.norm(state.current - optimum))
+        observed_rate = (errors[-1] / errors[20]) ** (1.0 / (200 - 21))
+        certified_rate = 1.0 / (1.0 + delta)
+        assert observed_rate <= certified_rate + 1e-6

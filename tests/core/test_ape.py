@@ -1,0 +1,118 @@
+"""Tests for repro.core.ape.APESchedule — Algorithm 1's threshold machinery."""
+
+import pytest
+
+from repro.core.ape import APESchedule
+
+
+def make_schedule(**overrides):
+    defaults = dict(
+        initial_threshold=1.0,
+        growth=1.01,
+        stage_iterations=10,
+        decay=0.9,
+        epsilon=0.01,
+    )
+    defaults.update(overrides)
+    return APESchedule(**defaults)
+
+
+class TestSendThreshold:
+    def test_matches_algorithm_line_4(self):
+        schedule = make_schedule()
+        expected = 1.0 / (10 * 1.01**10)
+        assert schedule.send_threshold == pytest.approx(expected)
+
+    def test_zero_once_exhausted(self):
+        schedule = make_schedule(initial_threshold=0.02, epsilon=0.05)
+        assert not schedule.active
+        assert schedule.send_threshold == 0.0
+        assert schedule.threshold == 0.0
+
+    def test_scales_with_stage_budget(self):
+        small = make_schedule(initial_threshold=0.5)
+        large = make_schedule(initial_threshold=2.0)
+        assert large.send_threshold == pytest.approx(4 * small.send_threshold)
+
+
+class TestAccumulation:
+    def test_matches_closed_form_bound(self):
+        """The recursion A <- g (A + m) equals sum_l g^l m_{k-l}."""
+        schedule = make_schedule(initial_threshold=100.0)  # never advances
+        growth = schedule.growth
+        suppressed = [0.3, 0.1, 0.2, 0.05]
+        for m in suppressed:
+            schedule.record_round(m)
+        k = len(suppressed)
+        expected = sum(
+            growth ** (k - t) * m for t, m in enumerate(suppressed)
+        )
+        assert schedule.accumulated_error == pytest.approx(expected)
+
+    def test_stage_advances_when_budget_exceeded(self):
+        schedule = make_schedule(initial_threshold=1.0)
+        # one huge suppressed change blows the budget immediately
+        schedule.record_round(2.0)
+        assert schedule.stage == 1
+        assert schedule.threshold == pytest.approx(0.9)
+        assert schedule.accumulated_error == 0.0
+
+    def test_stage_lasts_at_least_stage_iterations_under_the_rule(self):
+        """Suppressing at most send_threshold per round cannot end a stage early."""
+        schedule = make_schedule(max_stage_iterations=1000)
+        limit = schedule.send_threshold
+        for _ in range(schedule.stage_iterations):
+            schedule.record_round(limit)
+        assert schedule.stage == 0  # still within budget after I_k rounds
+
+    def test_time_box_advances_quiet_stages(self):
+        """A converged run (nothing suppressed) still steps the threshold down,
+        so the schedule marches to epsilon instead of freezing (the paper's
+        'restart ... and reduce the APE threshold' loop)."""
+        schedule = make_schedule()
+        for _ in range(schedule.stage_iterations):
+            schedule.record_round(0.0)
+        assert schedule.stage == 1
+        assert schedule.threshold == pytest.approx(0.9)
+
+    def test_zero_suppression_does_not_advance_before_time_box(self):
+        schedule = make_schedule(max_stage_iterations=50)
+        for _ in range(49):
+            schedule.record_round(0.0)
+        assert schedule.stage == 0
+        schedule.record_round(0.0)
+        assert schedule.stage == 1
+
+    def test_time_box_below_stage_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            make_schedule(max_stage_iterations=5)
+
+    def test_negative_suppression_rejected(self):
+        with pytest.raises(ValueError):
+            make_schedule().record_round(-0.1)
+
+
+class TestTermination:
+    def test_decays_to_exhaustion(self):
+        schedule = make_schedule(initial_threshold=1.0, epsilon=0.5)
+        # each big value forces a stage advance: 1.0 -> 0.9 -> ... -> < 0.5
+        advances = 0
+        while schedule.active and advances < 100:
+            schedule.record_round(10.0)
+            advances += 1
+        assert not schedule.active
+        # 0.9^7 ~ 0.478 < 0.5: seven advances needed
+        assert advances == 7
+
+    def test_record_round_is_noop_after_exhaustion(self):
+        schedule = make_schedule(initial_threshold=0.1, epsilon=0.2)
+        assert not schedule.active
+        schedule.record_round(5.0)
+        assert schedule.stage == 0
+
+    def test_growth_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            make_schedule(growth=0.5)
+
+    def test_repr_shows_state(self):
+        assert "stage=0" in repr(make_schedule())

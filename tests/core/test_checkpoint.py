@@ -1,0 +1,176 @@
+"""Tests for checkpoint/resume of SNAP training runs."""
+
+import numpy as np
+import pytest
+
+from repro.core import SNAPConfig, SNAPTrainer
+from repro.core.checkpoint import restore_checkpoint, save_checkpoint
+from repro.core.config import SelectionPolicy
+from repro.data.dataset import Dataset
+from repro.data.partition import iid_partition
+from repro.exceptions import ConfigurationError
+from repro.models.ridge import RidgeRegression
+from repro.topology.generators import random_topology
+
+
+@pytest.fixture
+def setup(rng):
+    n, p = 150, 3
+    X = rng.normal(size=(n, p))
+    y = X @ rng.normal(size=p) + 0.1 * rng.normal(size=n)
+    shards = iid_partition(Dataset(X, y), 4, seed=0)
+    model = RidgeRegression(p, regularization=0.1)
+    topo = random_topology(4, 2.5, seed=1)
+    return model, shards, topo
+
+
+def build_trainer(setup, selection=SelectionPolicy.APE):
+    model, shards, topo = setup
+    return SNAPTrainer(
+        model,
+        shards,
+        topo,
+        config=SNAPConfig(selection=selection, seed=0),
+    )
+
+
+@pytest.mark.parametrize(
+    "selection", [SelectionPolicy.APE, SelectionPolicy.CHANGED_ONLY]
+)
+def test_resume_is_bit_identical(setup, tmp_path, selection):
+    """10 rounds + checkpoint + 10 rounds == 20 uninterrupted rounds."""
+    reference = build_trainer(setup, selection)
+    reference.run(max_rounds=20, stop_on_convergence=False)
+
+    first_half = build_trainer(setup, selection)
+    first_half.run(max_rounds=10, stop_on_convergence=False)
+    path = save_checkpoint(first_half, tmp_path / "ckpt.npz")
+
+    resumed = build_trainer(setup, selection)
+    restore_checkpoint(resumed, path)
+    resumed.run(max_rounds=10, stop_on_convergence=False)
+
+    np.testing.assert_array_equal(
+        resumed.stacked_params(), reference.stacked_params()
+    )
+
+
+def test_restore_recovers_all_server_state(setup, tmp_path):
+    trainer = build_trainer(setup)
+    trainer.run(max_rounds=7, stop_on_convergence=False)
+    path = save_checkpoint(trainer, tmp_path / "state.npz")
+
+    other = build_trainer(setup)
+    restore_checkpoint(other, path)
+    for original, restored in zip(trainer.servers, other.servers):
+        np.testing.assert_array_equal(original.params, restored.params)
+        np.testing.assert_array_equal(
+            original.previous_params, restored.previous_params
+        )
+        assert original.iteration == restored.iteration
+        assert set(original.views) == set(restored.views)
+        for neighbor in original.views:
+            np.testing.assert_array_equal(
+                original.views[neighbor], restored.views[neighbor]
+            )
+            np.testing.assert_array_equal(
+                original.last_sent[neighbor], restored.last_sent[neighbor]
+            )
+        assert original.fresh == restored.fresh
+    for a, b in zip(trainer._schedules, other._schedules):
+        assert a.state_dict() == b.state_dict()
+
+
+def test_resume_is_exact_under_round_indexed_failures(setup, tmp_path):
+    """Failure models sample by round index; a resumed run must continue the
+    numbering so the outage pattern matches an uninterrupted run exactly."""
+    from repro.topology.failures import (
+        IndependentLinkFailures,
+        IndependentNodeFailures,
+    )
+
+    model, shards, topo = setup
+
+    def make():
+        return SNAPTrainer(
+            model,
+            shards,
+            topo,
+            config=SNAPConfig(seed=0),
+            failure_model=IndependentLinkFailures(0.1, seed=3),
+            node_failure_model=IndependentNodeFailures(0.05, seed=4),
+        )
+
+    reference = make()
+    reference.run(max_rounds=24, stop_on_convergence=False)
+
+    first = make()
+    first.run(max_rounds=12, stop_on_convergence=False)
+    path = save_checkpoint(first, tmp_path / "failures.npz")
+    resumed = make()
+    restore_checkpoint(resumed, path)
+    assert resumed.rounds_completed == 12
+    result = resumed.run(max_rounds=12, stop_on_convergence=False)
+
+    np.testing.assert_array_equal(
+        resumed.stacked_params(), reference.stacked_params()
+    )
+    # round records continue the global numbering
+    assert [r.round_index for r in result.rounds] == list(range(13, 25))
+
+
+def test_checkpoint_before_first_round(setup, tmp_path):
+    trainer = build_trainer(setup)
+    path = save_checkpoint(trainer, tmp_path / "fresh.npz")
+    other = build_trainer(setup)
+    restore_checkpoint(other, path)
+    assert other.servers[0].previous_params is None
+    other.run(max_rounds=3, stop_on_convergence=False)
+
+
+class TestMismatchRejection:
+    def test_wrong_server_count(self, setup, tmp_path, rng):
+        trainer = build_trainer(setup)
+        path = save_checkpoint(trainer, tmp_path / "a.npz")
+        model, _, _ = setup
+        n, p = 90, 3
+        X = rng.normal(size=(n, p))
+        y = rng.normal(size=n)
+        other = SNAPTrainer(
+            model,
+            iid_partition(Dataset(X, y), 3, seed=0),
+            random_topology(3, 2.0, seed=2),
+            config=SNAPConfig(seed=0),
+        )
+        with pytest.raises(ConfigurationError, match="servers"):
+            restore_checkpoint(other, path)
+
+    def test_wrong_model_dimension(self, setup, tmp_path, rng):
+        trainer = build_trainer(setup)
+        path = save_checkpoint(trainer, tmp_path / "b.npz")
+        _, _, topo = setup
+        bigger = RidgeRegression(5, regularization=0.1)
+        n = 120
+        X = rng.normal(size=(n, 5))
+        y = rng.normal(size=n)
+        other = SNAPTrainer(
+            bigger,
+            iid_partition(Dataset(X, y), 4, seed=0),
+            topo,
+            config=SNAPConfig(seed=0),
+        )
+        with pytest.raises(ConfigurationError, match="dimension"):
+            restore_checkpoint(other, path)
+
+    def test_non_checkpoint_file_rejected(self, setup, tmp_path):
+        path = tmp_path / "junk.npz"
+        np.savez(path, stuff=np.zeros(3))
+        with pytest.raises(ConfigurationError, match="not a SNAP checkpoint"):
+            restore_checkpoint(build_trainer(setup), path)
+
+    def test_snap0_checkpoint_into_ape_trainer_rejected(self, setup, tmp_path):
+        snap0 = build_trainer(setup, SelectionPolicy.CHANGED_ONLY)
+        path = save_checkpoint(snap0, tmp_path / "c.npz")
+        ape = build_trainer(setup, SelectionPolicy.APE)
+        with pytest.raises(ConfigurationError, match="APE schedules"):
+            restore_checkpoint(ape, path)

@@ -1,0 +1,60 @@
+"""Tests for repro.core.config.SNAPConfig."""
+
+import pytest
+
+from repro.core.config import SelectionPolicy, SNAPConfig
+from repro.exceptions import ConfigurationError
+
+
+class TestDefaults:
+    def test_paper_defaults(self):
+        config = SNAPConfig()
+        assert config.selection is SelectionPolicy.APE
+        assert config.ape_initial_fraction == pytest.approx(0.10)
+        assert config.ape_stage_iterations == 10
+        assert config.ape_decay == pytest.approx(0.9)
+        assert config.optimize_weights is True
+
+    def test_auto_alpha_by_default(self):
+        assert SNAPConfig().alpha is None
+
+
+class TestValidation:
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SNAPConfig(alpha=0.0)
+
+    def test_bad_selection_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SNAPConfig(selection="ape")
+
+    def test_bad_decay_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SNAPConfig(ape_decay=1.0)
+
+    def test_bad_growth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SNAPConfig(ape_growth=0.99)
+
+    def test_bad_stage_iterations_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SNAPConfig(ape_stage_iterations=0)
+
+    def test_bad_step_safety_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SNAPConfig(step_safety=1.5)
+
+
+class TestConvenienceConstructors:
+    def test_snap0(self):
+        config = SNAPConfig.snap0(max_rounds=50)
+        assert config.selection is SelectionPolicy.CHANGED_ONLY
+        assert config.max_rounds == 50
+
+    def test_sno(self):
+        config = SNAPConfig.sno()
+        assert config.selection is SelectionPolicy.DENSE
+
+    def test_explicit_selection_wins(self):
+        config = SNAPConfig.snap0(selection=SelectionPolicy.DENSE)
+        assert config.selection is SelectionPolicy.DENSE

@@ -1,0 +1,89 @@
+"""Tests for repro.results — records, traces, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.results import RoundRecord, TrainingResult
+
+
+@pytest.fixture
+def result():
+    rounds = [
+        RoundRecord(1, 1.0, 0.5, 100, 200, 10, accuracy=None),
+        RoundRecord(2, 0.8, 0.3, 90, 180, 9, accuracy=0.7),
+        RoundRecord(3, 0.7, 0.1, 50, 100, 5, accuracy=None),
+    ]
+    return TrainingResult(
+        scheme="snap",
+        rounds=rounds,
+        converged_at=3,
+        final_params=np.array([1.0, -2.0, 3.0]),
+        total_bytes=240,
+        total_cost=480,
+        final_accuracy=0.75,
+        info={"alpha": np.float64(0.1), "weight_problem": "metropolis"},
+    )
+
+
+class TestTraces:
+    def test_counts(self, result):
+        assert result.n_rounds == 3
+        assert result.iterations_to_converge == 3
+
+    def test_non_converged_counts_rounds(self, result):
+        result.converged_at = None
+        assert result.iterations_to_converge == 3
+
+    def test_loss_and_bytes_traces(self, result):
+        assert result.loss_trace() == [1.0, 0.8, 0.7]
+        assert result.bytes_trace() == [100, 90, 50]
+
+    def test_accuracy_trace_filters_unevaluated(self, result):
+        assert result.accuracy_trace() == [(2, 0.7)]
+
+    def test_summary_fields(self, result):
+        summary = result.summary()
+        assert summary["scheme"] == "snap"
+        assert summary["iterations_to_converge"] == 3
+        assert summary["final_loss"] == 0.7
+
+
+class TestPersistence:
+    def test_round_trip_through_dict(self, result):
+        rebuilt = TrainingResult.from_dict(result.to_dict())
+        assert rebuilt.scheme == result.scheme
+        assert rebuilt.converged_at == result.converged_at
+        np.testing.assert_array_equal(rebuilt.final_params, result.final_params)
+        assert rebuilt.loss_trace() == result.loss_trace()
+        assert rebuilt.accuracy_trace() == result.accuracy_trace()
+        assert rebuilt.info["weight_problem"] == "metropolis"
+
+    def test_numpy_scalars_in_info_become_json_safe(self, result):
+        import json
+
+        json.dumps(result.to_dict())  # must not raise
+
+    def test_save_and_load(self, result, tmp_path):
+        path = result.save(tmp_path / "result.json")
+        loaded = TrainingResult.load(path)
+        assert loaded.total_bytes == result.total_bytes
+        assert loaded.rounds[1].accuracy == 0.7
+
+    def test_malformed_payload_rejected(self):
+        with pytest.raises(DataError):
+            TrainingResult.from_dict({"scheme": "snap"})
+
+    def test_real_run_round_trips(self, tmp_path):
+        """A result produced by an actual trainer survives persistence."""
+        from repro.simulation import credit_svm_workload, run_scheme
+
+        workload = credit_svm_workload(
+            n_servers=4, average_degree=2.0, n_train=200, n_test=60, seed=0
+        )
+        result = run_scheme(
+            "snap", workload, max_rounds=5, stop_on_convergence=False
+        )
+        loaded = TrainingResult.load(result.save(tmp_path / "run.json"))
+        assert loaded.n_rounds == result.n_rounds
+        np.testing.assert_allclose(loaded.final_params, result.final_params)

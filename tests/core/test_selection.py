@@ -1,0 +1,64 @@
+"""Tests for repro.core.selection.select_parameters."""
+
+import numpy as np
+import pytest
+
+from repro.core.selection import select_parameters
+from repro.exceptions import ProtocolError
+
+
+class TestSelection:
+    def test_sends_only_changes_above_threshold(self):
+        current = np.array([1.0, 2.0, 3.0, 4.0])
+        reference = np.array([1.0, 2.05, 3.5, 4.0])
+        selection = select_parameters(current, reference, threshold=0.1)
+        np.testing.assert_array_equal(selection.indices, [2])
+        np.testing.assert_array_equal(selection.values, [3.0])
+
+    def test_zero_threshold_sends_any_nonzero_change(self):
+        current = np.array([1.0, 2.0, 3.0])
+        reference = np.array([1.0, 2.0 + 1e-15, 3.0])
+        selection = select_parameters(current, reference, threshold=0.0)
+        np.testing.assert_array_equal(selection.indices, [1])
+
+    def test_exact_ties_are_suppressed_even_at_zero_threshold(self):
+        current = np.array([1.0, 2.0])
+        selection = select_parameters(current, current.copy(), threshold=0.0)
+        assert selection.indices.size == 0
+        assert selection.suppressed_max == 0.0
+
+    def test_suppressed_max_is_largest_suppressed_change(self):
+        current = np.array([1.0, 2.0, 3.0])
+        reference = np.array([1.02, 2.08, 4.0])
+        selection = select_parameters(current, reference, threshold=0.1)
+        np.testing.assert_array_equal(selection.indices, [2])
+        assert selection.suppressed_max == pytest.approx(0.08)
+
+    def test_threshold_boundary_is_strict(self):
+        # 1.5 - 1.25 = 0.25 exactly in binary floating point.
+        current = np.array([1.5])
+        reference = np.array([1.25])
+        at_boundary = select_parameters(current, reference, threshold=0.25)
+        assert at_boundary.indices.size == 0  # strictly greater than required
+
+    def test_indices_are_sorted(self):
+        rng = np.random.default_rng(0)
+        current = rng.normal(size=50)
+        reference = rng.normal(size=50)
+        selection = select_parameters(current, reference, threshold=0.5)
+        assert np.all(np.diff(selection.indices) > 0)
+
+    def test_values_align_with_indices(self):
+        current = np.array([10.0, 20.0, 30.0])
+        reference = np.zeros(3)
+        selection = select_parameters(current, reference, threshold=15.0)
+        np.testing.assert_array_equal(selection.indices, [1, 2])
+        np.testing.assert_array_equal(selection.values, [20.0, 30.0])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ProtocolError):
+            select_parameters(np.zeros(3), np.zeros(4), 0.1)
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ProtocolError):
+            select_parameters(np.zeros(3), np.zeros(3), -0.1)

@@ -1,0 +1,169 @@
+"""Tests for repro.core.server.EdgeServer."""
+
+import numpy as np
+import pytest
+
+from repro.core.server import EdgeServer
+from repro.exceptions import ConfigurationError, ProtocolError
+from repro.models.ridge import RidgeRegression
+from repro.network.messages import ParameterUpdate
+
+
+@pytest.fixture
+def model():
+    return RidgeRegression(n_features=2, regularization=0.1, fit_intercept=False)
+
+
+@pytest.fixture
+def data(rng):
+    X = rng.normal(size=(20, 2))
+    y = rng.normal(size=20)
+    return X, y
+
+
+def make_server(model, data, node_id=0, neighbors=(1, 2), weights=None, alpha=0.1):
+    X, y = data
+    n = max([node_id, *neighbors]) + 1
+    if weights is None:
+        weights = np.zeros(n)
+        share = 0.2
+        for j in neighbors:
+            weights[j] = share
+        weights[node_id] = 1.0 - share * len(neighbors)
+    return EdgeServer(
+        node_id=node_id,
+        model=model,
+        X=X,
+        y=y,
+        neighbors=tuple(neighbors),
+        weight_row=weights,
+        alpha=alpha,
+        initial_params=np.zeros(model.n_params),
+    )
+
+
+class TestConstruction:
+    def test_initial_state(self, model, data):
+        server = make_server(model, data)
+        np.testing.assert_array_equal(server.params, np.zeros(2))
+        assert server.previous_params is None
+        assert set(server.views) == {1, 2}
+        assert set(server.last_sent) == {1, 2}
+        assert server.iteration == 0
+
+    def test_weight_mass_outside_neighbors_rejected(self, model, data):
+        weights = np.array([0.5, 0.2, 0.2, 0.1])  # mass on node 3, not a neighbor
+        with pytest.raises(ConfigurationError):
+            make_server(model, data, neighbors=(1, 2), weights=weights)
+
+    def test_bad_alpha_rejected(self, model, data):
+        with pytest.raises(ConfigurationError):
+            make_server(model, data, alpha=0.0)
+
+
+class TestFirstStep:
+    def test_matches_equation_8_first_line(self, model, data):
+        server = make_server(model, data)
+        # All parties start at zero: mix = 0, so x^1 = -alpha * grad(0).
+        gradient = server.local_gradient(np.zeros(2))
+        new = server.step()
+        np.testing.assert_allclose(new, -0.1 * gradient)
+        assert server.iteration == 1
+        np.testing.assert_array_equal(server.previous_params, np.zeros(2))
+
+    def test_first_step_uses_neighbor_views(self, model, data):
+        server = make_server(model, data)
+        server.views[1] = np.array([1.0, 0.0])
+        server.views[2] = np.array([0.0, 2.0])
+        gradient = server.local_gradient(np.zeros(2))
+        new = server.step()
+        expected = 0.2 * np.array([1.0, 0.0]) + 0.2 * np.array([0.0, 2.0]) - 0.1 * gradient
+        np.testing.assert_allclose(new, expected)
+
+
+class TestSecondStep:
+    def test_requires_advanced_views(self, model, data):
+        server = make_server(model, data)
+        server.step()
+        with pytest.raises(ProtocolError):
+            server.step()  # previous_views never populated
+
+    def test_matches_equation_8_second_line(self, model, data):
+        server = make_server(model, data)
+        w_self = server.weight_row[0]
+        x0 = server.params.copy()
+        g0 = server.local_gradient(x0)
+        x1 = server.step()
+        server.advance_views()  # views (still x0) become the previous layer
+        g1 = server.local_gradient(x1)
+        x2 = server.step()
+        # Views never updated: neighbor terms use x0 in both layers.
+        mixed_current = w_self * x1 + 0.2 * server.views[1] + 0.2 * server.views[2]
+        mixed_previous = (
+            0.5 * (w_self + 1.0) * x0
+            + 0.1 * server.previous_views[1]
+            + 0.1 * server.previous_views[2]
+        )
+        expected = x1 + mixed_current - mixed_previous - 0.1 * (g1 - g0)
+        np.testing.assert_allclose(x2, expected)
+
+
+class TestCommunication:
+    def test_build_update_selects_against_neighbor_state(self, model, data):
+        server = make_server(model, data)
+        server.params = np.array([1.0, 0.001])
+        message, selection = server.build_update(1, round_index=1, send_threshold=0.01)
+        np.testing.assert_array_equal(message.indices, [0])
+        assert selection.suppressed_max == pytest.approx(0.001)
+
+    def test_last_sent_advances_only_on_delivery(self, model, data):
+        server = make_server(model, data)
+        server.params = np.array([1.0, 2.0])
+        message, _ = server.build_update(1, round_index=1, send_threshold=0.0)
+        # No mark_delivered: state unchanged, next message repeats everything.
+        message2, _ = server.build_update(1, round_index=2, send_threshold=0.0)
+        np.testing.assert_array_equal(message2.indices, message.indices)
+        server.mark_delivered(1, message2)
+        message3, _ = server.build_update(1, round_index=3, send_threshold=0.0)
+        assert message3.n_sent == 0
+
+    def test_per_neighbor_state_is_independent(self, model, data):
+        server = make_server(model, data)
+        server.params = np.array([1.0, 2.0])
+        message, _ = server.build_update(1, round_index=1, send_threshold=0.0)
+        server.mark_delivered(1, message)
+        # Neighbor 2 never got anything: still a full update pending.
+        message2, _ = server.build_update(2, round_index=1, send_threshold=0.0)
+        assert message2.n_sent == 2
+
+    def test_unknown_neighbor_rejected(self, model, data):
+        server = make_server(model, data)
+        with pytest.raises(ProtocolError):
+            server.build_update(9, round_index=1, send_threshold=0.0)
+        with pytest.raises(ProtocolError):
+            server.mark_delivered(
+                9, ParameterUpdate.dense(0, 1, np.zeros(2))
+            )
+
+    def test_receive_update_overlays_view(self, model, data):
+        server = make_server(model, data)
+        update = ParameterUpdate(
+            sender=1,
+            round_index=1,
+            total_params=2,
+            indices=np.array([1]),
+            values=np.array([7.0]),
+        )
+        server.receive_update(update)
+        np.testing.assert_array_equal(server.views[1], [0.0, 7.0])
+
+    def test_receive_from_non_neighbor_rejected(self, model, data):
+        server = make_server(model, data)
+        with pytest.raises(ProtocolError):
+            server.receive_update(ParameterUpdate.dense(9, 1, np.zeros(2)))
+
+    def test_advance_views_copies(self, model, data):
+        server = make_server(model, data)
+        server.advance_views()
+        server.views[1][0] = 99.0
+        assert server.previous_views[1][0] == 0.0

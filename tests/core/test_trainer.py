@@ -1,0 +1,199 @@
+"""Tests for repro.core.trainer.SNAPTrainer."""
+
+import numpy as np
+import pytest
+
+from repro.consensus.convergence import ConvergenceDetector
+from repro.core.config import SelectionPolicy, SNAPConfig
+from repro.core.trainer import SNAPTrainer
+from repro.data.dataset import Dataset
+from repro.data.partition import iid_partition
+from repro.exceptions import ConfigurationError
+from repro.models.ridge import RidgeRegression
+from repro.topology.generators import complete_topology, random_topology
+from repro.topology.graph import Topology
+from repro.weights.construction import metropolis_weights
+
+
+@pytest.fixture
+def ridge_setup(rng):
+    """4 servers, ridge shards, known closed-form optimum."""
+    n, p = 240, 3
+    X = rng.normal(size=(n, p))
+    y = X @ rng.normal(size=p) + 0.1 * rng.normal(size=n)
+    dataset = Dataset(X, y)
+    shards = iid_partition(dataset, 4, seed=1)
+    model = RidgeRegression(p, regularization=0.1)
+    topo = random_topology(4, 2.5, seed=2)
+    exact = model.solve_exact(X, y)
+    return model, shards, topo, exact
+
+
+class TestConstruction:
+    def test_shard_count_must_match(self, ridge_setup):
+        model, shards, topo, _ = ridge_setup
+        with pytest.raises(ConfigurationError):
+            SNAPTrainer(model, shards[:2], topo)
+
+    def test_disconnected_topology_rejected(self, ridge_setup):
+        model, shards, _, _ = ridge_setup
+        disconnected = Topology(4, [(0, 1), (2, 3)])
+        with pytest.raises(ConfigurationError):
+            SNAPTrainer(model, shards, disconnected)
+
+    def test_explicit_weight_matrix_used(self, ridge_setup):
+        model, shards, topo, _ = ridge_setup
+        weights = metropolis_weights(topo)
+        trainer = SNAPTrainer(model, shards, topo, weight_matrix=weights)
+        np.testing.assert_array_equal(trainer.weight_matrix, weights)
+        assert trainer._weight_info["weight_problem"] == "explicit"
+
+    def test_metropolis_when_optimization_disabled(self, ridge_setup):
+        model, shards, topo, _ = ridge_setup
+        config = SNAPConfig(optimize_weights=False)
+        trainer = SNAPTrainer(model, shards, topo, config=config)
+        np.testing.assert_allclose(
+            trainer.weight_matrix, metropolis_weights(topo)
+        )
+
+    def test_all_servers_share_initial_params(self, ridge_setup):
+        model, shards, topo, _ = ridge_setup
+        trainer = SNAPTrainer(model, shards, topo, config=SNAPConfig(seed=3))
+        for server in trainer.servers:
+            np.testing.assert_array_equal(server.params, trainer.initial_params)
+
+    def test_auto_alpha_positive_and_bounded(self, ridge_setup):
+        model, shards, topo, _ = ridge_setup
+        trainer = SNAPTrainer(model, shards, topo)
+        assert 0 < trainer.alpha < 2.0 / trainer.lipschitz
+
+    def test_ape_schedules_only_for_ape_policy(self, ridge_setup):
+        model, shards, topo, _ = ridge_setup
+        assert SNAPTrainer(model, shards, topo)._schedules is not None
+        assert (
+            SNAPTrainer(model, shards, topo, config=SNAPConfig.snap0())._schedules
+            is None
+        )
+
+
+class TestTraining:
+    def test_snap0_converges_to_global_optimum(self, ridge_setup):
+        model, shards, topo, exact = ridge_setup
+        trainer = SNAPTrainer(
+            model, shards, topo, config=SNAPConfig.snap0(seed=0)
+        )
+        trainer.run(
+            max_rounds=1500,
+            detector=ConvergenceDetector(
+                relative_loss_tolerance=1e-9, consensus_tolerance=1e-7
+            ),
+        )
+        np.testing.assert_allclose(trainer.mean_params(), exact, atol=1e-3)
+
+    def test_snap_converges_close_to_optimum(self, ridge_setup):
+        model, shards, topo, exact = ridge_setup
+        trainer = SNAPTrainer(model, shards, topo, config=SNAPConfig(seed=0))
+        trainer.run(
+            max_rounds=1500,
+            detector=ConvergenceDetector(
+                relative_loss_tolerance=1e-9, consensus_tolerance=1e-7
+            ),
+        )
+        np.testing.assert_allclose(trainer.mean_params(), exact, atol=2e-2)
+
+    def test_result_records_every_round(self, ridge_setup):
+        model, shards, topo, _ = ridge_setup
+        trainer = SNAPTrainer(model, shards, topo, config=SNAPConfig(seed=0))
+        result = trainer.run(max_rounds=10, stop_on_convergence=False)
+        assert result.n_rounds == 10
+        assert [r.round_index for r in result.rounds] == list(range(1, 11))
+        assert all(r.bytes_sent >= 0 for r in result.rounds)
+
+    def test_stops_on_convergence(self, ridge_setup):
+        model, shards, topo, _ = ridge_setup
+        trainer = SNAPTrainer(model, shards, topo, config=SNAPConfig.snap0(seed=0))
+        result = trainer.run(max_rounds=1000)
+        assert result.converged_at is not None
+        assert result.n_rounds == result.converged_at
+
+    def test_scheme_names(self, ridge_setup):
+        model, shards, topo, _ = ridge_setup
+        for config, name in [
+            (SNAPConfig(seed=0), "snap"),
+            (SNAPConfig.snap0(seed=0), "snap0"),
+            (SNAPConfig.sno(seed=0), "sno"),
+        ]:
+            trainer = SNAPTrainer(model, shards, topo, config=config)
+            assert trainer.run(max_rounds=3, stop_on_convergence=False).scheme == name
+
+    def test_bad_max_rounds_rejected(self, ridge_setup):
+        model, shards, topo, _ = ridge_setup
+        trainer = SNAPTrainer(model, shards, topo)
+        with pytest.raises(ConfigurationError):
+            trainer.run(max_rounds=0)
+
+
+class TestCommunicationAccounting:
+    def test_sno_sends_everything_every_round(self, ridge_setup):
+        model, shards, topo, _ = ridge_setup
+        trainer = SNAPTrainer(model, shards, topo, config=SNAPConfig.sno(seed=0))
+        result = trainer.run(max_rounds=5, stop_on_convergence=False)
+        # 2 * n_edges directed flows per round, each the dense frame size.
+        from repro.network.frames import frame_size_bytes, FrameFormat
+
+        dense_bytes = frame_size_bytes(
+            model.n_params, 0, FrameFormat.UNCHANGED_INDEX
+        )
+        expected = 2 * topo.n_edges * dense_bytes
+        assert all(r.bytes_sent == expected for r in result.rounds)
+
+    def test_snap_sends_no_more_than_snap0_and_sno(self, ridge_setup):
+        model, shards, topo, _ = ridge_setup
+        results = {}
+        for name, config in [
+            ("snap", SNAPConfig(seed=0)),
+            ("snap0", SNAPConfig.snap0(seed=0)),
+            ("sno", SNAPConfig.sno(seed=0)),
+        ]:
+            trainer = SNAPTrainer(model, shards, topo, config=config)
+            results[name] = trainer.run(
+                max_rounds=60, stop_on_convergence=False
+            ).total_bytes
+        assert results["snap"] <= results["snap0"] <= results["sno"]
+
+    def test_snap_traffic_decays(self, ridge_setup):
+        """Fig. 4(b)'s headline shape: SNAP's per-round bytes shrink."""
+        model, shards, topo, _ = ridge_setup
+        trainer = SNAPTrainer(model, shards, topo, config=SNAPConfig(seed=0))
+        result = trainer.run(max_rounds=200, stop_on_convergence=False)
+        trace = result.bytes_trace()
+        assert trace[-1] < trace[0] / 2
+
+    def test_cost_equals_bytes_for_one_hop_traffic(self, ridge_setup):
+        model, shards, topo, _ = ridge_setup
+        trainer = SNAPTrainer(model, shards, topo, config=SNAPConfig(seed=0))
+        result = trainer.run(max_rounds=5, stop_on_convergence=False)
+        assert result.total_cost == result.total_bytes
+
+
+class TestEvaluation:
+    def test_accuracy_evaluated_on_schedule(self, rng):
+        # classification setup so accuracy makes sense
+        from repro.models.svm import LinearSVM
+
+        n, p = 200, 4
+        X = rng.normal(size=(n, p))
+        y = np.where(X @ rng.normal(size=p) > 0, 1.0, -1.0)
+        dataset = Dataset(X, y)
+        shards = iid_partition(dataset, 3, seed=0)
+        test_set = Dataset(X[:50], y[:50])
+        model = LinearSVM(p, regularization=1e-2)
+        trainer = SNAPTrainer(
+            model, shards, complete_topology(3), config=SNAPConfig(seed=0)
+        )
+        result = trainer.run(
+            max_rounds=9, test_set=test_set, eval_every=3, stop_on_convergence=False
+        )
+        evaluated = [r.round_index for r in result.rounds if r.accuracy is not None]
+        assert evaluated == [3, 6, 9]
+        assert result.final_accuracy is not None

@@ -1,0 +1,56 @@
+"""Tests for the trainer's per-round observer hook."""
+
+import numpy as np
+import pytest
+
+from repro.core import SNAPConfig, SNAPTrainer
+from repro.data.dataset import Dataset
+from repro.data.partition import iid_partition
+from repro.models.ridge import RidgeRegression
+from repro.results import RoundRecord
+from repro.topology.generators import complete_topology
+
+
+@pytest.fixture
+def trainer(rng):
+    n, p = 90, 3
+    X = rng.normal(size=(n, p))
+    y = X @ rng.normal(size=p)
+    shards = iid_partition(Dataset(X, y), 3, seed=0)
+    model = RidgeRegression(p, regularization=0.1)
+    return SNAPTrainer(
+        model, shards, complete_topology(3), config=SNAPConfig(seed=0)
+    )
+
+
+class TestOnRound:
+    def test_called_once_per_round_with_records(self, trainer):
+        seen: list[RoundRecord] = []
+        result = trainer.run(
+            max_rounds=7, stop_on_convergence=False, on_round=seen.append
+        )
+        assert [r.round_index for r in seen] == list(range(1, 8))
+        assert seen == result.rounds
+
+    def test_callback_sees_live_loss_values(self, trainer):
+        losses = []
+        trainer.run(
+            max_rounds=5,
+            stop_on_convergence=False,
+            on_round=lambda r: losses.append(r.mean_loss),
+        )
+        assert all(np.isfinite(losses))
+        assert losses[-1] <= losses[0]
+
+    def test_exception_in_callback_aborts_the_run(self, trainer):
+        class Stop(Exception):
+            pass
+
+        def boom(record):
+            if record.round_index == 3:
+                raise Stop()
+
+        with pytest.raises(Stop):
+            trainer.run(max_rounds=10, stop_on_convergence=False, on_round=boom)
+        # three rounds actually executed on the servers
+        assert trainer.servers[0].iteration == 3

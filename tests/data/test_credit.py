@@ -1,0 +1,76 @@
+"""Tests for repro.data.credit.SyntheticCreditDefault."""
+
+import numpy as np
+import pytest
+
+from repro.data.credit import DEFAULT_POSITIVE_RATE, N_FEATURES, SyntheticCreditDefault
+from repro.models.metrics import accuracy_score
+from repro.models.svm import LinearSVM
+
+
+class TestShape:
+    def test_paper_geometry(self):
+        data = SyntheticCreditDefault(seed=0).sample(500, seed=1)
+        assert data.X.shape == (500, N_FEATURES)
+        assert N_FEATURES == 24
+        assert set(np.unique(data.y)) <= {-1.0, 1.0}
+
+    def test_default_split_totals_paper_sample_count(self):
+        generator = SyntheticCreditDefault(seed=0)
+        train, test = generator.train_test(seed=1)
+        assert train.n_samples + test.n_samples == 30_000
+
+    def test_features_standardized(self):
+        data = SyntheticCreditDefault(seed=0).sample(5000, seed=2)
+        np.testing.assert_allclose(data.X.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(data.X.std(axis=0), 1.0, atol=1e-6)
+
+
+class TestLabels:
+    def test_positive_rate_calibrated(self):
+        data = SyntheticCreditDefault(seed=0).sample(20_000, seed=3)
+        rate = np.mean(data.y == 1.0)
+        assert rate == pytest.approx(DEFAULT_POSITIVE_RATE, abs=0.03)
+
+    def test_custom_positive_rate(self):
+        generator = SyntheticCreditDefault(seed=0, positive_rate=0.5, label_noise=0.0)
+        data = generator.sample(10_000, seed=4)
+        assert np.mean(data.y == 1.0) == pytest.approx(0.5, abs=0.02)
+
+    def test_label_noise_reduces_learnable_accuracy(self):
+        def best_accuracy(noise):
+            gen = SyntheticCreditDefault(seed=0, label_noise=noise)
+            train = gen.sample(3000, seed=1)
+            test = gen.sample(1000, seed=2)
+            model = LinearSVM(N_FEATURES, regularization=1e-3)
+            params = model.init_params(seed=0)
+            step = 0.5 / model.gradient_lipschitz_bound(train.X)
+            for _ in range(400):
+                params = params - step * model.gradient(params, train.X, train.y)
+            return accuracy_score(test.y, model.predict(params, test.X))
+
+        assert best_accuracy(0.0) > best_accuracy(0.25)
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = SyntheticCreditDefault(seed=9).sample(100, seed=1)
+        b = SyntheticCreditDefault(seed=9).sample(100, seed=1)
+        np.testing.assert_array_equal(a.X, b.X)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_true_weights_read_only(self):
+        generator = SyntheticCreditDefault(seed=0)
+        with pytest.raises(ValueError):
+            generator.true_weights[0] = 0.0
+
+    def test_svm_learns_it(self):
+        """The substitution promise: a 24-parameter SVM fits it well."""
+        generator = SyntheticCreditDefault(seed=0)
+        train, test = generator.train_test(n_train=4000, n_test=1000, seed=1)
+        model = LinearSVM(N_FEATURES, regularization=1e-3)
+        params = model.init_params(seed=0)
+        step = 0.5 / model.gradient_lipschitz_bound(train.X)
+        for _ in range(400):
+            params = params - step * model.gradient(params, train.X, train.y)
+        assert accuracy_score(test.y, model.predict(params, test.X)) > 0.8

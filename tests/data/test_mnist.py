@@ -1,0 +1,77 @@
+"""Tests for repro.data.mnist.SyntheticMNIST."""
+
+import numpy as np
+import pytest
+
+from repro.data.mnist import IMAGE_SIDE, N_CLASSES, N_PIXELS, SyntheticMNIST
+from repro.models.metrics import accuracy_score
+from repro.models.softmax import SoftmaxRegression
+
+
+class TestShape:
+    def test_sample_shapes_and_ranges(self):
+        data = SyntheticMNIST(seed=0).sample(100, seed=1)
+        assert data.X.shape == (100, N_PIXELS)
+        assert data.y.shape == (100,)
+        assert data.X.min() >= 0.0 and data.X.max() <= 1.0
+        assert set(np.unique(data.y)) <= set(range(N_CLASSES))
+
+    def test_paper_default_split_sizes(self):
+        generator = SyntheticMNIST(seed=0)
+        train, test = generator.train_test(n_train=500, n_test=120, seed=2)
+        assert train.n_samples == 500
+        assert test.n_samples == 120
+
+    def test_geometry_constants(self):
+        assert N_PIXELS == IMAGE_SIDE * IMAGE_SIDE == 784
+        assert N_CLASSES == 10
+
+
+class TestDeterminism:
+    def test_same_seed_same_data(self):
+        a = SyntheticMNIST(seed=3).sample(50, seed=4)
+        b = SyntheticMNIST(seed=3).sample(50, seed=4)
+        np.testing.assert_array_equal(a.X, b.X)
+        np.testing.assert_array_equal(a.y, b.y)
+
+    def test_templates_fixed_per_generator(self):
+        generator = SyntheticMNIST(seed=5)
+        t1 = generator.templates.copy()
+        generator.sample(10)
+        np.testing.assert_array_equal(generator.templates, t1)
+
+    def test_templates_are_read_only(self):
+        generator = SyntheticMNIST(seed=5)
+        with pytest.raises(ValueError):
+            generator.templates[0, 0] = 1.0
+
+
+class TestLearnability:
+    def test_linear_model_learns_it(self):
+        """The substitution promise: a simple model must reach high accuracy."""
+        generator = SyntheticMNIST(seed=0)
+        train, test = generator.train_test(n_train=1000, n_test=300, seed=1)
+        model = SoftmaxRegression(N_PIXELS, N_CLASSES, regularization=1e-4)
+        params = model.init_params(seed=0)
+        step = 1.0 / model.gradient_lipschitz_bound(train.X)
+        for _ in range(150):
+            params = params - step * model.gradient(params, train.X, train.y)
+        accuracy = accuracy_score(test.y, model.predict(params, test.X))
+        assert accuracy > 0.9
+
+    def test_noise_hurts(self):
+        clean = SyntheticMNIST(seed=0, noise_std=0.01)
+        noisy = SyntheticMNIST(seed=0, noise_std=0.9)
+        c = clean.sample(200, seed=1)
+        n = noisy.sample(200, seed=1)
+        # Distance of samples to their class templates grows with noise.
+        def mean_template_distance(gen, data):
+            return np.mean(
+                np.linalg.norm(data.X - gen.templates[data.y], axis=1)
+            )
+        assert mean_template_distance(noisy, n) > mean_template_distance(clean, c)
+
+    def test_classes_are_roughly_balanced(self):
+        data = SyntheticMNIST(seed=0).sample(5000, seed=2)
+        counts = np.bincount(data.y, minlength=N_CLASSES)
+        assert counts.min() > 300

@@ -1,0 +1,85 @@
+"""Tests for repro.models.logistic.LogisticRegression."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.models.logistic import LogisticRegression, _stable_sigmoid
+from repro.models.metrics import accuracy_score
+
+
+class TestStableSigmoid:
+    def test_matches_naive_formula_in_safe_range(self, rng):
+        z = rng.normal(0, 3, size=100)
+        np.testing.assert_allclose(_stable_sigmoid(z), 1 / (1 + np.exp(-z)))
+
+    def test_no_overflow_at_extremes(self):
+        out = _stable_sigmoid(np.array([-1000.0, 1000.0]))
+        assert out[0] == pytest.approx(0.0)
+        assert out[1] == pytest.approx(1.0)
+        assert np.all(np.isfinite(out))
+
+
+class TestLoss:
+    def test_zero_params_gives_log2(self, binary_dataset):
+        model = LogisticRegression(binary_dataset.n_features, regularization=0.0)
+        loss = model.loss(np.zeros(model.n_params), binary_dataset.X, binary_dataset.y)
+        assert loss == pytest.approx(np.log(2.0))
+
+    def test_extreme_margins_do_not_overflow(self, binary_dataset):
+        model = LogisticRegression(binary_dataset.n_features)
+        huge = np.full(model.n_params, 1e4)
+        assert np.isfinite(model.loss(huge, binary_dataset.X, binary_dataset.y))
+
+    def test_accepts_both_label_conventions(self, binary_dataset):
+        model = LogisticRegression(binary_dataset.n_features)
+        params = model.init_params(seed=0)
+        y01 = (binary_dataset.y + 1) / 2
+        assert model.loss(params, binary_dataset.X, binary_dataset.y) == pytest.approx(
+            model.loss(params, binary_dataset.X, y01)
+        )
+
+    def test_rejects_other_labels(self, binary_dataset):
+        model = LogisticRegression(binary_dataset.n_features)
+        with pytest.raises(DataError):
+            model.loss(
+                model.init_params(0),
+                binary_dataset.X,
+                np.full(binary_dataset.n_samples, 3.0),
+            )
+
+
+class TestTraining:
+    def test_learns_separable_data(self, rng):
+        n = 300
+        X = rng.normal(size=(n, 4))
+        w = np.array([1.5, -2.0, 1.0, 0.5])
+        y = (X @ w > 0).astype(float)
+        model = LogisticRegression(4, regularization=1e-3)
+        params = model.init_params(seed=1)
+        step = 1.0 / model.gradient_lipschitz_bound(X)
+        for _ in range(800):
+            params = params - step * model.gradient(params, X, y)
+        assert accuracy_score(y, model.predict(params, X)) > 0.97
+
+    def test_predict_proba_in_unit_interval(self, binary_dataset):
+        model = LogisticRegression(binary_dataset.n_features)
+        probs = model.predict_proba(model.init_params(seed=2), binary_dataset.X)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_predictions_are_zero_one(self, binary_dataset):
+        model = LogisticRegression(binary_dataset.n_features)
+        preds = model.predict(model.init_params(seed=3), binary_dataset.X)
+        assert set(np.unique(preds)) <= {0.0, 1.0}
+
+    def test_lipschitz_bound_holds(self, binary_dataset, rng):
+        model = LogisticRegression(binary_dataset.n_features, regularization=0.01)
+        bound = model.gradient_lipschitz_bound(binary_dataset.X)
+        for _ in range(10):
+            a = rng.normal(size=model.n_params)
+            b = rng.normal(size=model.n_params)
+            gap = np.linalg.norm(
+                model.gradient(a, binary_dataset.X, binary_dataset.y)
+                - model.gradient(b, binary_dataset.X, binary_dataset.y)
+            )
+            assert gap <= bound * np.linalg.norm(a - b) + 1e-9

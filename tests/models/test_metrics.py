@@ -1,0 +1,36 @@
+"""Tests for repro.models.metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.models.metrics import accuracy_score, zero_one_error
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        y = np.array([1, 0, 1])
+        assert accuracy_score(y, y) == 1.0
+
+    def test_half(self):
+        assert accuracy_score(np.array([1, 0]), np.array([1, 1])) == 0.5
+
+    def test_signed_labels(self):
+        assert accuracy_score(np.array([-1.0, 1.0]), np.array([-1.0, -1.0])) == 0.5
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(DataError):
+            accuracy_score(np.array([1, 0]), np.array([1]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(DataError):
+            accuracy_score(np.array([]), np.array([]))
+
+
+class TestZeroOne:
+    def test_complements_accuracy(self):
+        y_true = np.array([0, 1, 2, 1])
+        y_pred = np.array([0, 2, 2, 1])
+        assert zero_one_error(y_true, y_pred) == pytest.approx(
+            1.0 - accuracy_score(y_true, y_pred)
+        )

@@ -1,0 +1,114 @@
+"""Tests for repro.models.mlp.MLPClassifier."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, DataError
+from repro.models.metrics import accuracy_score
+from repro.models.mlp import MLPClassifier
+
+
+@pytest.fixture
+def xor_like(rng):
+    """A small nonlinearly separable problem (XOR with noise)."""
+    n = 240
+    X = rng.uniform(-1, 1, size=(n, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(np.int64)
+    return X, y
+
+
+class TestConstruction:
+    def test_param_count(self):
+        model = MLPClassifier((784, 30, 10))
+        assert model.n_params == 784 * 30 + 30 + 30 * 10 + 10
+
+    def test_needs_two_layers(self):
+        with pytest.raises(ConfigurationError):
+            MLPClassifier((5,))
+
+    def test_rejects_nonpositive_sizes(self):
+        with pytest.raises(ConfigurationError):
+            MLPClassifier((5, 0, 2))
+
+    def test_n_classes_is_output_size(self):
+        assert MLPClassifier((4, 3, 7)).n_classes == 7
+
+
+class TestPacking:
+    def test_pack_unpack_round_trip(self, rng):
+        model = MLPClassifier((5, 4, 3))
+        params = model.init_params(seed=0)
+        repacked = model.pack(model.unpack(params))
+        np.testing.assert_array_equal(repacked, params)
+
+    def test_unpack_shapes(self):
+        model = MLPClassifier((5, 4, 3))
+        layers = model.unpack(model.init_params(seed=1))
+        assert layers[0][0].shape == (5, 4)
+        assert layers[0][1].shape == (4,)
+        assert layers[1][0].shape == (4, 3)
+        assert layers[1][1].shape == (3,)
+
+    def test_unpack_gives_views_into_the_flat_vector(self):
+        model = MLPClassifier((3, 2, 2))
+        params = model.init_params(seed=2)
+        layers = model.unpack(params)
+        layers[0][0][0, 0] = 123.0
+        assert params[0] == 123.0
+
+
+class TestForward:
+    def test_probabilities_sum_to_one(self, xor_like):
+        X, _ = xor_like
+        model = MLPClassifier((2, 6, 2))
+        probs = model.predict_proba(model.init_params(seed=0), X)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_zero_params_give_uniform_probabilities(self, xor_like):
+        X, y = xor_like
+        model = MLPClassifier((2, 6, 2), regularization=0.0)
+        probs = model.predict_proba(np.zeros(model.n_params), X)
+        np.testing.assert_allclose(probs, 0.5)
+        assert model.loss(np.zeros(model.n_params), X, y) == pytest.approx(np.log(2))
+
+    def test_feature_mismatch_rejected(self, xor_like):
+        X, y = xor_like
+        model = MLPClassifier((3, 4, 2))
+        with pytest.raises(DataError):
+            model.loss(model.init_params(0), X, y)
+
+    def test_label_range_checked(self, xor_like):
+        X, _ = xor_like
+        model = MLPClassifier((2, 4, 2))
+        with pytest.raises(DataError):
+            model.loss(model.init_params(0), X, np.full(X.shape[0], 2))
+
+
+class TestTraining:
+    def test_learns_xor(self, xor_like):
+        X, y = xor_like
+        model = MLPClassifier((2, 12, 2), regularization=1e-5)
+        params = model.init_params(seed=3)
+        for _ in range(1500):
+            params = params - 1.0 * model.gradient(params, X, y)
+        assert accuracy_score(y, model.predict(params, X)) > 0.9
+
+    def test_xavier_init_scales_with_fan_in(self):
+        model = MLPClassifier((1000, 10, 2))
+        layers = model.unpack(model.init_params(seed=4))
+        first_std = layers[0][0].std()
+        second_std = layers[1][0].std()
+        assert first_std < second_std  # 1/sqrt(1000) << 1/sqrt(10)
+
+    def test_biases_initialized_to_zero(self):
+        model = MLPClassifier((4, 3, 2))
+        layers = model.unpack(model.init_params(seed=5))
+        for _w, bias in layers:
+            np.testing.assert_array_equal(bias, 0.0)
+
+    def test_regularization_pulls_loss_up(self, xor_like):
+        X, y = xor_like
+        params = MLPClassifier((2, 4, 2), regularization=0.0).init_params(seed=6)
+        plain = MLPClassifier((2, 4, 2), regularization=0.0).loss(params, X, y)
+        regularized = MLPClassifier((2, 4, 2), regularization=1.0).loss(params, X, y)
+        assert regularized > plain

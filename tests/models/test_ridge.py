@@ -1,0 +1,81 @@
+"""Tests for repro.models.ridge.RidgeRegression."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.models.ridge import RidgeRegression
+
+
+class TestExactSolution:
+    def test_gradient_vanishes_at_closed_form_optimum(self, linear_dataset):
+        model = RidgeRegression(linear_dataset.n_features, regularization=0.05)
+        optimum = model.solve_exact(linear_dataset.X, linear_dataset.y)
+        gradient = model.gradient(optimum, linear_dataset.X, linear_dataset.y)
+        np.testing.assert_allclose(gradient, 0.0, atol=1e-10)
+
+    def test_closed_form_beats_any_random_point(self, linear_dataset, rng):
+        model = RidgeRegression(linear_dataset.n_features, regularization=0.05)
+        optimum = model.solve_exact(linear_dataset.X, linear_dataset.y)
+        best = model.loss(optimum, linear_dataset.X, linear_dataset.y)
+        for _ in range(20):
+            other = rng.normal(size=model.n_params)
+            assert best <= model.loss(other, linear_dataset.X, linear_dataset.y)
+
+    def test_gradient_descent_converges_to_closed_form(self, linear_dataset):
+        model = RidgeRegression(linear_dataset.n_features, regularization=0.05)
+        optimum = model.solve_exact(linear_dataset.X, linear_dataset.y)
+        params = np.zeros(model.n_params)
+        step = 1.0 / model.gradient_lipschitz_bound(linear_dataset.X)
+        for _ in range(2000):
+            params = params - step * model.gradient(
+                params, linear_dataset.X, linear_dataset.y
+            )
+        np.testing.assert_allclose(params, optimum, atol=1e-6)
+
+    def test_recovers_true_weights_on_clean_data(self, rng):
+        n, p = 400, 4
+        X = rng.normal(size=(n, p))
+        true = np.array([1.0, -2.0, 0.5, 3.0, -1.0])  # last entry is bias
+        y = X @ true[:-1] + true[-1]
+        model = RidgeRegression(p, regularization=1e-8)
+        estimate = model.solve_exact(X, y)
+        np.testing.assert_allclose(estimate, true, atol=1e-4)
+
+
+class TestInterface:
+    def test_predict_is_linear(self, linear_dataset):
+        model = RidgeRegression(linear_dataset.n_features)
+        params = model.init_params(seed=0)
+        a = model.predict(params, linear_dataset.X)
+        b = model.predict(2 * params, linear_dataset.X)
+        np.testing.assert_allclose(b, 2 * a)
+
+    def test_lipschitz_bound_is_exact_for_quadratic(self, linear_dataset, rng):
+        model = RidgeRegression(linear_dataset.n_features, regularization=0.1)
+        bound = model.gradient_lipschitz_bound(linear_dataset.X)
+        # For a quadratic the bound equals the Hessian's top eigenvalue;
+        # verify tightness within a few percent using random directions.
+        observed = 0.0
+        for _ in range(30):
+            a = rng.normal(size=model.n_params)
+            b = rng.normal(size=model.n_params)
+            gap = np.linalg.norm(
+                model.gradient(a, linear_dataset.X, linear_dataset.y)
+                - model.gradient(b, linear_dataset.X, linear_dataset.y)
+            )
+            observed = max(observed, gap / np.linalg.norm(a - b))
+        assert observed <= bound + 1e-9
+        assert observed >= 0.5 * bound
+
+    def test_feature_mismatch_rejected(self, linear_dataset):
+        model = RidgeRegression(linear_dataset.n_features + 1)
+        with pytest.raises(DataError):
+            model.loss(model.init_params(0), linear_dataset.X, linear_dataset.y)
+
+    def test_no_intercept_variant(self, rng):
+        model = RidgeRegression(3, fit_intercept=False)
+        assert model.n_params == 3
+        X = rng.normal(size=(10, 3))
+        y = rng.normal(size=10)
+        assert np.isfinite(model.loss(np.zeros(3), X, y))

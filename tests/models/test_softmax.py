@@ -1,0 +1,83 @@
+"""Tests for repro.models.softmax.SoftmaxRegression."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.models.metrics import accuracy_score
+from repro.models.softmax import SoftmaxRegression
+
+
+@pytest.fixture
+def blobs(rng):
+    """Three Gaussian blobs in 2-D, trivially separable."""
+    centers = np.array([[3.0, 0.0], [-3.0, 3.0], [0.0, -3.0]])
+    X = np.concatenate([c + 0.5 * rng.normal(size=(60, 2)) for c in centers])
+    y = np.repeat([0, 1, 2], 60)
+    return X, y
+
+
+class TestLoss:
+    def test_zero_params_gives_log_k(self, blobs):
+        X, y = blobs
+        model = SoftmaxRegression(2, n_classes=3, regularization=0.0)
+        loss = model.loss(np.zeros(model.n_params), X, y)
+        assert loss == pytest.approx(np.log(3.0))
+
+    def test_shift_invariance_of_logits(self, blobs):
+        # Adding a constant column offset to every class leaves softmax
+        # probabilities unchanged (only through the bias rows).
+        X, y = blobs
+        model = SoftmaxRegression(2, n_classes=3, regularization=0.0)
+        params = model.init_params(seed=0)
+        weights = params.reshape(model.n_inputs, 3).copy()
+        shifted = weights.copy()
+        shifted[-1] += 5.0  # bias row: same shift for every class
+        a = model.predict_proba(weights.reshape(-1), X)
+        b = model.predict_proba(shifted.reshape(-1), X)
+        np.testing.assert_allclose(a, b, atol=1e-10)
+
+    def test_extreme_logits_stable(self, blobs):
+        X, y = blobs
+        model = SoftmaxRegression(2, n_classes=3)
+        huge = np.full(model.n_params, 500.0)
+        assert np.isfinite(model.loss(huge, X, y))
+
+
+class TestLabels:
+    def test_rejects_out_of_range(self, blobs):
+        X, _ = blobs
+        model = SoftmaxRegression(2, n_classes=3)
+        with pytest.raises(DataError):
+            model.loss(model.init_params(0), X, np.full(X.shape[0], 3))
+
+    def test_rejects_non_integer(self, blobs):
+        X, _ = blobs
+        model = SoftmaxRegression(2, n_classes=3)
+        with pytest.raises(DataError):
+            model.loss(model.init_params(0), X, np.full(X.shape[0], 0.5))
+
+    def test_needs_two_classes(self):
+        with pytest.raises(DataError):
+            SoftmaxRegression(2, n_classes=1)
+
+
+class TestTraining:
+    def test_learns_blobs(self, blobs):
+        X, y = blobs
+        model = SoftmaxRegression(2, n_classes=3, regularization=1e-3)
+        params = model.init_params(seed=1)
+        step = 1.0 / model.gradient_lipschitz_bound(X)
+        for _ in range(500):
+            params = params - step * model.gradient(params, X, y)
+        assert accuracy_score(y, model.predict(params, X)) > 0.97
+
+    def test_probabilities_sum_to_one(self, blobs):
+        X, _ = blobs
+        model = SoftmaxRegression(2, n_classes=3)
+        probs = model.predict_proba(model.init_params(seed=2), X)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_n_params_accounting(self):
+        assert SoftmaxRegression(10, 4).n_params == 11 * 4
+        assert SoftmaxRegression(10, 4, fit_intercept=False).n_params == 40

@@ -1,0 +1,123 @@
+"""Tests for repro.models.svm.LinearSVM."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError
+from repro.models.metrics import accuracy_score
+from repro.models.svm import LinearSVM
+
+
+@pytest.fixture
+def separable(rng):
+    n = 200
+    X = rng.normal(size=(n, 3))
+    w = np.array([2.0, -1.0, 0.5])
+    y = np.where(X @ w > 0, 1.0, -1.0)
+    return X, y
+
+
+class TestLoss:
+    def test_zero_params_loss_is_one_plus_reg(self, separable):
+        X, y = separable
+        model = LinearSVM(3, regularization=0.0)
+        # margin 0 everywhere -> squared hinge = 1 for every sample.
+        assert model.loss(np.zeros(model.n_params), X, y) == pytest.approx(1.0)
+
+    def test_perfect_margin_has_zero_data_loss(self):
+        X = np.array([[1.0], [-1.0]])
+        y = np.array([1.0, -1.0])
+        model = LinearSVM(1, regularization=0.0, fit_intercept=False)
+        assert model.loss(np.array([2.0]), X, y) == pytest.approx(0.0)
+
+    def test_regularizer_added(self):
+        X = np.array([[1.0], [-1.0]])
+        y = np.array([1.0, -1.0])
+        model = LinearSVM(1, regularization=0.5, fit_intercept=False)
+        w = np.array([2.0])
+        assert model.loss(w, X, y) == pytest.approx(0.5 * 0.5 * 4.0)
+
+    def test_loss_is_convex_along_a_line(self, separable, rng):
+        X, y = separable
+        model = LinearSVM(3, regularization=0.01)
+        a = rng.normal(size=model.n_params)
+        b = rng.normal(size=model.n_params)
+        mid = model.loss((a + b) / 2, X, y)
+        assert mid <= (model.loss(a, X, y) + model.loss(b, X, y)) / 2 + 1e-12
+
+
+class TestLabels:
+    def test_accepts_zero_one_labels(self, separable):
+        X, y = separable
+        model = LinearSVM(3)
+        y01 = (y + 1) / 2
+        params = model.init_params(seed=0)
+        assert model.loss(params, X, y) == pytest.approx(model.loss(params, X, y01))
+
+    def test_rejects_other_labels(self, separable):
+        X, _ = separable
+        model = LinearSVM(3)
+        with pytest.raises(DataError):
+            model.loss(model.init_params(0), X, np.full(X.shape[0], 2.0))
+
+
+class TestTraining:
+    def test_gradient_descent_separates_separable_data(self, separable):
+        X, y = separable
+        model = LinearSVM(3, regularization=1e-3)
+        params = model.init_params(seed=1)
+        step = 0.5 / model.gradient_lipschitz_bound(X)
+        for _ in range(300):
+            params = params - step * model.gradient(params, X, y)
+        assert accuracy_score(y, model.predict(params, X)) > 0.98
+
+    def test_predictions_are_signed(self, separable):
+        X, y = separable
+        model = LinearSVM(3)
+        preds = model.predict(model.init_params(seed=2), X)
+        assert set(np.unique(preds)) <= {-1.0, 1.0}
+
+    def test_decision_function_sign_matches_predict(self, separable):
+        X, _ = separable
+        model = LinearSVM(3)
+        params = model.init_params(seed=3)
+        margins = model.decision_function(params, X)
+        preds = model.predict(params, X)
+        np.testing.assert_array_equal(preds, np.where(margins >= 0, 1.0, -1.0))
+
+
+class TestValidation:
+    def test_feature_mismatch_rejected(self, separable):
+        X, y = separable
+        model = LinearSVM(5)
+        with pytest.raises(DataError):
+            model.loss(model.init_params(0), X, y)
+
+    def test_param_shape_checked(self, separable):
+        X, y = separable
+        model = LinearSVM(3)
+        with pytest.raises(DataError):
+            model.loss(np.zeros(2), X, y)
+
+    def test_empty_batch_rejected(self):
+        model = LinearSVM(3)
+        with pytest.raises(DataError):
+            model.loss(model.init_params(0), np.empty((0, 3)), np.empty(0))
+
+    def test_n_params_counts_intercept(self):
+        assert LinearSVM(24).n_params == 25
+        assert LinearSVM(24, fit_intercept=False).n_params == 24
+
+
+class TestLipschitz:
+    def test_bound_dominates_observed_curvature(self, separable, rng):
+        X, y = separable
+        model = LinearSVM(3, regularization=0.01)
+        bound = model.gradient_lipschitz_bound(X)
+        for _ in range(10):
+            a = rng.normal(size=model.n_params)
+            b = rng.normal(size=model.n_params)
+            grad_gap = np.linalg.norm(
+                model.gradient(a, X, y) - model.gradient(b, X, y)
+            )
+            assert grad_gap <= bound * np.linalg.norm(a - b) + 1e-9

@@ -1,0 +1,103 @@
+"""Tests for repro.network.codec — the binary Fig. 3 frame codecs."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.network.codec import decode_update, encode_update
+from repro.network.frames import FrameFormat
+from repro.network.messages import ParameterUpdate
+
+
+def make_update(total, indices, values, sender=3, round_index=7):
+    return ParameterUpdate(
+        sender=sender,
+        round_index=round_index,
+        total_params=total,
+        indices=np.asarray(indices, dtype=np.int64),
+        values=np.asarray(values, dtype=float),
+    )
+
+
+class TestRoundTrip:
+    def test_sparse_update(self):
+        update = make_update(20, [1, 5, 17], [1.5, -2.25, 3.0])
+        payload = encode_update(update)
+        assert len(payload) == update.size_bytes
+        decoded = decode_update(payload, update.frame_format, 20, 3, 7)
+        np.testing.assert_array_equal(decoded.indices, update.indices)
+        np.testing.assert_array_equal(decoded.values, update.values)
+
+    def test_dense_update_uses_unchanged_index_frame(self):
+        params = np.linspace(-1, 1, 10)
+        update = ParameterUpdate.dense(0, 1, params)
+        assert update.frame_format is FrameFormat.UNCHANGED_INDEX
+        payload = encode_update(update)
+        assert len(payload) == update.size_bytes == 4 + 80
+        decoded = decode_update(payload, update.frame_format, 10, 0, 1)
+        np.testing.assert_array_equal(decoded.values, params)
+
+    def test_empty_update(self):
+        update = make_update(8, [], [])
+        payload = encode_update(update)
+        assert payload == b""
+        decoded = decode_update(payload, update.frame_format, 8, 3, 7)
+        assert decoded.n_sent == 0
+
+    def test_mostly_sent_update(self):
+        total = 30
+        indices = [i for i in range(total) if i != 11]
+        values = [float(i) for i in indices]
+        update = make_update(total, indices, values)
+        assert update.frame_format is FrameFormat.UNCHANGED_INDEX
+        decoded = decode_update(
+            encode_update(update), update.frame_format, total, 3, 7
+        )
+        np.testing.assert_array_equal(decoded.indices, update.indices)
+        np.testing.assert_array_equal(decoded.values, update.values)
+
+    def test_values_preserve_float64_precision(self):
+        values = np.array([np.pi, -np.e * 1e-12, 1e300])
+        update = make_update(5, [0, 2, 4], values)
+        decoded = decode_update(
+            encode_update(update), update.frame_format, 5, 3, 7
+        )
+        np.testing.assert_array_equal(decoded.values, values)
+
+
+class TestMalformedInput:
+    def test_truncated_unchanged_index_header(self):
+        with pytest.raises(ProtocolError):
+            decode_update(b"\x00\x01", FrameFormat.UNCHANGED_INDEX, 10, 0, 1)
+
+    def test_wrong_length_unchanged_index_body(self):
+        update = ParameterUpdate.dense(0, 1, np.zeros(6))
+        payload = encode_update(update)
+        with pytest.raises(ProtocolError):
+            decode_update(payload[:-3], FrameFormat.UNCHANGED_INDEX, 6, 0, 1)
+
+    def test_count_exceeding_total_rejected(self):
+        import struct
+
+        payload = struct.pack(">I", 99)
+        with pytest.raises(ProtocolError):
+            decode_update(payload, FrameFormat.UNCHANGED_INDEX, 10, 0, 1)
+
+    def test_index_value_partial_record_rejected(self):
+        update = make_update(20, [1, 2], [1.0, 2.0])
+        payload = encode_update(update)
+        with pytest.raises(ProtocolError):
+            decode_update(payload[:-5], FrameFormat.INDEX_VALUE, 20, 0, 1)
+
+    def test_index_value_out_of_range_index_rejected(self):
+        update = make_update(20, [19], [1.0])
+        payload = encode_update(update)
+        with pytest.raises(ProtocolError):
+            decode_update(payload, FrameFormat.INDEX_VALUE, 10, 0, 1)
+
+    def test_unsorted_index_value_records_rejected(self):
+        import struct
+
+        payload = struct.pack(">Id", 5, 1.0) + struct.pack(">Id", 2, 2.0)
+        with pytest.raises(ProtocolError):
+            decode_update(payload, FrameFormat.INDEX_VALUE, 10, 0, 1)

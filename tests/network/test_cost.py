@@ -1,0 +1,81 @@
+"""Tests for repro.network.cost.CommunicationCostTracker."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network.cost import CommunicationCostTracker
+from repro.topology.generators import ring_topology
+from repro.topology.routing import all_pairs_hop_counts
+
+
+class TestExplicitHops:
+    def test_cost_is_bytes_times_hops(self):
+        tracker = CommunicationCostTracker()
+        record = tracker.record(1, 0, 1, size_bytes=100, hops=3)
+        assert record.cost == 300
+        assert tracker.total_cost == 300
+        assert tracker.total_bytes == 100
+
+    def test_accumulation_over_rounds(self):
+        tracker = CommunicationCostTracker()
+        tracker.record(1, 0, 1, 10, hops=1)
+        tracker.record(1, 1, 0, 20, hops=2)
+        tracker.record(2, 0, 1, 30, hops=1)
+        assert tracker.round_cost(1) == 10 + 40
+        assert tracker.round_cost(2) == 30
+        assert tracker.round_bytes(1) == 30
+        assert tracker.total_cost == 80
+        assert tracker.n_flows == 3
+
+    def test_empty_round_reports_zero(self):
+        tracker = CommunicationCostTracker()
+        assert tracker.round_cost(99) == 0
+        assert tracker.round_bytes(99) == 0
+
+    def test_per_round_series_sorted(self):
+        tracker = CommunicationCostTracker()
+        tracker.record(3, 0, 1, 5, hops=1)
+        tracker.record(1, 0, 1, 7, hops=1)
+        assert tracker.per_round_costs() == [(1, 7), (3, 5)]
+        assert tracker.per_round_bytes() == [(1, 7), (3, 5)]
+
+    def test_missing_hops_without_matrix_rejected(self):
+        tracker = CommunicationCostTracker()
+        with pytest.raises(ConfigurationError):
+            tracker.record(1, 0, 1, 10)
+
+    def test_negative_bytes_rejected(self):
+        tracker = CommunicationCostTracker()
+        with pytest.raises(ConfigurationError):
+            tracker.record(1, 0, 1, -5, hops=1)
+
+
+class TestHopMatrix:
+    def test_hops_looked_up(self):
+        topo = ring_topology(6)
+        tracker = CommunicationCostTracker(all_pairs_hop_counts(topo))
+        record = tracker.record(1, 0, 3, size_bytes=10)
+        assert record.hops == 3
+        assert record.cost == 30
+
+    def test_unreachable_pair_rejected(self):
+        from repro.topology.graph import Topology
+
+        topo = Topology(4, [(0, 1), (2, 3)])
+        tracker = CommunicationCostTracker(all_pairs_hop_counts(topo))
+        with pytest.raises(ConfigurationError):
+            tracker.record(1, 0, 2, 10)
+
+    def test_explicit_hops_override_matrix(self):
+        topo = ring_topology(6)
+        tracker = CommunicationCostTracker(all_pairs_hop_counts(topo))
+        record = tracker.record(1, 0, 3, 10, hops=1)
+        assert record.cost == 10
+
+    def test_records_are_immutable_snapshots(self):
+        tracker = CommunicationCostTracker()
+        tracker.record(1, 0, 1, 10, hops=1)
+        records = tracker.records()
+        assert len(records) == 1
+        assert records[0].size_bytes == 10

@@ -1,0 +1,96 @@
+"""Tests for repro.network.frames — the Fig. 3 byte formulas."""
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.network.frames import (
+    FLOAT_BYTES,
+    INT_BYTES,
+    FrameFormat,
+    encoded_update_bytes,
+    frame_size_bytes,
+    full_vector_bytes,
+    select_frame_format,
+    terngrad_vector_bytes,
+)
+
+
+class TestFrameSizes:
+    def test_unchanged_index_formula(self):
+        # paper: 4 + 8N - 4M bytes
+        n, m = 100, 30
+        assert frame_size_bytes(n, m, FrameFormat.UNCHANGED_INDEX) == 4 + 8 * n - 4 * m
+
+    def test_index_value_formula(self):
+        # paper: 12 (N - M) bytes
+        n, m = 100, 30
+        assert frame_size_bytes(n, m, FrameFormat.INDEX_VALUE) == 12 * (n - m)
+
+    def test_nothing_suppressed(self):
+        assert frame_size_bytes(10, 0, FrameFormat.UNCHANGED_INDEX) == 4 + 80
+        assert frame_size_bytes(10, 0, FrameFormat.INDEX_VALUE) == 120
+
+    def test_everything_suppressed(self):
+        assert frame_size_bytes(10, 10, FrameFormat.UNCHANGED_INDEX) == 4 + 40
+        assert frame_size_bytes(10, 10, FrameFormat.INDEX_VALUE) == 0
+
+    def test_counts_validated(self):
+        with pytest.raises(ProtocolError):
+            frame_size_bytes(5, 6, FrameFormat.INDEX_VALUE)
+        with pytest.raises(ProtocolError):
+            frame_size_bytes(-1, 0, FrameFormat.INDEX_VALUE)
+
+
+class TestSelection:
+    def test_paper_crossover_rule(self):
+        # first format iff N > 2M + 1
+        assert select_frame_format(100, 10) is FrameFormat.UNCHANGED_INDEX
+        assert select_frame_format(100, 60) is FrameFormat.INDEX_VALUE
+
+    def test_boundary_goes_to_index_value(self):
+        # N == 2M + 1: sizes are equal, the paper's "otherwise" branch applies.
+        n, m = 21, 10
+        assert frame_size_bytes(n, m, FrameFormat.UNCHANGED_INDEX) == frame_size_bytes(
+            n, m, FrameFormat.INDEX_VALUE
+        )
+        assert select_frame_format(n, m) is FrameFormat.INDEX_VALUE
+
+    def test_selected_format_is_never_larger(self):
+        for n in (1, 2, 5, 21, 100, 1000):
+            for m in range(0, n + 1, max(1, n // 7)):
+                chosen = select_frame_format(n, m)
+                chosen_size = frame_size_bytes(n, m, chosen)
+                other = (
+                    FrameFormat.INDEX_VALUE
+                    if chosen is FrameFormat.UNCHANGED_INDEX
+                    else FrameFormat.UNCHANGED_INDEX
+                )
+                assert chosen_size <= frame_size_bytes(n, m, other)
+
+    def test_encoded_update_bytes_matches_selection(self):
+        n, m = 50, 5
+        assert encoded_update_bytes(n, m) == frame_size_bytes(
+            n, m, select_frame_format(n, m)
+        )
+
+
+class TestOtherEncodings:
+    def test_full_vector(self):
+        assert full_vector_bytes(25) == 200
+        assert full_vector_bytes(0) == 0
+        with pytest.raises(ProtocolError):
+            full_vector_bytes(-1)
+
+    def test_terngrad_two_bits_per_param_plus_scale(self):
+        # 100 params -> 200 bits -> 25 bytes + 8-byte scale
+        assert terngrad_vector_bytes(100) == 25 + 8
+        # rounding up partial bytes: 3 params -> 6 bits -> 1 byte + 8
+        assert terngrad_vector_bytes(3) == 1 + 8
+
+    def test_terngrad_is_much_smaller_than_full(self):
+        n = 10_000
+        assert terngrad_vector_bytes(n) < full_vector_bytes(n) / 30
+
+    def test_byte_constants_match_paper(self):
+        assert INT_BYTES == 4
+        assert FLOAT_BYTES == 8

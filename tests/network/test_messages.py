@@ -1,0 +1,85 @@
+"""Tests for repro.network.messages.ParameterUpdate."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.network.frames import FrameFormat
+from repro.network.messages import ParameterUpdate
+
+
+def make_update(total=20, indices=(1, 5, 7), values=(1.0, 2.0, 3.0)):
+    return ParameterUpdate(
+        sender=0,
+        round_index=3,
+        total_params=total,
+        indices=np.array(indices, dtype=np.int64),
+        values=np.array(values, dtype=float),
+    )
+
+
+class TestConstruction:
+    def test_counts(self):
+        update = make_update()
+        assert update.n_sent == 3
+        assert update.n_unsent == 17
+
+    def test_frame_selected_and_sized(self):
+        update = make_update()
+        # N=20, M=17 -> N <= 2M+1 -> INDEX_VALUE, 12*3 bytes
+        assert update.frame_format is FrameFormat.INDEX_VALUE
+        assert update.size_bytes == 36
+
+    def test_mostly_sent_uses_unchanged_index_frame(self):
+        update = make_update(total=20, indices=tuple(range(18)), values=(0.0,) * 18)
+        assert update.frame_format is FrameFormat.UNCHANGED_INDEX
+        assert update.size_bytes == 4 + 8 * 20 - 4 * 2
+
+    def test_rejects_unsorted_indices(self):
+        with pytest.raises(ProtocolError):
+            make_update(indices=(5, 1, 7))
+
+    def test_rejects_duplicate_indices(self):
+        with pytest.raises(ProtocolError):
+            make_update(indices=(1, 1, 7))
+
+    def test_rejects_out_of_range_indices(self):
+        with pytest.raises(ProtocolError):
+            make_update(total=5, indices=(1, 2, 5))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ProtocolError):
+            make_update(indices=(1, 2), values=(1.0, 2.0, 3.0))
+
+    def test_empty_update_allowed(self):
+        update = make_update(indices=(), values=())
+        assert update.n_sent == 0
+        assert update.size_bytes == 0  # INDEX_VALUE frame of nothing
+
+
+class TestApply:
+    def test_overlays_only_sent_coordinates(self):
+        update = make_update(total=5, indices=(1, 3), values=(10.0, 30.0))
+        target = np.zeros(5)
+        result = update.apply_to(target)
+        np.testing.assert_array_equal(result, [0.0, 10.0, 0.0, 30.0, 0.0])
+
+    def test_does_not_mutate_target(self):
+        update = make_update(total=5, indices=(0,), values=(9.0,))
+        target = np.zeros(5)
+        update.apply_to(target)
+        np.testing.assert_array_equal(target, np.zeros(5))
+
+    def test_shape_mismatch_rejected(self):
+        update = make_update(total=5, indices=(0,), values=(9.0,))
+        with pytest.raises(ProtocolError):
+            update.apply_to(np.zeros(6))
+
+
+class TestDense:
+    def test_dense_carries_everything(self):
+        params = np.arange(7.0)
+        update = ParameterUpdate.dense(2, 1, params)
+        np.testing.assert_array_equal(update.apply_to(np.zeros(7)), params)
+        assert update.n_unsent == 0
+        assert update.sender == 2

@@ -1,0 +1,145 @@
+"""Tests for repro.network.timing.LinkTimingModel."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.network.cost import CommunicationCostTracker, FlowRecord
+from repro.network.timing import GIGABIT_PER_SECOND, LinkTimingModel
+
+
+def flow(src, dst, size, hops=1, round_index=1):
+    return FlowRecord(round_index, src, dst, size, hops)
+
+
+class TestRoundMakespan:
+    def test_single_flow(self):
+        model = LinkTimingModel(bandwidth_bytes_per_s=100.0, latency_s=0.5)
+        assert model.round_makespan([flow(0, 1, 200)]) == pytest.approx(0.5 + 2.0)
+
+    def test_parallel_links_take_the_max(self):
+        model = LinkTimingModel(bandwidth_bytes_per_s=100.0, latency_s=0.0)
+        flows = [flow(0, 1, 100), flow(2, 3, 300)]
+        assert model.round_makespan(flows) == pytest.approx(3.0)
+
+    def test_shared_link_serializes(self):
+        model = LinkTimingModel(bandwidth_bytes_per_s=100.0, latency_s=0.0)
+        flows = [flow(0, 1, 100), flow(0, 1, 100)]
+        assert model.round_makespan(flows) == pytest.approx(2.0)
+
+    def test_multi_hop_flow_takes_hops_times_longer(self):
+        model = LinkTimingModel(bandwidth_bytes_per_s=100.0, latency_s=0.0)
+        assert model.round_makespan([flow(0, 5, 100, hops=3)]) == pytest.approx(3.0)
+
+    def test_empty_round_costs_only_compute(self):
+        model = LinkTimingModel(compute_s_per_round=0.25)
+        assert model.round_makespan([]) == 0.25
+
+    def test_directed_links_are_independent(self):
+        model = LinkTimingModel(bandwidth_bytes_per_s=100.0, latency_s=0.0)
+        flows = [flow(0, 1, 200), flow(1, 0, 200)]
+        assert model.round_makespan(flows) == pytest.approx(2.0)
+
+
+class TestTotalTime:
+    def test_sums_round_makespans(self):
+        tracker = CommunicationCostTracker()
+        tracker.record(1, 0, 1, 100, hops=1)
+        tracker.record(2, 0, 1, 300, hops=1)
+        model = LinkTimingModel(bandwidth_bytes_per_s=100.0, latency_s=0.0)
+        assert model.total_time(tracker, 2) == pytest.approx(1.0 + 3.0)
+
+    def test_traffic_free_rounds_still_pay_compute(self):
+        tracker = CommunicationCostTracker()
+        model = LinkTimingModel(compute_s_per_round=0.1)
+        assert model.total_time(tracker, 5) == pytest.approx(0.5)
+
+    def test_negative_rounds_rejected(self):
+        with pytest.raises(ValueError):
+            LinkTimingModel().total_time(CommunicationCostTracker(), -1)
+
+
+class TestEstimateResultTime:
+    def test_estimate_from_byte_trace(self):
+        from repro.results import RoundRecord, TrainingResult
+        import numpy as np
+
+        result = TrainingResult(
+            scheme="snap",
+            rounds=[
+                RoundRecord(1, 1.0, 0.0, 1000, 1000, 10),
+                RoundRecord(2, 0.9, 0.0, 0, 0, 0),  # quiet round
+            ],
+            converged_at=None,
+            final_params=np.zeros(2),
+            total_bytes=1000,
+            total_cost=1000,
+        )
+        model = LinkTimingModel(
+            bandwidth_bytes_per_s=100.0, latency_s=0.5, compute_s_per_round=0.1
+        )
+        # round 1: 0.1 compute + 0.5 latency + 10s transfer; round 2: 0.1 only
+        assert model.estimate_result_time(result) == pytest.approx(10.7)
+
+    def test_estimate_upper_bounds_exact_timing(self):
+        """The trace-only estimate serializes all traffic through one pipe,
+        so it can only exceed the exact parallel makespan."""
+        from repro.network.cost import CommunicationCostTracker
+
+        tracker = CommunicationCostTracker()
+        tracker.record(1, 0, 1, 600, hops=1)
+        tracker.record(1, 2, 3, 400, hops=1)
+        model = LinkTimingModel(bandwidth_bytes_per_s=100.0, latency_s=0.0)
+        exact = model.total_time(tracker, 1)  # busiest link: 6 s
+
+        from repro.results import RoundRecord, TrainingResult
+        import numpy as np
+
+        result = TrainingResult(
+            scheme="x",
+            rounds=[RoundRecord(1, 1.0, 0.0, 1000, 1000, 0)],
+            converged_at=None,
+            final_params=np.zeros(1),
+            total_bytes=1000,
+            total_cost=1000,
+        )
+        estimate = model.estimate_result_time(result)  # one pipe: 10 s
+        assert exact <= estimate
+
+
+class TestDefaults:
+    def test_paper_link_speed(self):
+        assert GIGABIT_PER_SECOND == 125_000_000.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinkTimingModel(bandwidth_bytes_per_s=0.0)
+        with pytest.raises(ConfigurationError):
+            LinkTimingModel(latency_s=-1.0)
+
+
+class TestWithRealRun:
+    def test_snap_run_is_faster_than_sno_on_the_wire(self):
+        """End to end: SNAP's shrinking frames shorten the estimated wall clock."""
+        from repro.core import SNAPConfig, SNAPTrainer
+        from repro.core.config import SelectionPolicy
+        from repro.simulation.experiments import credit_svm_workload
+
+        workload = credit_svm_workload(
+            n_servers=6, average_degree=3.0, n_train=600, n_test=100, seed=2
+        )
+        model = LinkTimingModel(bandwidth_bytes_per_s=10_000.0, latency_s=0.0)
+        times = {}
+        for name, selection in [
+            ("snap", SelectionPolicy.APE),
+            ("sno", SelectionPolicy.DENSE),
+        ]:
+            trainer = SNAPTrainer(
+                workload.model,
+                workload.shards,
+                workload.topology,
+                config=SNAPConfig(selection=selection, seed=0),
+                initial_params=workload.model.init_params(0),
+            )
+            trainer.run(max_rounds=80, stop_on_convergence=False)
+            times[name] = model.total_time(trainer.tracker, 80)
+        assert times["snap"] < times["sno"]

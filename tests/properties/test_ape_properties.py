@@ -1,0 +1,81 @@
+"""Property-based tests for the APE threshold schedule's invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.ape import APESchedule
+
+
+@st.composite
+def schedules(draw):
+    return APESchedule(
+        initial_threshold=draw(st.floats(1e-6, 10.0)),
+        growth=draw(st.floats(1.0, 1.5)),
+        stage_iterations=draw(st.integers(1, 30)),
+        decay=draw(st.floats(0.1, 0.99)),
+        epsilon=draw(st.floats(0.0, 1e-3)),
+    )
+
+
+suppressed_sequences = st.lists(st.floats(0.0, 5.0), min_size=1, max_size=120)
+
+
+@given(schedules(), suppressed_sequences)
+@settings(max_examples=80, deadline=None)
+def test_threshold_never_increases(schedule, suppressed):
+    previous = schedule.threshold
+    for value in suppressed:
+        schedule.record_round(value)
+        assert schedule.threshold <= previous + 1e-15
+        previous = schedule.threshold
+
+
+@given(schedules(), suppressed_sequences)
+@settings(max_examples=80, deadline=None)
+def test_send_threshold_bounded_by_stage_budget(schedule, suppressed):
+    for value in suppressed:
+        # line-4 guarantee: per-round allowance times the stage length never
+        # exceeds the stage budget (growth >= 1).
+        assert (
+            schedule.send_threshold * schedule.stage_iterations
+            <= schedule.threshold + 1e-12
+        )
+        schedule.record_round(value)
+
+
+@given(schedules(), suppressed_sequences)
+@settings(max_examples=80, deadline=None)
+def test_stage_index_monotone_and_accumulator_resets(schedule, suppressed):
+    previous_stage = schedule.stage
+    for value in suppressed:
+        schedule.record_round(value)
+        assert schedule.stage >= previous_stage
+        if schedule.stage > previous_stage:
+            assert schedule.accumulated_error == 0.0
+        previous_stage = schedule.stage
+
+
+@given(schedules())
+@settings(max_examples=50, deadline=None)
+def test_quiet_schedule_eventually_exhausts(schedule):
+    """With zero suppression, time-boxed stages must drive T below epsilon
+    (when epsilon > 0) within the analytically required number of rounds:
+    one stage per ``max_stage_iterations`` rounds, and
+    ``log(eps / T0) / log(decay)`` stages to decay past epsilon."""
+    import math
+
+    if schedule.epsilon == 0.0 or not schedule.active:
+        return
+    # log(eps) - log(T0) avoids the ratio underflowing to 0 for denormal eps.
+    stages_needed = (
+        math.ceil(
+            (math.log(schedule.epsilon) - math.log(schedule.initial_threshold))
+            / math.log(schedule.decay)
+        )
+        + 1
+    )
+    budget = stages_needed * schedule.max_stage_iterations + 1
+    for _ in range(budget):
+        if not schedule.active:
+            break
+        schedule.record_round(0.0)
+    assert not schedule.active

@@ -1,0 +1,58 @@
+"""Property-based tests: the binary codecs round-trip every valid update and
+their payload lengths equal the Fig. 3 size formulas."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.network.codec import decode_update, encode_update
+from repro.network.messages import ParameterUpdate
+
+
+@st.composite
+def updates(draw):
+    total = draw(st.integers(min_value=1, max_value=300))
+    n_sent = draw(st.integers(min_value=0, max_value=total))
+    seed = draw(st.integers(min_value=0, max_value=2**31 - 1))
+    rng = np.random.default_rng(seed)
+    indices = np.sort(rng.choice(total, size=n_sent, replace=False)).astype(np.int64)
+    values = rng.normal(scale=draw(st.floats(1e-6, 1e6)), size=n_sent)
+    return ParameterUpdate(
+        sender=draw(st.integers(0, 100)),
+        round_index=draw(st.integers(0, 10_000)),
+        total_params=total,
+        indices=indices,
+        values=values,
+    )
+
+
+@given(updates())
+@settings(max_examples=120, deadline=None)
+def test_round_trip_is_lossless(update):
+    payload = encode_update(update)
+    decoded = decode_update(
+        payload, update.frame_format, update.total_params, update.sender,
+        update.round_index,
+    )
+    np.testing.assert_array_equal(decoded.indices, update.indices)
+    np.testing.assert_array_equal(decoded.values, update.values)
+    assert decoded.frame_format is update.frame_format
+
+
+@given(updates())
+@settings(max_examples=120, deadline=None)
+def test_payload_length_matches_accounting(update):
+    assert len(encode_update(update)) == update.size_bytes
+
+
+@given(updates())
+@settings(max_examples=60, deadline=None)
+def test_applying_decoded_update_equals_applying_original(update):
+    rng = np.random.default_rng(0)
+    target = rng.normal(size=update.total_params)
+    decoded = decode_update(
+        encode_update(update), update.frame_format, update.total_params,
+        update.sender, update.round_index,
+    )
+    np.testing.assert_array_equal(
+        decoded.apply_to(target), update.apply_to(target)
+    )

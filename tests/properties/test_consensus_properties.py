@@ -1,0 +1,96 @@
+"""Property-based tests for the consensus engines' structural invariants."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.consensus.dgd import DGDIteration
+from repro.consensus.extra import ExtraIteration
+from repro.consensus.gradient_tracking import GradientTrackingIteration
+from repro.topology.generators import random_topology
+from repro.weights.construction import metropolis_weights
+from repro.weights.optimizer import lazify
+
+
+@st.composite
+def consensus_cases(draw):
+    n = draw(st.integers(min_value=3, max_value=10))
+    dim = draw(st.integers(min_value=1, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    min_degree = 2.0 * (n - 1) / n
+    topo = random_topology(n, min(float(n - 1), min_degree + 1.0), seed=seed)
+    weights = lazify(metropolis_weights(topo))
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(n, dim))
+    gradients = [lambda x, c=c: x - c for c in centers]
+    alpha = draw(st.floats(0.01, 0.4))
+    initial = rng.normal(size=(n, dim))
+    return weights, gradients, centers, alpha, initial
+
+
+@given(consensus_cases())
+@settings(max_examples=30, deadline=None)
+def test_extra_fixed_point_is_the_consensual_optimum(case):
+    """If x starts AT the optimum (consensual, zero aggregate gradient), a few
+    EXTRA steps keep it there."""
+    weights, gradients, centers, alpha, _ = case
+    n, dim = centers.shape
+    optimum = np.tile(centers.mean(axis=0), (n, 1))
+    # Build an engine over the *centered* gradients so the aggregate gradient
+    # is exactly zero at the optimum (each local gradient is not).
+    engine = ExtraIteration(weights, gradients, alpha)
+    state = engine.initialize(optimum)
+    engine.step(state)
+    # One step may move (local gradients nonzero), but the column mean of the
+    # movement is governed by the mean gradient, which is zero:
+    np.testing.assert_allclose(
+        state.current.mean(axis=0), optimum[0], atol=1e-10
+    )
+
+
+@given(consensus_cases())
+@settings(max_examples=30, deadline=None)
+def test_extra_first_step_mean_follows_mean_gradient(case):
+    """Mass conservation: mean(x^1) = mean(x^0) - alpha * mean(grad)."""
+    weights, gradients, centers, alpha, initial = case
+    engine = ExtraIteration(weights, gradients, alpha)
+    state = engine.initialize(initial)
+    mean_gradient = engine.gradients(initial).mean(axis=0)
+    engine.step(state)
+    np.testing.assert_allclose(
+        state.current.mean(axis=0),
+        initial.mean(axis=0) - alpha * mean_gradient,
+        atol=1e-10,
+    )
+
+
+@given(consensus_cases())
+@settings(max_examples=30, deadline=None)
+def test_gradient_tracking_invariant_holds_for_any_case(case):
+    weights, gradients, _, alpha, initial = case
+    engine = GradientTrackingIteration(weights, gradients, alpha)
+    state = engine.initialize(initial)
+    for _ in range(5):
+        engine.step(state)
+        np.testing.assert_allclose(
+            state.tracker.mean(axis=0),
+            engine.gradients(state.current).mean(axis=0),
+            atol=1e-9,
+        )
+
+
+@given(consensus_cases())
+@settings(max_examples=30, deadline=None)
+def test_dgd_with_zero_gradients_is_pure_averaging(case):
+    """With f_i ≡ const, DGD reduces to x <- W x: consensus error contracts
+    and the column mean is preserved."""
+    weights, _, centers, alpha, initial = case
+    n = centers.shape[0]
+    zero_gradients = [lambda x: np.zeros_like(x) for _ in range(n)]
+    engine = DGDIteration(weights, zero_gradients, alpha)
+    state = engine.run(initial.copy(), 10)
+    np.testing.assert_allclose(
+        state.current.mean(axis=0), initial.mean(axis=0), atol=1e-9
+    )
+    from repro.consensus.convergence import consensus_error
+
+    assert consensus_error(state.current) <= consensus_error(initial) + 1e-12

@@ -1,0 +1,54 @@
+"""Property-based tests for the frame-format byte accounting."""
+
+from hypothesis import given, strategies as st
+
+from repro.network.frames import (
+    FrameFormat,
+    encoded_update_bytes,
+    frame_size_bytes,
+    select_frame_format,
+)
+
+counts = st.integers(min_value=0, max_value=10_000)
+
+
+@given(total=counts, unsent=counts)
+def test_selected_frame_is_minimal(total, unsent):
+    """The auto-selected format never loses to the other one."""
+    unsent = min(unsent, total)
+    best = encoded_update_bytes(total, unsent)
+    for fmt in FrameFormat:
+        assert best <= frame_size_bytes(total, unsent, fmt)
+
+
+@given(total=counts, unsent=counts)
+def test_sizes_are_nonnegative_and_monotone_in_sent(total, unsent):
+    unsent = min(unsent, total)
+    size = encoded_update_bytes(total, unsent)
+    assert size >= 0
+    if unsent < total:
+        # suppressing one more parameter never increases the optimal size
+        assert encoded_update_bytes(total, unsent + 1) <= size
+
+
+@given(total=st.integers(min_value=1, max_value=10_000))
+def test_full_suppression_is_cheapest(total):
+    all_suppressed = encoded_update_bytes(total, total)
+    nothing_suppressed = encoded_update_bytes(total, 0)
+    assert all_suppressed <= nothing_suppressed
+    assert all_suppressed == 0  # INDEX_VALUE frame of nothing
+
+
+@given(total=counts, unsent=counts)
+def test_crossover_rule_matches_formula_comparison(total, unsent):
+    """select_frame_format implements exactly the paper's N > 2M+1 rule."""
+    unsent = min(unsent, total)
+    chosen = select_frame_format(total, unsent)
+    a = frame_size_bytes(total, unsent, FrameFormat.UNCHANGED_INDEX)
+    b = frame_size_bytes(total, unsent, FrameFormat.INDEX_VALUE)
+    if a < b:
+        assert chosen is FrameFormat.UNCHANGED_INDEX
+    elif b < a:
+        assert chosen is FrameFormat.INDEX_VALUE
+    else:
+        assert chosen is FrameFormat.INDEX_VALUE  # the paper's tie branch

@@ -1,0 +1,59 @@
+"""Property-based tests for model invariants (convexity, regularization)."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.models.logistic import LogisticRegression
+from repro.models.ridge import RidgeRegression
+from repro.models.svm import LinearSVM
+
+
+@st.composite
+def convex_model_cases(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    kind = draw(st.sampled_from(["svm", "logistic", "ridge"]))
+    rng = np.random.default_rng(seed)
+    n, p = 25, 4
+    X = rng.normal(size=(n, p))
+    if kind == "svm":
+        model = LinearSVM(p, regularization=0.01)
+        y = rng.choice([-1.0, 1.0], size=n)
+    elif kind == "logistic":
+        model = LogisticRegression(p, regularization=0.01)
+        y = rng.choice([0.0, 1.0], size=n)
+    else:
+        model = RidgeRegression(p, regularization=0.01)
+        y = rng.normal(size=n)
+    a = rng.normal(size=model.n_params)
+    b = rng.normal(size=model.n_params)
+    t = draw(st.floats(0.0, 1.0))
+    return model, X, y, a, b, t
+
+
+@given(convex_model_cases())
+@settings(max_examples=60, deadline=None)
+def test_losses_are_convex(case):
+    """f(t a + (1-t) b) <= t f(a) + (1-t) f(b) for the three convex models."""
+    model, X, y, a, b, t = case
+    left = model.loss(t * a + (1 - t) * b, X, y)
+    right = t * model.loss(a, X, y) + (1 - t) * model.loss(b, X, y)
+    assert left <= right + 1e-8 * max(1.0, abs(right))
+
+
+@given(convex_model_cases())
+@settings(max_examples=60, deadline=None)
+def test_gradient_defines_a_supporting_hyperplane(case):
+    """First-order convexity: f(b) >= f(a) + <grad f(a), b - a>."""
+    model, X, y, a, b, _ = case
+    fa = model.loss(a, X, y)
+    fb = model.loss(b, X, y)
+    grad = model.gradient(a, X, y)
+    assert fb >= fa + grad @ (b - a) - 1e-8 * max(1.0, abs(fb))
+
+
+@given(convex_model_cases())
+@settings(max_examples=30, deadline=None)
+def test_losses_are_finite(case):
+    model, X, y, a, _b, _t = case
+    assert np.isfinite(model.loss(a, X, y))
+    assert np.all(np.isfinite(model.gradient(a, X, y)))

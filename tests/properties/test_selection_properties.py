@@ -1,0 +1,77 @@
+"""Property-based tests for changed-parameter selection."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.selection import select_parameters
+
+vectors = arrays(
+    np.float64,
+    st.integers(min_value=1, max_value=60),
+    elements=st.floats(-1e6, 1e6, allow_nan=False),
+)
+
+
+@st.composite
+def vector_pairs(draw):
+    current = draw(vectors)
+    reference = draw(
+        arrays(
+            np.float64,
+            current.shape,
+            elements=st.floats(-1e6, 1e6, allow_nan=False),
+        )
+    )
+    threshold = draw(st.floats(0.0, 1e6, allow_nan=False))
+    return current, reference, threshold
+
+
+@given(vector_pairs())
+def test_reconstruction_error_bounded_by_threshold(pair):
+    """The receiver's view error never exceeds the suppression threshold."""
+    current, reference, threshold = pair
+    selection = select_parameters(current, reference, threshold)
+    updated = reference.copy()
+    updated[selection.indices] = selection.values
+    assert np.all(np.abs(updated - current) <= threshold)
+
+
+@given(vector_pairs())
+def test_sent_and_suppressed_partition_the_coordinates(pair):
+    current, reference, threshold = pair
+    selection = select_parameters(current, reference, threshold)
+    sent = set(selection.indices.tolist())
+    for i in range(current.size):
+        delta = abs(current[i] - reference[i])
+        if delta > threshold:
+            assert i in sent
+        else:
+            assert i not in sent
+
+
+@given(vector_pairs())
+def test_suppressed_max_is_a_tight_bound(pair):
+    current, reference, threshold = pair
+    selection = select_parameters(current, reference, threshold)
+    deltas = np.abs(current - reference)
+    suppressed_deltas = np.delete(deltas, selection.indices)
+    if suppressed_deltas.size:
+        assert selection.suppressed_max == suppressed_deltas.max()
+    else:
+        assert selection.suppressed_max == 0.0
+
+
+@given(vector_pairs())
+def test_zero_threshold_gives_exact_reconstruction(pair):
+    current, reference, _ = pair
+    selection = select_parameters(current, reference, 0.0)
+    updated = reference.copy()
+    updated[selection.indices] = selection.values
+    np.testing.assert_array_equal(updated, current)
+
+
+@given(vectors)
+def test_identical_vectors_send_nothing(vector):
+    selection = select_parameters(vector, vector.copy(), 0.0)
+    assert selection.indices.size == 0

@@ -1,0 +1,53 @@
+"""Property-based tests for topology generation and routing."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.topology.generators import random_topology
+from repro.topology.routing import all_pairs_hop_counts
+
+
+@st.composite
+def random_topology_cases(draw):
+    n = draw(st.integers(min_value=2, max_value=25))
+    min_degree = 2.0 * (n - 1) / n
+    degree = draw(
+        st.floats(min_value=min_degree, max_value=float(n - 1))
+    )
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return random_topology(n, degree, seed=seed), degree
+
+
+@given(random_topology_cases())
+@settings(max_examples=40, deadline=None)
+def test_generated_topology_connected_with_target_degree(case):
+    topo, degree = case
+    assert topo.is_connected()
+    # average degree matches the target up to rounding granularity 2/n
+    assert abs(topo.average_degree() - degree) <= 2.0 / topo.n_nodes + 1e-9
+
+
+@given(random_topology_cases())
+@settings(max_examples=30, deadline=None)
+def test_hop_counts_form_a_metric(case):
+    topo, _ = case
+    hops = all_pairs_hop_counts(topo)
+    n = topo.n_nodes
+    assert np.all(np.diag(hops) == 0)
+    assert np.array_equal(hops, hops.T)
+    assert np.all(hops[~np.eye(n, dtype=bool)] >= 1)
+    # triangle inequality on a few sampled triples
+    rng = np.random.default_rng(0)
+    for _ in range(min(30, n**2)):
+        i, j, k = rng.integers(0, n, size=3)
+        assert hops[i, k] <= hops[i, j] + hops[j, k]
+
+
+@given(random_topology_cases())
+@settings(max_examples=30, deadline=None)
+def test_neighbors_are_exactly_one_hop(case):
+    topo, _ = case
+    hops = all_pairs_hop_counts(topo)
+    for node in topo:
+        for neighbor in topo.neighbors(node):
+            assert hops[node, neighbor] == 1

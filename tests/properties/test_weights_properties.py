@@ -1,0 +1,72 @@
+"""Property-based tests for weight-matrix construction and optimization."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.topology.generators import random_topology
+from repro.utils.linalg import is_doubly_stochastic, is_symmetric
+from repro.weights.construction import metropolis_weights
+from repro.weights.optimizer import lazify, optimize_weight_matrix
+from repro.weights.parametrization import EdgeParametrization
+from repro.weights.spectrum import analyze_weight_matrix
+from repro.weights.validation import check_weight_matrix
+
+
+@st.composite
+def topologies(draw):
+    n = draw(st.integers(min_value=3, max_value=14))
+    min_degree = 2.0 * (n - 1) / n
+    degree = draw(st.floats(min_value=min_degree, max_value=max(min_degree, n / 2)))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    return random_topology(n, degree, seed=seed)
+
+
+@given(topologies())
+@settings(max_examples=30, deadline=None)
+def test_metropolis_always_feasible(topo):
+    check_weight_matrix(metropolis_weights(topo), topo)
+
+
+@given(topologies(), st.floats(0.0, 0.5))
+@settings(max_examples=30, deadline=None)
+def test_metropolis_epsilon_keeps_structure(topo, epsilon):
+    w = metropolis_weights(topo, epsilon=epsilon)
+    assert is_symmetric(w)
+    assert is_doubly_stochastic(w)
+
+
+@given(topologies())
+@settings(max_examples=30, deadline=None)
+def test_spectrum_bounds_hold(topo):
+    report = analyze_weight_matrix(metropolis_weights(topo))
+    np.testing.assert_allclose(report.largest, 1.0, atol=1e-9)
+    assert -1.0 - 1e-9 <= report.smallest <= 1.0
+    assert report.second_largest <= 1.0
+
+
+@given(topologies())
+@settings(max_examples=30, deadline=None)
+def test_lazify_preserves_feasibility(topo):
+    lazy = lazify(metropolis_weights(topo))
+    check_weight_matrix(lazy, topo)
+    assert analyze_weight_matrix(lazy).smallest >= -1e-9
+
+
+@given(topologies())
+@settings(max_examples=10, deadline=None)
+def test_optimizer_output_always_feasible_and_no_worse(topo):
+    result = optimize_weight_matrix(topo, iterations=30)
+    check_weight_matrix(result.matrix, topo)
+    baseline = analyze_weight_matrix(metropolis_weights(topo)).rate_score
+    assert result.report.rate_score >= baseline - 1e-9
+
+
+@given(topologies(), st.integers(0, 2**31 - 1))
+@settings(max_examples=20, deadline=None)
+def test_projection_idempotent(topo, seed):
+    parametrization = EdgeParametrization(topo, min_self_weight=0.01)
+    rng = np.random.default_rng(seed)
+    theta = rng.normal(0.2, 0.4, size=parametrization.n_edges)
+    once = parametrization.project(theta)
+    twice = parametrization.project(once)
+    np.testing.assert_allclose(once, twice, atol=1e-8)

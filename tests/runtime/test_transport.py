@@ -1,0 +1,84 @@
+"""Tests for repro.runtime.transport over real localhost sockets."""
+
+import socket
+import threading
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.network.messages import ParameterUpdate
+from repro.runtime.transport import HEADER_BYTES, FrameConnection
+
+
+@pytest.fixture
+def socket_pair():
+    """A connected (client, server) socket pair on localhost."""
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(1)
+    port = listener.getsockname()[1]
+    client = socket.create_connection(("127.0.0.1", port))
+    server, _ = listener.accept()
+    listener.close()
+    yield FrameConnection(client), FrameConnection(server)
+    client.close()
+    server.close()
+
+
+def make_update(total=30, n_sent=7, seed=0, sender=2, round_index=5):
+    rng = np.random.default_rng(seed)
+    indices = np.sort(rng.choice(total, size=n_sent, replace=False))
+    return ParameterUpdate(
+        sender=sender,
+        round_index=round_index,
+        total_params=total,
+        indices=indices.astype(np.int64),
+        values=rng.normal(size=n_sent),
+    )
+
+
+class TestFrameConnection:
+    def test_round_trip_over_a_real_socket(self, socket_pair):
+        client, server = socket_pair
+        update = make_update()
+        client.send_update(update)
+        received = server.recv_update()
+        assert received.sender == update.sender
+        assert received.round_index == update.round_index
+        np.testing.assert_array_equal(received.indices, update.indices)
+        np.testing.assert_array_equal(received.values, update.values)
+
+    def test_payload_byte_count_matches_accounting(self, socket_pair):
+        client, _ = socket_pair
+        update = make_update()
+        assert client.send_update(update) == update.size_bytes
+
+    def test_multiple_frames_stream_in_order(self, socket_pair):
+        client, server = socket_pair
+        updates = [make_update(seed=s, round_index=s) for s in range(5)]
+        for update in updates:
+            client.send_update(update)
+        for update in updates:
+            received = server.recv_update()
+            assert received.round_index == update.round_index
+
+    def test_both_frame_formats_cross_the_wire(self, socket_pair):
+        client, server = socket_pair
+        dense = ParameterUpdate.dense(0, 1, np.arange(6.0))  # UNCHANGED_INDEX
+        sparse = make_update(total=40, n_sent=2)  # INDEX_VALUE
+        client.send_update(dense)
+        client.send_update(sparse)
+        first = server.recv_update()
+        second = server.recv_update()
+        np.testing.assert_array_equal(first.values, np.arange(6.0))
+        assert second.n_sent == 2
+
+    def test_closed_connection_raises_protocol_error(self, socket_pair):
+        client, server = socket_pair
+        client.close()
+        with pytest.raises(ProtocolError):
+            server.recv_update()
+
+    def test_header_size_constant(self):
+        assert HEADER_BYTES == 17  # 4 + 4 + 1 + 4 + 4

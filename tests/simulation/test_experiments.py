@@ -1,0 +1,62 @@
+"""Tests for repro.simulation.experiments (the standard workloads)."""
+
+import pytest
+
+from repro.models.mlp import MLPClassifier
+from repro.models.svm import LinearSVM
+from repro.simulation.experiments import credit_svm_workload, mnist_mlp_workload
+
+
+class TestCreditSvmWorkload:
+    def test_paper_geometry(self):
+        workload = credit_svm_workload(
+            n_servers=10, average_degree=3, n_train=500, n_test=100, seed=0
+        )
+        assert isinstance(workload.model, LinearSVM)
+        assert workload.model.n_features == 24
+        assert workload.topology.n_nodes == 10
+        assert len(workload.shards) == 10
+        assert sum(s.n_samples for s in workload.shards) == 500
+        assert workload.test_set.n_samples == 100
+        assert workload.n_servers == 10
+
+    def test_topology_hits_target_degree(self):
+        workload = credit_svm_workload(
+            n_servers=30, average_degree=4, n_train=600, n_test=100, seed=1
+        )
+        assert workload.topology.average_degree() == pytest.approx(4.0, abs=0.2)
+        assert workload.topology.is_connected()
+
+    def test_deterministic_given_seed(self):
+        a = credit_svm_workload(n_servers=5, n_train=200, n_test=50, seed=7)
+        b = credit_svm_workload(n_servers=5, n_train=200, n_test=50, seed=7)
+        assert a.topology == b.topology
+        import numpy as np
+
+        np.testing.assert_array_equal(a.shards[0].X, b.shards[0].X)
+
+    def test_name_encodes_settings(self):
+        workload = credit_svm_workload(
+            n_servers=12, average_degree=3, n_train=200, n_test=50, seed=0
+        )
+        assert "n12" in workload.name
+
+
+class TestMnistMlpWorkload:
+    def test_paper_geometry(self):
+        workload = mnist_mlp_workload(n_train=300, n_test=60, seed=0)
+        assert isinstance(workload.model, MLPClassifier)
+        assert workload.model.layer_sizes == (784, 30, 10)
+        assert workload.topology.n_nodes == 3
+        # fully connected testbed
+        assert workload.topology.n_edges == 3
+        assert sum(s.n_samples for s in workload.shards) == 300
+
+    def test_custom_hidden_units(self):
+        workload = mnist_mlp_workload(hidden_units=16, n_train=120, n_test=30, seed=0)
+        assert workload.model.layer_sizes == (784, 16, 10)
+
+    def test_shards_nearly_equal(self):
+        workload = mnist_mlp_workload(n_train=301, n_test=30, seed=0)
+        sizes = [s.n_samples for s in workload.shards]
+        assert max(sizes) - min(sizes) <= 1

@@ -1,0 +1,82 @@
+"""Tests for repro.simulation.export — CSV persistence of sweep rows/traces."""
+
+import pytest
+
+from repro.exceptions import DataError
+from repro.results import RoundRecord, TrainingResult
+from repro.simulation.export import read_rows_csv, write_rows_csv, write_trace_csv
+
+import numpy as np
+
+
+class TestRowsCsv:
+    def test_round_trip(self, tmp_path):
+        rows = [
+            {"scheme": "snap", "iterations": 42, "accuracy": 0.91},
+            {"scheme": "ps", "iterations": 33, "accuracy": 0.9},
+        ]
+        path = write_rows_csv(rows, tmp_path / "sweep.csv")
+        assert read_rows_csv(path) == rows
+
+    def test_union_header_with_missing_cells(self, tmp_path):
+        rows = [{"a": 1}, {"a": 2, "b": "x"}]
+        loaded = read_rows_csv(write_rows_csv(rows, tmp_path / "u.csv"))
+        assert loaded[0] == {"a": 1, "b": None}
+        assert loaded[1] == {"a": 2, "b": "x"}
+
+    def test_booleans_and_none_round_trip(self, tmp_path):
+        rows = [{"converged": True, "note": None}]
+        loaded = read_rows_csv(write_rows_csv(rows, tmp_path / "b.csv"))
+        assert loaded[0]["converged"] is True
+        assert loaded[0]["note"] is None
+
+    def test_empty_rows_rejected(self, tmp_path):
+        with pytest.raises(DataError):
+            write_rows_csv([], tmp_path / "empty.csv")
+
+
+class TestTraceCsv:
+    def test_trace_written_per_round(self, tmp_path):
+        result = TrainingResult(
+            scheme="snap",
+            rounds=[
+                RoundRecord(1, 1.0, 0.1, 100, 100, 10),
+                RoundRecord(2, 0.5, 0.05, 80, 80, 8, accuracy=0.9),
+            ],
+            converged_at=None,
+            final_params=np.zeros(2),
+            total_bytes=180,
+            total_cost=180,
+        )
+        loaded = read_rows_csv(write_trace_csv(result, tmp_path / "trace.csv"))
+        assert len(loaded) == 2
+        assert loaded[0]["round"] == 1
+        assert loaded[1]["accuracy"] == 0.9
+        assert loaded[0]["accuracy"] is None
+
+    def test_empty_result_rejected(self, tmp_path):
+        result = TrainingResult(
+            scheme="snap",
+            rounds=[],
+            converged_at=None,
+            final_params=np.zeros(1),
+            total_bytes=0,
+            total_cost=0,
+        )
+        with pytest.raises(DataError):
+            write_trace_csv(result, tmp_path / "trace.csv")
+
+    def test_sweep_rows_export_end_to_end(self, tmp_path):
+        from repro.simulation.sweep import sweep_network_scale
+
+        rows = sweep_network_scale(
+            schemes=("centralized",),
+            n_servers_values=(4,),
+            max_rounds=40,
+            n_train=200,
+            n_test=60,
+            seed=0,
+        )
+        loaded = read_rows_csv(write_rows_csv(rows, tmp_path / "sweep.csv"))
+        assert loaded[0]["scheme"] == "centralized"
+        assert loaded[0]["n_servers"] == 4

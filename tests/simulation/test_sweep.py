@@ -1,0 +1,73 @@
+"""Tests for repro.simulation.sweep."""
+
+import pytest
+
+from repro.simulation.sweep import sweep_network_scale, sweep_node_degree
+
+
+class TestSweepNetworkScale:
+    def test_one_row_per_point_and_scheme(self):
+        rows = sweep_network_scale(
+            schemes=("centralized", "snap0"),
+            n_servers_values=(4, 6),
+            max_rounds=60,
+            n_train=400,
+            n_test=100,
+            seed=0,
+        )
+        assert len(rows) == 4
+        assert {(r["n_servers"], r["scheme"]) for r in rows} == {
+            (4, "centralized"),
+            (6, "centralized"),
+            (4, "snap0"),
+            (6, "snap0"),
+        }
+
+    def test_rows_carry_expected_fields(self):
+        rows = sweep_network_scale(
+            schemes=("snap0",),
+            n_servers_values=(4,),
+            max_rounds=60,
+            n_train=300,
+            n_test=80,
+            seed=0,
+        )
+        row = rows[0]
+        for field in (
+            "n_servers",
+            "average_degree",
+            "target_loss",
+            "iterations_to_converge",
+            "total_bytes",
+            "total_cost",
+            "final_accuracy",
+        ):
+            assert field in row
+
+
+class TestSweepNodeDegree:
+    def test_degrees_swept(self):
+        rows = sweep_node_degree(
+            schemes=("snap0",),
+            degree_values=(2.0, 3.0),
+            n_servers=6,
+            max_rounds=60,
+            n_train=300,
+            n_test=80,
+            seed=0,
+        )
+        degrees = sorted({round(r["average_degree"], 1) for r in rows})
+        assert degrees == [2.0, 3.0]
+
+    def test_target_is_shared_within_a_point(self):
+        rows = sweep_node_degree(
+            schemes=("centralized", "snap0"),
+            degree_values=(3.0,),
+            n_servers=6,
+            max_rounds=60,
+            n_train=300,
+            n_test=80,
+            seed=0,
+        )
+        targets = {r["target_loss"] for r in rows}
+        assert len(targets) == 1

@@ -1,0 +1,115 @@
+"""Tests for repro.topology.generators."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology.generators import (
+    complete_topology,
+    grid_topology,
+    random_regular_topology,
+    random_topology,
+    ring_topology,
+    star_topology,
+)
+
+
+class TestStructuredTopologies:
+    def test_complete(self):
+        topo = complete_topology(4)
+        assert topo.n_edges == 6
+        assert all(topo.degree(node) == 3 for node in topo)
+        assert topo.is_connected()
+
+    def test_complete_rejects_zero(self):
+        with pytest.raises(TopologyError):
+            complete_topology(0)
+
+    def test_ring_degrees(self):
+        topo = ring_topology(7)
+        assert all(topo.degree(node) == 2 for node in topo)
+        assert topo.n_edges == 7
+        assert topo.is_connected()
+
+    def test_ring_needs_three_nodes(self):
+        with pytest.raises(TopologyError):
+            ring_topology(2)
+
+    def test_star(self):
+        topo = star_topology(5, center=2)
+        assert topo.degree(2) == 4
+        assert all(topo.degree(n) == 1 for n in topo if n != 2)
+
+    def test_star_rejects_bad_center(self):
+        with pytest.raises(TopologyError):
+            star_topology(3, center=5)
+
+    def test_grid(self):
+        topo = grid_topology(3, 4)
+        assert topo.n_nodes == 12
+        # edges: horizontal 3*3 + vertical 2*4 = 17
+        assert topo.n_edges == 17
+        assert topo.is_connected()
+        # corner nodes have degree 2
+        assert topo.degree(0) == 2
+
+    def test_grid_rejects_zero_dims(self):
+        with pytest.raises(TopologyError):
+            grid_topology(0, 3)
+
+
+class TestRandomTopology:
+    def test_connected_and_hits_target_degree(self):
+        topo = random_topology(30, 4.0, seed=0)
+        assert topo.is_connected()
+        assert topo.average_degree() == pytest.approx(4.0, abs=0.2)
+
+    def test_deterministic_given_seed(self):
+        a = random_topology(15, 3.0, seed=9)
+        b = random_topology(15, 3.0, seed=9)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = random_topology(15, 3.0, seed=1)
+        b = random_topology(15, 3.0, seed=2)
+        assert a != b
+
+    def test_minimum_degree_gives_tree(self):
+        n = 10
+        topo = random_topology(n, 2.0 * (n - 1) / n, seed=3)
+        assert topo.n_edges == n - 1
+        assert topo.is_connected()
+
+    def test_max_degree_gives_complete_graph(self):
+        topo = random_topology(6, 5.0, seed=4)
+        assert topo.n_edges == 15
+
+    def test_too_small_degree_rejected(self):
+        with pytest.raises(TopologyError):
+            random_topology(10, 1.0, seed=0)
+
+    def test_too_large_degree_rejected(self):
+        with pytest.raises(TopologyError):
+            random_topology(10, 10.0, seed=0)
+
+    def test_needs_two_nodes(self):
+        with pytest.raises(TopologyError):
+            random_topology(1, 0.0, seed=0)
+
+
+class TestRandomRegular:
+    def test_exact_degrees(self):
+        topo = random_regular_topology(12, 3, seed=0)
+        assert all(topo.degree(node) == 3 for node in topo)
+        assert topo.is_connected()
+
+    def test_parity_constraint(self):
+        with pytest.raises(TopologyError):
+            random_regular_topology(5, 3, seed=0)
+
+    def test_degree_must_be_below_n(self):
+        with pytest.raises(TopologyError):
+            random_regular_topology(4, 4, seed=0)
+
+    def test_degree_at_least_two(self):
+        with pytest.raises(TopologyError):
+            random_regular_topology(6, 1, seed=0)

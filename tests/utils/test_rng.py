@@ -1,0 +1,57 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_int_seed_is_deterministic(self):
+        a = make_rng(7).random(5)
+        b = make_rng(7).random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).random(5)
+        b = make_rng(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_generator_passes_through_unchanged(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_a_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+    def test_threading_a_generator_advances_state(self):
+        gen = make_rng(3)
+        first = make_rng(gen).random()
+        second = make_rng(gen).random()
+        assert first != second
+
+
+class TestSpawnRngs:
+    def test_count_and_types(self):
+        children = spawn_rngs(9, 4)
+        assert len(children) == 4
+        assert all(isinstance(c, np.random.Generator) for c in children)
+
+    def test_children_are_independent_streams(self):
+        children = spawn_rngs(9, 3)
+        draws = [c.random(8) for c in children]
+        assert not np.array_equal(draws[0], draws[1])
+        assert not np.array_equal(draws[1], draws[2])
+
+    def test_deterministic_given_seed(self):
+        a = [c.random(4) for c in spawn_rngs(11, 2)]
+        b = [c.random(4) for c in spawn_rngs(11, 2)]
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
+
+    def test_zero_count_gives_empty_list(self):
+        assert spawn_rngs(1, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)

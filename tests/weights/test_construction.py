@@ -1,0 +1,93 @@
+"""Tests for repro.weights.construction."""
+
+import numpy as np
+import pytest
+
+from repro.topology.generators import (
+    complete_topology,
+    random_topology,
+    ring_topology,
+    star_topology,
+)
+from repro.utils.linalg import is_doubly_stochastic, is_symmetric
+from repro.weights.construction import (
+    max_degree_weights,
+    metropolis_weights,
+    uniform_neighbor_weights,
+)
+from repro.weights.validation import check_weight_matrix
+
+
+@pytest.fixture(params=["ring", "star", "complete", "random"])
+def topology(request):
+    return {
+        "ring": ring_topology(6),
+        "star": star_topology(7),
+        "complete": complete_topology(5),
+        "random": random_topology(12, 3.5, seed=1),
+    }[request.param]
+
+
+class TestMetropolisWeights:
+    def test_structurally_valid_on_all_topologies(self, topology):
+        w = metropolis_weights(topology)
+        check_weight_matrix(w, topology)
+
+    def test_matches_equation_24_off_diagonal(self):
+        topo = star_topology(4)  # center 0 has degree 3, leaves degree 1
+        epsilon = 0.01
+        w = metropolis_weights(topo, epsilon=epsilon)
+        expected = 1.0 / (3 + epsilon)
+        for leaf in (1, 2, 3):
+            assert w[0, leaf] == pytest.approx(expected)
+
+    def test_diagonal_completes_rows_to_one(self, topology):
+        w = metropolis_weights(topology)
+        np.testing.assert_allclose(w.sum(axis=1), 1.0)
+
+    def test_positive_epsilon_gives_positive_diagonal(self, topology):
+        w = metropolis_weights(topology, epsilon=0.05)
+        assert np.all(np.diag(w) > 0)
+
+    def test_zero_epsilon_allowed(self):
+        topo = ring_topology(5)
+        w = metropolis_weights(topo, epsilon=0.0)
+        assert is_doubly_stochastic(w)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(Exception):
+            metropolis_weights(ring_topology(5), epsilon=-0.1)
+
+
+class TestMaxDegreeWeights:
+    def test_structurally_valid(self, topology):
+        check_weight_matrix(max_degree_weights(topology), topology)
+
+    def test_uniform_edge_weight(self):
+        topo = star_topology(5)
+        w = max_degree_weights(topo)
+        # max degree 4 -> every edge weight 1/5
+        for i in range(1, 5):
+            assert w[0, i] == pytest.approx(0.2)
+
+    def test_edgeless_topology_gives_identity(self):
+        from repro.topology.graph import Topology
+
+        topo = Topology(3, [])
+        np.testing.assert_array_equal(max_degree_weights(topo), np.eye(3))
+
+
+class TestUniformNeighborWeights:
+    def test_structurally_valid(self, topology):
+        check_weight_matrix(uniform_neighbor_weights(topology), topology)
+
+    def test_symmetrized_by_minimum_share(self):
+        topo = star_topology(4)
+        w = uniform_neighbor_weights(topo, self_weight=0.4)
+        # center share = 0.6/3 = 0.2, leaf share = 0.6 -> edge weight 0.2
+        assert w[0, 1] == pytest.approx(0.2)
+        assert is_symmetric(w)
+
+    def test_bad_self_weight_rejected(self):
+        with pytest.raises(Exception):
+            uniform_neighbor_weights(ring_topology(5), self_weight=1.0)

@@ -1,0 +1,123 @@
+"""Tests for repro.weights.optimizer — the Section IV-B solvers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import OptimizationError
+from repro.topology.generators import (
+    complete_topology,
+    random_topology,
+    ring_topology,
+)
+from repro.topology.graph import Topology
+from repro.weights.construction import metropolis_weights
+from repro.weights.optimizer import (
+    lazify,
+    maximize_smallest_eigenvalue,
+    minimize_second_eigenvalue,
+    optimize_weight_matrix,
+)
+from repro.weights.spectrum import analyze_weight_matrix
+from repro.weights.validation import check_weight_matrix
+
+
+@pytest.fixture
+def topo():
+    return random_topology(10, 3.0, seed=11)
+
+
+class TestMinimizeSecondEigenvalue:
+    def test_result_is_feasible(self, topo):
+        result = minimize_second_eigenvalue(topo, iterations=80)
+        check_weight_matrix(result.matrix, topo)
+
+    def test_improves_on_metropolis(self, topo):
+        baseline = analyze_weight_matrix(metropolis_weights(topo)).second_largest
+        result = minimize_second_eigenvalue(topo, iterations=120)
+        assert result.report.second_largest <= baseline + 1e-9
+
+    def test_objective_trace_is_monotone(self, topo):
+        result = minimize_second_eigenvalue(topo, iterations=60)
+        trace = np.array(result.objective_trace)
+        assert np.all(np.diff(trace) <= 1e-12)
+
+    def test_ring_known_optimum_direction(self):
+        # On a ring the optimal lambda_2 is cos(2 pi / n) scaled by mixing;
+        # we only assert the solver beats the trivial uniform construction.
+        topo = ring_topology(8)
+        baseline = analyze_weight_matrix(metropolis_weights(topo)).second_largest
+        result = minimize_second_eigenvalue(topo, iterations=150)
+        assert result.report.second_largest < baseline
+
+    def test_complete_graph_reaches_near_zero(self):
+        # On K_n the uniform averaging matrix has lambda_2 = 0 (optimal
+        # among PSD candidates); the solver should approach a small value.
+        topo = complete_topology(5)
+        result = minimize_second_eigenvalue(topo, iterations=200)
+        assert result.report.second_largest < 0.1
+
+
+class TestMaximizeSmallestEigenvalue:
+    def test_result_is_feasible(self, topo):
+        result = maximize_smallest_eigenvalue(topo, iterations=80)
+        check_weight_matrix(result.matrix, topo)
+
+    def test_improves_on_metropolis(self, topo):
+        baseline = analyze_weight_matrix(metropolis_weights(topo)).smallest
+        result = maximize_smallest_eigenvalue(topo, iterations=120)
+        assert result.report.smallest >= baseline - 1e-9
+
+    def test_identity_direction_is_the_limit(self):
+        # lambda_min is maximized by shrinking edge weights toward zero
+        # (identity); the solver should push lambda_min close to 0 or above.
+        topo = ring_topology(6)
+        result = maximize_smallest_eigenvalue(topo, iterations=200)
+        assert result.report.smallest > -0.25
+
+
+class TestOptimizeWeightMatrix:
+    def test_never_worse_than_metropolis(self, topo):
+        best = optimize_weight_matrix(topo, iterations=80)
+        baseline = analyze_weight_matrix(metropolis_weights(topo)).rate_score
+        assert best.report.rate_score >= baseline - 1e-9
+
+    def test_feasible(self, topo):
+        best = optimize_weight_matrix(topo, iterations=80)
+        check_weight_matrix(best.matrix, topo)
+
+    def test_problem_label_is_set(self, topo):
+        best = optimize_weight_matrix(topo, iterations=50)
+        assert best.problem in {
+            "min_second_eigenvalue",
+            "max_smallest_eigenvalue",
+            "lazy_min_second_eigenvalue",
+            "lazy_max_smallest_eigenvalue",
+            "metropolis_baseline",
+        }
+
+    def test_single_node_rejected(self):
+        with pytest.raises(OptimizationError):
+            optimize_weight_matrix(Topology(1, []))
+
+    def test_edgeless_rejected(self):
+        with pytest.raises(OptimizationError):
+            optimize_weight_matrix(Topology(3, []))
+
+
+class TestLazify:
+    def test_spectrum_shifts_toward_one(self, topo):
+        w = metropolis_weights(topo)
+        lazy = lazify(w)
+        original = analyze_weight_matrix(w)
+        shifted = analyze_weight_matrix(lazy)
+        assert shifted.smallest == pytest.approx((original.smallest + 1) / 2)
+        assert shifted.second_largest == pytest.approx(
+            (original.second_largest + 1) / 2
+        )
+
+    def test_stays_feasible(self, topo):
+        check_weight_matrix(lazify(metropolis_weights(topo)), topo)
+
+    def test_lazy_smallest_eigenvalue_is_nonnegative(self, topo):
+        lazy = lazify(metropolis_weights(topo))
+        assert analyze_weight_matrix(lazy).smallest >= -1e-9

@@ -1,0 +1,71 @@
+"""Weight optimization on structured topologies: known-answer sanity checks."""
+
+import numpy as np
+import pytest
+
+from repro.topology.generators import (
+    complete_topology,
+    grid_topology,
+    ring_topology,
+    scale_free_topology,
+    small_world_topology,
+    star_topology,
+)
+from repro.weights.construction import metropolis_weights
+from repro.weights.optimizer import optimize_weight_matrix
+from repro.weights.spectrum import analyze_weight_matrix
+from repro.weights.validation import check_weight_matrix
+
+
+class TestStructuredTopologies:
+    @pytest.mark.parametrize(
+        "topology",
+        [
+            ring_topology(8),
+            star_topology(7),
+            grid_topology(3, 3),
+            complete_topology(6),
+            small_world_topology(12, seed=0),
+            scale_free_topology(12, seed=0),
+        ],
+        ids=["ring", "star", "grid", "complete", "small-world", "scale-free"],
+    )
+    def test_feasible_and_no_worse_than_metropolis(self, topology):
+        result = optimize_weight_matrix(topology, iterations=80)
+        check_weight_matrix(result.matrix, topology)
+        baseline = analyze_weight_matrix(metropolis_weights(topology)).rate_score
+        assert result.report.rate_score >= baseline - 1e-9
+
+    def test_complete_graph_optimum_approaches_uniform_averaging(self):
+        """On K_n the ideal mixer is J/n (rate score 1); the solver should
+        get most of the way there."""
+        topology = complete_topology(6)
+        result = optimize_weight_matrix(topology, iterations=250)
+        assert result.report.rate_score > 0.8
+
+    def test_star_center_carries_the_mixing(self):
+        """On a star every path runs through the hub; the optimizer must put
+        substantial weight on the hub's links."""
+        topology = star_topology(8, center=0)
+        result = optimize_weight_matrix(topology, iterations=150)
+        hub_weights = [result.matrix[0, leaf] for leaf in range(1, 8)]
+        assert min(hub_weights) > 0.01
+
+    def test_ring_beats_its_metropolis_spectral_gap(self):
+        topology = ring_topology(10)
+        result = optimize_weight_matrix(topology, iterations=200)
+        baseline = analyze_weight_matrix(metropolis_weights(topology))
+        assert result.report.rate_score > baseline.rate_score
+
+    def test_rate_scores_order_by_connectivity(self):
+        """More connectivity -> better achievable mixing: K_n > grid > ring."""
+        scores = {}
+        for name, topology in (
+            ("complete", complete_topology(9)),
+            ("grid", grid_topology(3, 3)),
+            ("ring", ring_topology(9)),
+        ):
+            scores[name] = optimize_weight_matrix(
+                topology, iterations=150
+            ).report.rate_score
+        assert scores["complete"] > scores["grid"] > scores["ring"]

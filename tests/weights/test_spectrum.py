@@ -1,0 +1,48 @@
+"""Tests for repro.weights.spectrum."""
+
+import numpy as np
+import pytest
+
+from repro.weights.spectrum import analyze_weight_matrix
+
+
+class TestAnalyzeWeightMatrix:
+    def test_complete_average_matrix(self):
+        n = 4
+        w = np.full((n, n), 1.0 / n)
+        report = analyze_weight_matrix(w)
+        assert report.largest == pytest.approx(1.0)
+        assert report.second_largest == pytest.approx(0.0, abs=1e-12)
+        assert report.smallest == pytest.approx(0.0, abs=1e-12)
+        assert report.upper_gap == pytest.approx(1.0)
+        assert report.lower_gap == pytest.approx(1.0)
+        assert report.rate_score == pytest.approx(1.0)
+
+    def test_two_node_matrix(self):
+        a = 0.6
+        w = np.array([[a, 1 - a], [1 - a, a]])
+        report = analyze_weight_matrix(w)
+        assert report.second_largest == pytest.approx(2 * a - 1)
+        assert report.smallest == pytest.approx(2 * a - 1)
+        assert report.rate_score == pytest.approx((1 - (2 * a - 1)) * (1 + (2 * a - 1)))
+
+    def test_identity_has_zero_score(self):
+        report = analyze_weight_matrix(np.eye(3))
+        assert report.second_largest == 1.0
+        assert report.upper_gap == 0.0
+        assert report.rate_score == 0.0
+
+    def test_rate_score_is_product_of_gaps(self):
+        w = np.diag([1.0, 0.5, -0.4])
+        report = analyze_weight_matrix(w)
+        assert report.rate_score == pytest.approx(report.upper_gap * report.lower_gap)
+
+    def test_lazification_improves_score_of_negative_spectrum(self):
+        # Eigenvalues 1 and -0.9: lower gap 0.1 dominates badly.
+        a = 0.05
+        w = np.array([[a, 1 - a], [1 - a, a]])
+        lazy = (w + np.eye(2)) / 2
+        assert (
+            analyze_weight_matrix(lazy).rate_score
+            > analyze_weight_matrix(w).rate_score
+        )

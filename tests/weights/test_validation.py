@@ -1,0 +1,66 @@
+"""Tests for repro.weights.validation.check_weight_matrix."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import WeightMatrixError
+from repro.topology.graph import Topology
+from repro.weights.construction import metropolis_weights
+from repro.weights.validation import check_weight_matrix
+
+
+@pytest.fixture
+def topo():
+    return Topology(4, [(0, 1), (1, 2), (2, 3)])
+
+
+class TestCheckWeightMatrix:
+    def test_accepts_metropolis(self, topo):
+        w = metropolis_weights(topo)
+        out = check_weight_matrix(w, topo)
+        np.testing.assert_array_equal(out, w)
+
+    def test_rejects_wrong_shape(self, topo):
+        with pytest.raises(WeightMatrixError, match="shape"):
+            check_weight_matrix(np.eye(3), topo)
+
+    def test_rejects_asymmetric(self, topo):
+        w = metropolis_weights(topo)
+        w[0, 1] += 0.01
+        with pytest.raises(WeightMatrixError, match="symmetric"):
+            check_weight_matrix(w, topo)
+
+    def test_rejects_bad_row_sums(self, topo):
+        w = metropolis_weights(topo)
+        w[0, 0] += 0.05
+        with pytest.raises(WeightMatrixError, match="stochastic"):
+            check_weight_matrix(w, topo)
+
+    def test_rejects_negative_entries(self, topo):
+        w = metropolis_weights(topo)
+        w[0, 0] -= 2 * w[0, 1]
+        w[0, 1] += w[0, 1]  # keep row sum 1 but this breaks symmetry anyway
+        w = (w + w.T) / 2
+        w[1, 1] = 1 - w[1].sum() + w[1, 1]
+        # Construct a clean negative-entry violation instead:
+        bad = np.array(
+            [
+                [1.2, -0.2, 0.0, 0.0],
+                [-0.2, 1.2, 0.0, 0.0],
+                [0.0, 0.0, 1.0, 0.0],
+                [0.0, 0.0, 0.0, 1.0],
+            ]
+        )
+        with pytest.raises(WeightMatrixError):
+            check_weight_matrix(bad, topo)
+
+    def test_rejects_mass_outside_neighbor_set(self, topo):
+        # Valid doubly stochastic but uses the (0, 3) non-edge.
+        w = np.eye(4)
+        w[0, 0] = w[3, 3] = 0.5
+        w[0, 3] = w[3, 0] = 0.5
+        with pytest.raises(WeightMatrixError, match="non-neighbor"):
+            check_weight_matrix(w, topo)
+
+    def test_identity_is_always_feasible(self, topo):
+        check_weight_matrix(np.eye(4), topo)
