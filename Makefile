@@ -1,0 +1,23 @@
+# Development entry points. All targets assume the repo's src layout
+# (PYTHONPATH=src) so no editable install is required.
+
+PYTHON ?= python
+PYTEST := PYTHONPATH=src $(PYTHON) -m pytest
+
+.PHONY: test chaos test-all bench
+
+## The default suite: everything except the fault-injection tests.
+test:
+	$(PYTEST) -m "not chaos"
+
+## The fault suite: chaos-injection tests only (link outages, crashes,
+## corruption, partitions — simulator and TCP testbed).
+chaos:
+	$(PYTEST) -m chaos
+
+## Everything, chaos included (what CI / the tier-1 gate runs).
+test-all:
+	$(PYTEST)
+
+bench:
+	$(PYTEST) benchmarks --benchmark-only

@@ -19,6 +19,8 @@ Format: a single ``.npz`` file. Arrays are stored under structured keys
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from pathlib import Path
 
 import numpy as np
@@ -70,9 +72,26 @@ def save_checkpoint(trainer, path: str | Path) -> Path:
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
     path = Path(path)
-    np.savez(path, **arrays)
-    # np.savez appends .npz when missing; normalize the returned path.
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    # Match np.savez's append-.npz-when-missing convention for the final name.
+    final = path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    # Crash-safe write: serialize into a temp file in the same directory, then
+    # atomically rename into place, so a server killed mid-checkpoint can
+    # never leave a truncated .npz behind — the previous checkpoint (if any)
+    # survives intact until the new one is fully on disk.
+    fd, tmp_name = tempfile.mkstemp(
+        dir=final.parent, prefix=f".{final.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as stream:
+            np.savez(stream, **arrays)
+        os.replace(tmp_name, final)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return final
 
 
 def restore_checkpoint(trainer, path: str | Path) -> None:

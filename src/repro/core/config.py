@@ -112,6 +112,12 @@ class SNAPConfig:
         optimum under unequal shard sizes.
     max_rounds:
         Hard iteration cap.
+    max_partitioned_rounds:
+        Degradation guard: abort with
+        :class:`~repro.exceptions.NetworkPartitionError` once the
+        delivered-message graph has been partitioned for this many
+        *consecutive* rounds (consensus cannot progress across the cut).
+        ``None`` (the default) never aborts — the trainer only warns.
     seed:
         Seed for tie-breaking randomness (none in the core loop itself, but
         threaded to failure models created from this config).
@@ -131,6 +137,7 @@ class SNAPConfig:
     straggler_strategy: StragglerStrategy = StragglerStrategy.STALE
     shard_weighting: ShardWeighting = ShardWeighting.UNIFORM
     max_rounds: int = 500
+    max_partitioned_rounds: int | None = None
     seed: int | None = None
 
     def __post_init__(self) -> None:
@@ -164,6 +171,8 @@ class SNAPConfig:
                 f"{self.shard_weighting!r}"
             )
         check_positive_int("max_rounds", self.max_rounds)
+        if self.max_partitioned_rounds is not None:
+            check_positive_int("max_partitioned_rounds", self.max_partitioned_rounds)
 
     @classmethod
     def snap0(cls, **overrides) -> "SNAPConfig":

@@ -232,7 +232,10 @@ class EdgeServer:
             gradient = self.local_gradient(self.params)
             new_params = mixed - self.alpha * gradient
         else:
-            if not self.previous_views:
+            # (A neighborless server — a fully isolated EXTRA run — has a
+            # legitimately empty previous layer; the guard is for servers
+            # whose views were never advanced.)
+            if self.neighbors and not self.previous_views:
                 raise ProtocolError(
                     "advance_views() must run before the second step so the "
                     "previous-iteration view layer exists"

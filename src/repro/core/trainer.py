@@ -20,6 +20,8 @@ loop into the paper's SNAP-0 and SNO comparison schemes.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 
 from repro.consensus.convergence import ConvergenceDetector, consensus_error
@@ -27,7 +29,8 @@ from repro.consensus.step_size import safe_step_size
 from repro.core.config import SelectionPolicy, ShardWeighting, SNAPConfig
 from repro.core.server import EdgeServer
 from repro.data.dataset import Dataset
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, NetworkPartitionError
+from repro.faults.plan import FaultPlan
 from repro.models.base import Model
 from repro.models.metrics import accuracy_score
 from repro.network.channel import Channel
@@ -45,6 +48,41 @@ from repro.types import Params, WeightMatrix
 from repro.weights.construction import metropolis_weights
 from repro.weights.optimizer import optimize_weight_matrix
 from repro.weights.validation import check_weight_matrix
+
+#: Consecutive partitioned rounds before the trainer emits a warning (the
+#: abort threshold is the separate ``SNAPConfig.max_partitioned_rounds``).
+PARTITION_WARN_ROUNDS = 10
+
+
+def _delivered_graph_connected(
+    n_nodes: int,
+    delivered: set[tuple[int, int]],
+    down: frozenset = frozenset(),
+) -> bool:
+    """Whether the round's delivered updates span all *up* servers (union-find).
+
+    Servers in ``down`` are excluded: a crashed server is the straggler
+    rule's business (it resumes from cached state), not a partition. What
+    this flags is live servers split into islands that exchanged nothing.
+    """
+    active = n_nodes - len(down)
+    if active <= 1:
+        return True
+    parent = list(range(n_nodes))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    components = active
+    for u, v in delivered:
+        ru, rv = find(u), find(v)
+        if ru != rv:
+            parent[ru] = rv
+            components -= 1
+    return components == 1
 
 
 class SNAPTrainer:
@@ -66,6 +104,13 @@ class SNAPTrainer:
         Optional server-outage injector (Section IV-D's "server shut down"):
         a downed server skips the round entirely — no local step, no
         transmissions, no receptions — and resumes from its last state.
+    fault_plan:
+        Optional unified :class:`~repro.faults.FaultPlan`: its link models,
+        node models, and corruption model are all injected at once (and
+        composed with ``failure_model`` / ``node_failure_model`` when those
+        are also given). Corrupted frames consume bytes but are never
+        applied — the receiver falls back to its cached view, exactly as for
+        a failed link.
     weight_matrix:
         Explicit mixing matrix override; when ``None`` the matrix comes from
         the Section IV-B optimization (or eq. 24 if
@@ -82,6 +127,7 @@ class SNAPTrainer:
         config: SNAPConfig | None = None,
         failure_model: LinkFailureModel | None = None,
         node_failure_model: NodeFailureModel | None = None,
+        fault_plan: FaultPlan | None = None,
         weight_matrix: WeightMatrix | None = None,
         initial_params: Params | None = None,
     ):
@@ -155,10 +201,35 @@ class SNAPTrainer:
         ]
 
         self.tracker = CommunicationCostTracker()
-        self.channel = Channel(topology, self.tracker, failure_model)
-        self.node_failure_model = (
-            node_failure_model if node_failure_model is not None else NoNodeFailures()
-        )
+        if fault_plan is not None:
+            # Fold any standalone models into the plan so the channel and the
+            # round loop see one consistent fault description.
+            fault_plan = fault_plan.merged_with(failure_model, node_failure_model)
+            self.fault_plan: FaultPlan | None = fault_plan
+            self.channel = Channel(
+                topology,
+                self.tracker,
+                fault_plan,
+                corruption_model=fault_plan.corruption,
+            )
+            self.node_failure_model: NodeFailureModel = fault_plan
+        else:
+            self.fault_plan = None
+            self.channel = Channel(topology, self.tracker, failure_model)
+            self.node_failure_model = (
+                node_failure_model
+                if node_failure_model is not None
+                else NoNodeFailures()
+            )
+        #: Per directed link ``(source, destination)``: rounds since the
+        #: destination last received a fresh update from the source (the
+        #: degradation signal behind Fig. 9 — how stale the cached views are).
+        self.link_staleness: dict[tuple[int, int], int] = {}
+        for u, v in topology.edges:
+            self.link_staleness[(u, v)] = 0
+            self.link_staleness[(v, u)] = 0
+        self._partitioned_streak = 0
+        self._partition_warned = False
         #: Global round counter across run() calls (and across checkpoint
         #: resumes): failure models sample by round index, so a resumed run
         #: must keep numbering where the checkpointed one stopped.
@@ -262,8 +333,13 @@ class SNAPTrainer:
                 if server.node_id not in down:
                     server.step()
 
-            params_sent = self._communicate(round_index, down)
+            params_sent, delivered = self._communicate(round_index, down)
             self.rounds_completed = round_index
+            stale_links = self._advance_staleness(delivered)
+            connected = _delivered_graph_connected(
+                self.topology.n_nodes, delivered, down
+            )
+            self._observe_partition(connected, round_index)
 
             mean_loss = self.mean_local_loss()
             consensus = consensus_error(self.stacked_params())
@@ -278,6 +354,9 @@ class SNAPTrainer:
                 cost=self.tracker.round_cost(round_index),
                 params_sent=params_sent,
                 accuracy=accuracy,
+                stale_links=stale_links,
+                max_staleness=max(self.link_staleness.values(), default=0),
+                connected=connected,
             )
             records.append(record)
             if on_round is not None:
@@ -312,20 +391,26 @@ class SNAPTrainer:
             SelectionPolicy.DENSE: "sno",
         }[self.config.selection]
 
-    def _communicate(self, round_index: int, down: frozenset = frozenset()) -> int:
-        """Send every server's per-neighbor updates; returns params sent.
+    def _communicate(
+        self, round_index: int, down: frozenset = frozenset()
+    ) -> tuple[int, set[tuple[int, int]]]:
+        """Send every server's per-neighbor updates.
 
         View layers shift first (so a failed link leaves the receiver's
         current layer stale, per the straggler rule), then each server builds
         one message per neighbor against that neighbor's known state and
         advances its link state only on confirmed delivery. Servers in
         ``down`` neither advance, send, nor receive this round.
+
+        Returns the total parameter values delivered and the set of directed
+        ``(source, destination)`` pairs whose update arrived this round.
         """
         for server in self.servers:
             if server.node_id not in down:
                 server.advance_views()
 
         params_sent = 0
+        delivered: set[tuple[int, int]] = set()
         for server_index, server in enumerate(self.servers):
             if server.node_id in down:
                 continue
@@ -351,6 +436,7 @@ class SNAPTrainer:
                     self.servers[neighbor].receive_update(message)
                     server.mark_delivered(neighbor, message)
                     params_sent += message.n_sent
+                    delivered.add((server.node_id, neighbor))
             if self._schedules is not None:
                 schedule = self._schedules[server_index]
                 stage_before = schedule.stage
@@ -359,7 +445,45 @@ class SNAPTrainer:
                     # Algorithm 1 stage boundary: restart EXTRA from the
                     # current solution under the tightened threshold.
                     server.restart_recursion()
-        return params_sent
+        return params_sent, delivered
+
+    def _advance_staleness(self, delivered: set[tuple[int, int]]) -> int:
+        """Age every directed link; reset the delivered ones. Returns #stale."""
+        stale = 0
+        for pair in self.link_staleness:
+            if pair in delivered:
+                self.link_staleness[pair] = 0
+            else:
+                self.link_staleness[pair] += 1
+                stale += 1
+        return stale
+
+    def _observe_partition(self, connected: bool, round_index: int) -> None:
+        """Track consecutive partitioned rounds; warn, then abort per config."""
+        if connected:
+            self._partitioned_streak = 0
+            self._partition_warned = False
+            return
+        self._partitioned_streak += 1
+        limit = self.config.max_partitioned_rounds
+        if limit is not None and self._partitioned_streak >= limit:
+            raise NetworkPartitionError(
+                f"delivered-message graph has been partitioned for "
+                f"{self._partitioned_streak} consecutive rounds (through round "
+                f"{round_index}); consensus cannot progress across the cut"
+            )
+        if (
+            not self._partition_warned
+            and self._partitioned_streak == PARTITION_WARN_ROUNDS
+        ):
+            self._partition_warned = True
+            warnings.warn(
+                f"network has been partitioned for {PARTITION_WARN_ROUNDS} "
+                "consecutive rounds; servers are training on disjoint islands "
+                "(set SNAPConfig.max_partitioned_rounds to abort instead)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     def _send_threshold(self, server_index: int) -> float:
         """The current relative send threshold (0 outside the APE policy)."""

@@ -41,5 +41,31 @@ class ProtocolError(ReproError):
     """A network frame or message could not be encoded or decoded."""
 
 
+class FrameCorruptionError(ProtocolError):
+    """A received frame failed its CRC32 integrity check.
+
+    The stream itself stays aligned (the header's length field framed the
+    payload correctly), so the receiver can keep reading subsequent frames;
+    the corrupted update is discarded and the straggler rule applies.
+    """
+
+    def __init__(self, message: str, sender: int | None = None,
+                 round_index: int | None = None):
+        super().__init__(message)
+        self.sender = sender
+        self.round_index = round_index
+
+
+class NetworkPartitionError(ReproError):
+    """The delivered-message graph stayed partitioned for too many rounds.
+
+    Raised by the trainer's degradation guard when
+    ``SNAPConfig.max_partitioned_rounds`` consecutive rounds pass without the
+    round's delivered updates forming a connected graph — consensus cannot
+    progress across the cut, so continuing would silently train disjoint
+    models.
+    """
+
+
 class DataError(ReproError):
     """A dataset or partition request was invalid."""

@@ -1,0 +1,37 @@
+"""Unified chaos-injection layer: bursty outages, crashes, partitions, corruption.
+
+SNAP's value proposition is training that *survives* a messy edge network
+(Section IV-D's straggler rule). This package makes faults first-class and
+injectable: temporally correlated link outages (Gilbert–Elliott bursts),
+crash/restart server spans, scheduled network partitions, and in-flight
+frame corruption, all composed into one :class:`FaultPlan` that both the
+in-process simulator and the real TCP testbed consume — with identical,
+seed-deterministic fault patterns, so simulated and networked runs under the
+same plan remain bit-for-bit comparable.
+
+See ``docs/FAULTS.md`` for the fault taxonomy and the degradation policy.
+"""
+
+from repro.faults.models import (
+    CorruptionModel,
+    CrashRestartSchedule,
+    GilbertElliottLinkFailures,
+    IndependentCorruption,
+    MarkovNodeFailures,
+    NoCorruption,
+    PartitionSchedule,
+    ScheduledCorruption,
+)
+from repro.faults.plan import FaultPlan
+
+__all__ = [
+    "FaultPlan",
+    "CorruptionModel",
+    "NoCorruption",
+    "IndependentCorruption",
+    "ScheduledCorruption",
+    "GilbertElliottLinkFailures",
+    "MarkovNodeFailures",
+    "CrashRestartSchedule",
+    "PartitionSchedule",
+]

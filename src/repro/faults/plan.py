@@ -1,0 +1,131 @@
+"""The unified fault plan: one object describing everything that goes wrong.
+
+A :class:`FaultPlan` composes any number of link-failure models, node-failure
+models, and a corruption model into a single injectable description of a
+hostile network, consumable by every runtime in the repository:
+
+* the simulator — ``SNAPTrainer(..., fault_plan=plan)`` routes link outages
+  and corruption through the :class:`~repro.network.channel.Channel` and
+  node outages through the round loop;
+* the TCP testbed — ``TestbedRuntime(..., fault_plan=plan)`` makes senders
+  skip downed links, damage scheduled frames on the wire (caught by the
+  receiver's CRC32 check), and idle through crash spans.
+
+Because every constituent model is deterministic given its seed, the same
+plan produces the *same* fault pattern in both runtimes — which is what lets
+the chaos tests assert that a networked run under faults stays bit-for-bit
+identical to the simulated run under the same plan.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Sequence, Union
+
+from repro.faults.models import CorruptionModel, NoCorruption
+from repro.topology.failures import LinkFailureModel, NodeFailureModel
+from repro.topology.graph import Topology
+from repro.types import Edge
+
+_LinkArg = Union[LinkFailureModel, Sequence[LinkFailureModel], None]
+_NodeArg = Union[NodeFailureModel, Sequence[NodeFailureModel], None]
+
+
+def _as_tuple(value, base_type, label):
+    if value is None:
+        return ()
+    if isinstance(value, base_type):
+        return (value,)
+    items = tuple(value)
+    for item in items:
+        if not isinstance(item, base_type):
+            raise TypeError(
+                f"{label} entries must be {base_type.__name__} instances, "
+                f"got {item!r}"
+            )
+    return items
+
+
+class FaultPlan(LinkFailureModel, NodeFailureModel):
+    """A composable bundle of link outages, node crashes, and corruption.
+
+    Implements both failure-model interfaces itself (the union of its
+    constituents), so a plan drops in anywhere a single
+    :class:`~repro.topology.failures.LinkFailureModel` or
+    :class:`~repro.topology.failures.NodeFailureModel` is accepted.
+
+    Parameters
+    ----------
+    links:
+        One link-failure model or a sequence of them; a link is down when
+        *any* constituent says so.
+    nodes:
+        One node-failure model or a sequence of them; a node is down when
+        *any* constituent says so.
+    corruption:
+        Which in-flight frames are damaged (default: none).
+    """
+
+    def __init__(
+        self,
+        links: _LinkArg = None,
+        nodes: _NodeArg = None,
+        corruption: CorruptionModel | None = None,
+    ):
+        self.link_models: tuple[LinkFailureModel, ...] = _as_tuple(
+            links, LinkFailureModel, "links"
+        )
+        self.node_models: tuple[NodeFailureModel, ...] = _as_tuple(
+            nodes, NodeFailureModel, "nodes"
+        )
+        if corruption is not None and not isinstance(corruption, CorruptionModel):
+            raise TypeError(
+                f"corruption must be a CorruptionModel, got {corruption!r}"
+            )
+        self.corruption: CorruptionModel = (
+            corruption if corruption is not None else NoCorruption()
+        )
+
+    # -- LinkFailureModel / NodeFailureModel ------------------------------------
+
+    def failed_links(self, topology: Topology, round_index: int) -> FrozenSet[Edge]:
+        failed: frozenset[Edge] = frozenset()
+        for model in self.link_models:
+            failed |= model.failed_links(topology, round_index)
+        return failed
+
+    def failed_nodes(self, topology: Topology, round_index: int) -> frozenset[int]:
+        down: frozenset[int] = frozenset()
+        for model in self.node_models:
+            down |= model.failed_nodes(topology, round_index)
+        return down
+
+    # -- convenience queries -----------------------------------------------------
+
+    def link_up(
+        self, topology: Topology, source: int, destination: int, round_index: int
+    ) -> bool:
+        """Whether the undirected link is available during ``round_index``."""
+        edge = (min(source, destination), max(source, destination))
+        return edge not in self.failed_links(topology, round_index)
+
+    def corrupted(
+        self, topology: Topology, source: int, destination: int, round_index: int
+    ) -> bool:
+        """Whether the directed frame is damaged in flight during ``round_index``."""
+        return self.corruption.corrupted(topology, source, destination, round_index)
+
+    def merged_with(
+        self,
+        link_model: LinkFailureModel | None = None,
+        node_model: NodeFailureModel | None = None,
+    ) -> "FaultPlan":
+        """A new plan adding standalone models (trainer back-compat path)."""
+        links = self.link_models + ((link_model,) if link_model else ())
+        nodes = self.node_models + ((node_model,) if node_model else ())
+        return FaultPlan(links=links, nodes=nodes, corruption=self.corruption)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultPlan(links={list(self.link_models)}, "
+            f"nodes={list(self.node_models)}, corruption={self.corruption})"
+        )

@@ -1,9 +1,13 @@
-"""One-hop delivery between neighbors with link-failure injection.
+"""One-hop delivery between neighbors with link-failure and corruption injection.
 
 SNAP traffic always travels exactly one hop (neighbors are directly
 connected), so the channel's job is simple: check the failure model, record
 the cost on success, and report drops so the receiver can fall back to its
-cached view (Section IV-D, "Stragglers").
+cached view (Section IV-D, "Stragglers"). A corruption model can additionally
+damage individual frames in flight: a corrupted frame *does* consume wire
+bytes (it entered the network) but is never delivered — on the real testbed
+the receiver's CRC32 check rejects it, and here the channel models that
+detection directly.
 """
 
 from __future__ import annotations
@@ -27,6 +31,9 @@ class DeliveryReport:
     source: NodeId
     destination: NodeId
     round_index: int
+    #: The frame crossed the wire but arrived damaged (failed its CRC); the
+    #: bytes are charged, the update is not applied.
+    corrupted: bool = False
 
 
 class Channel:
@@ -41,6 +48,10 @@ class Channel:
     failure_model:
         Which links are down each round; failed links drop the message
         without charging any cost (nothing enters the network).
+    corruption_model:
+        Which in-flight frames are damaged; corrupted frames charge their
+        full cost but are not delivered (the receiver's integrity check
+        rejects them).
     """
 
     def __init__(
@@ -48,10 +59,12 @@ class Channel:
         topology: Topology,
         tracker: CommunicationCostTracker,
         failure_model: LinkFailureModel | None = None,
+        corruption_model=None,
     ):
         self.topology = topology
         self.tracker = tracker
         self.failure_model = failure_model if failure_model is not None else NoFailures()
+        self.corruption_model = corruption_model
 
     def link_up(self, source: NodeId, destination: NodeId, round_index: int) -> bool:
         """Whether the (undirected) link is available this round."""
@@ -84,6 +97,17 @@ class Channel:
             size_bytes=message.size_bytes,
             hops=1,
         )
+        if self.corruption_model is not None and self.corruption_model.corrupted(
+            self.topology, source, destination, round_index
+        ):
+            return DeliveryReport(
+                delivered=False,
+                size_bytes=message.size_bytes,
+                source=source,
+                destination=destination,
+                round_index=round_index,
+                corrupted=True,
+            )
         return DeliveryReport(
             delivered=True,
             size_bytes=message.size_bytes,

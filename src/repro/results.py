@@ -40,6 +40,18 @@ class RoundRecord:
     accuracy:
         Test accuracy of the network-average model, when evaluated this
         round (``None`` otherwise).
+    stale_links:
+        Directed neighbor links whose update was *not* delivered this round
+        (the receiver fell back to its cached view — the straggler rule).
+        0 for schemes without per-link delivery.
+    max_staleness:
+        Worst per-link staleness after this round: the largest number of
+        consecutive rounds any receiver has gone without a fresh update from
+        some neighbor. 0 when every link delivered.
+    connected:
+        Whether the delivered-message graph spans the whole network this
+        round (effective connectivity). A round that leaves the graph
+        partitioned cannot mix information across the cut.
     """
 
     round_index: int
@@ -49,6 +61,9 @@ class RoundRecord:
     cost: int
     params_sent: int
     accuracy: float | None = None
+    stale_links: int = 0
+    max_staleness: int = 0
+    connected: bool = True
 
 
 @dataclass

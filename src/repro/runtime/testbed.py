@@ -10,13 +10,36 @@ Algorithmic state is the same :class:`~repro.core.server.EdgeServer` and
 an internal :class:`~repro.core.SNAPTrainer`), so a testbed run is
 bit-for-bit identical to a simulated run on the same inputs — the
 correspondence the integration tests assert.
+
+Fault tolerance
+---------------
+
+The testbed degrades instead of deadlocking:
+
+* A :class:`~repro.faults.FaultPlan` injects the same deterministic link
+  outages, node-down spans, and frame corruption the simulator applies, so
+  a faulty networked run still matches the faulty simulated run
+  bit-for-bit. Plan-downed servers idle through their rounds; senders skip
+  downed links; scheduled frames are damaged on the wire and rejected by
+  the receiver's CRC32 check.
+* ``round_deadline_s`` bounds how long a server waits for its neighbors'
+  frames each round. A neighbor that misses the deadline is handled by the
+  paper's straggler rule (Section IV-D): the receiver keeps its cached view
+  and the round proceeds. ``dead_after_misses`` consecutive misses mark the
+  peer dead — the receiver stops budgeting wait time for it until a frame
+  from it arrives again.
+* :meth:`TestbedRuntime.crash` (or ``crash_schedule``) kills a server hard:
+  its sockets close abruptly, peers observe EOF/ECONNRESET mid-run and
+  immediately fall back to cached views, and the degradable barrier shrinks
+  so the survivors keep making progress.
 """
 
 from __future__ import annotations
 
 import socket
 import threading
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from queue import Empty, Queue
 
 import numpy as np
@@ -24,15 +47,97 @@ import numpy as np
 from repro.core.config import SelectionPolicy, SNAPConfig
 from repro.core.trainer import SNAPTrainer
 from repro.data.dataset import Dataset
-from repro.exceptions import ConfigurationError, ProtocolError
+from repro.exceptions import (
+    ConfigurationError,
+    FrameCorruptionError,
+    ProtocolError,
+)
+from repro.faults.plan import FaultPlan
 from repro.models.base import Model
 from repro.network.messages import ParameterUpdate
-from repro.runtime.transport import HEADER_BYTES, FrameConnection
+from repro.runtime.transport import (
+    HEADER_BYTES,
+    FrameConnection,
+    RetryPolicy,
+)
 from repro.topology.graph import Topology
 from repro.types import Params, WeightMatrix
 
 #: Seconds a node waits at a barrier / for a frame before declaring the run dead.
 DEFAULT_TIMEOUT_S = 30.0
+
+#: Consecutive missed round deadlines before a peer is considered dead.
+DEFAULT_DEAD_AFTER_MISSES = 3
+
+
+@dataclass(frozen=True)
+class _Corrupt:
+    """Inbox marker: a frame from ``sender`` arrived but failed its CRC."""
+
+    sender: int
+    round_index: int | None
+
+
+@dataclass(frozen=True)
+class _PeerGone:
+    """Inbox marker: the inbound connection from ``sender`` died."""
+
+    sender: int
+
+
+class _DegradableBarrier:
+    """A barrier whose party count shrinks when a node crashes.
+
+    ``threading.Barrier`` breaks permanently the first time a participant
+    disappears; here a crashed node calls :meth:`leave` and the survivors
+    keep synchronizing among themselves. :meth:`abort` poisons the barrier
+    so every waiter unblocks with an error (used to surface exceptions).
+    """
+
+    def __init__(self, parties: int):
+        self._cond = threading.Condition()
+        self._parties = parties
+        self._count = 0
+        self._generation = 0
+        self._broken = False
+
+    def wait(self, timeout: float) -> None:
+        with self._cond:
+            if self._broken:
+                raise ProtocolError("testbed barrier aborted")
+            generation = self._generation
+            self._count += 1
+            if self._count >= self._parties:
+                self._release()
+                return
+            deadline = time.monotonic() + timeout
+            while generation == self._generation and not self._broken:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    self._count -= 1
+                    raise ProtocolError(
+                        f"testbed barrier timed out after {timeout}s"
+                    )
+                self._cond.wait(remaining)
+            if self._broken:
+                raise ProtocolError("testbed barrier aborted")
+
+    def leave(self) -> None:
+        """Permanently remove one (not currently waiting) participant."""
+        with self._cond:
+            self._parties -= 1
+            if 0 < self._parties <= self._count:
+                self._release()
+
+    def abort(self) -> None:
+        with self._cond:
+            self._broken = True
+            self._cond.notify_all()
+
+    def _release(self) -> None:
+        self._count = 0
+        self._generation += 1
+        self._cond.notify_all()
 
 
 @dataclass
@@ -42,9 +147,11 @@ class TestbedResult:
     Attributes
     ----------
     final_params:
-        Stacked ``(N, P)`` per-server parameters after the last round.
+        Stacked ``(N, P)`` per-server parameters after the last round
+        (crashed servers contribute their state at the moment they died).
     mean_loss_trace:
-        Per-round mean of the servers' local losses.
+        Per-round mean of the servers' local losses (over the servers still
+        alive that round).
     per_round_payload_bytes:
         Fig. 3 payload bytes that crossed sockets each round (the quantity
         the paper's testbed measures).
@@ -54,6 +161,13 @@ class TestbedResult:
         Transport-header overhead (not part of the paper's accounting).
     n_rounds:
         Rounds executed.
+    link_staleness:
+        Final per-directed-link staleness: rounds since the destination
+        last applied a fresh update from the source.
+    dead_nodes:
+        Servers that hard-crashed during the run.
+    corrupt_frames_total:
+        Frames that arrived but were rejected by the CRC32 integrity check.
     """
 
     __test__ = False
@@ -64,6 +178,9 @@ class TestbedResult:
     payload_bytes_total: int
     header_bytes_total: int
     n_rounds: int
+    link_staleness: dict = field(default_factory=dict)
+    dead_nodes: frozenset = frozenset()
+    corrupt_frames_total: int = 0
 
 
 class _Node:
@@ -83,58 +200,130 @@ class _Node:
         self.inbox: Queue = Queue()
         self.loss_trace: list[float] = []
         self.payload_bytes = 0
+        self.frames_sent = 0
+        self.per_round_payload: list[int] = []
         self.reader_threads: list[threading.Thread] = []
+        #: Set once every neighbor has connected inbound at least once.
+        self.wired = threading.Event()
+        #: Rounds since each in-neighbor's update was last applied here.
+        self.staleness: dict[int, int] = {n: 0 for n in server.neighbors}
+        #: Consecutive rounds each in-neighbor missed the round deadline.
+        self.miss_streak: dict[int, int] = {n: 0 for n in server.neighbors}
+        #: Peers believed gone (EOF seen or too many missed deadlines).
+        self.dead_peers: set[int] = set()
+        self.corrupt_frames = 0
+        self.crashed = threading.Event()
 
     # -- wiring ----------------------------------------------------------------
 
-    def accept_from_neighbors(self) -> None:
-        """Accept one inbound connection per neighbor; peers say hello with their id."""
+    def acceptor_loop(self) -> None:
+        """Accept inbound connections for the life of the run.
+
+        The loop keeps running after initial wiring so a peer whose
+        connection died can transparently re-dial (the transport layer's
+        reconnect path lands here).
+        """
         expected = set(self.server.neighbors)
-        while expected:
-            sock, _ = self.listener.accept()
-            hello = b""
-            while len(hello) < 4:
-                chunk = sock.recv(4 - len(hello))
-                if not chunk:
-                    raise ProtocolError("peer closed during hello")
-                hello += chunk
-            sender = int.from_bytes(hello, "big")
-            if sender not in expected:
-                raise ProtocolError(
-                    f"node {self.server.node_id} got a hello from unexpected "
-                    f"peer {sender}"
+        self.listener.settimeout(0.2)
+        while not self.runtime._stopping.is_set():
+            try:
+                sock, _ = self.listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed (shutdown or crash)
+            try:
+                sender = self._read_hello(sock)
+            except ProtocolError:
+                sock.close()
+                continue
+            if sender not in self.staleness:  # keys = neighbor set
+                sock.close()
+                self.runtime._record_error(
+                    ProtocolError(
+                        f"node {self.server.node_id} got a hello from "
+                        f"unexpected peer {sender}"
+                    )
                 )
+                continue
             expected.discard(sender)
-            connection = FrameConnection(sock)
+            connection = FrameConnection(sock, peer=f"server {sender}")
             self.recv_connections.append(connection)
             thread = threading.Thread(
-                target=self._reader_loop, args=(connection,), daemon=True
+                target=self._reader_loop, args=(connection, sender), daemon=True
             )
             thread.start()
             self.reader_threads.append(thread)
+            if not expected:
+                self.wired.set()
+
+    @staticmethod
+    def _read_hello(sock: socket.socket) -> int:
+        hello = b""
+        while len(hello) < 4:
+            chunk = sock.recv(4 - len(hello))
+            if not chunk:
+                raise ProtocolError("peer closed during hello")
+            hello += chunk
+        return int.from_bytes(hello, "big")
 
     def connect_to_neighbors(self, ports: dict[int, int]) -> None:
         """Open one persistent outbound connection per neighbor."""
         for neighbor in self.server.neighbors:
-            sock = socket.create_connection(("127.0.0.1", ports[neighbor]))
-            sock.sendall(int(self.server.node_id).to_bytes(4, "big"))
-            self.send_connections[neighbor] = FrameConnection(sock)
+            self.send_connections[neighbor] = FrameConnection(
+                self._dial(ports[neighbor]),
+                peer=f"server {neighbor}",
+                reconnect=lambda port=ports[neighbor]: self._dial(port),
+                retry_policy=self.runtime.retry_policy,
+            )
 
-    def _reader_loop(self, connection: FrameConnection) -> None:
-        try:
-            while True:
+    def _dial(self, port: int) -> socket.socket:
+        sock = socket.create_connection(
+            ("127.0.0.1", port), timeout=self.runtime.timeout_s
+        )
+        sock.settimeout(None)
+        sock.sendall(int(self.server.node_id).to_bytes(4, "big"))
+        return sock
+
+    def _reader_loop(self, connection: FrameConnection, sender: int) -> None:
+        while True:
+            try:
                 update = connection.recv_update()
-                self.inbox.put(update)
-        except ProtocolError:
-            return  # connection closed at shutdown
-        except OSError:
-            return
+            except FrameCorruptionError as error:
+                # Payload was framed correctly, so the stream stays aligned:
+                # report the damage and keep reading subsequent frames.
+                self.inbox.put(_Corrupt(error.sender, error.round_index))
+                continue
+            except (ProtocolError, OSError):
+                self.inbox.put(_PeerGone(sender))
+                return
+            self.inbox.put(update)
 
     # -- the per-round protocol -------------------------------------------------
 
     def run_round(self, round_index: int) -> None:
         """One synchronized round (called between the runtime's barriers)."""
         server = self.server
+        plan = self.runtime.fault_plan
+        topology = self.runtime.topology
+        down = (
+            plan.failed_nodes(topology, round_index)
+            if plan is not None
+            else frozenset()
+        )
+
+        if server.node_id in down:
+            # Plan-downed this round: no step, no traffic, no receptions —
+            # but stay at the barriers so the shared clock keeps ticking.
+            # (Mirrors the simulator: the recorded loss is the *unstepped*
+            # local loss, and every cached view ages by one round.)
+            self.loss_trace.append(server.local_loss())
+            self.runtime.barrier_wait()
+            for neighbor in self.staleness:
+                self.staleness[neighbor] += 1
+            self.runtime.barrier_wait()
+            return
+
         server.step()
         self.loss_trace.append(server.local_loss())
         self.runtime.barrier_wait()  # everyone stepped
@@ -149,6 +338,14 @@ class _Node:
             threshold = 0.0
         suppressed_max = 0.0
         for neighbor in server.neighbors:
+            if neighbor in down:
+                # The peer is offline: the connection fails before any
+                # bytes enter the network; link state stays pending.
+                # (Matches the simulator: no update is even built.)
+                continue
+            link_up = plan is None or plan.link_up(
+                topology, server.node_id, neighbor, round_index
+            )
             if threshold is None:
                 message = ParameterUpdate.dense(
                     server.node_id, round_index, server.params
@@ -158,32 +355,130 @@ class _Node:
                     neighbor, round_index, threshold
                 )
                 suppressed_max = max(suppressed_max, selection.suppressed_max)
-            self.payload_bytes += self.send_connections[neighbor].send_update(message)
-            server.mark_delivered(neighbor, message)
+            if not link_up:
+                # Link outage: the frame never enters the network. The
+                # update was still *built* (so APE suppression statistics
+                # match the simulator), but costs nothing and the link
+                # state stays pending — the straggler rule's territory.
+                continue
+            corrupt = plan is not None and plan.corrupted(
+                topology, server.node_id, neighbor, round_index
+            )
+            self._send(neighbor, message, corrupt)
         if self.schedule is not None:
             stage_before = self.schedule.stage
             self.schedule.record_round(suppressed_max / scale)
             if self.schedule.stage != stage_before:
                 server.restart_recursion()
 
-        # Collect exactly one frame from each neighbor for this round.
-        pending = set(server.neighbors)
+        self._collect_round(round_index, down, plan, topology)
+        self.runtime.barrier_wait()  # everyone exchanged
+
+    def _send(
+        self, neighbor: int, message: ParameterUpdate, corrupt: bool
+    ) -> None:
+        """Transmit one frame; a peer that proves unreachable is marked dead.
+
+        Corrupted sends still count their payload bytes — the bits crossed
+        the wire even though the receiver will reject them (exactly how the
+        simulator's channel charges corrupted deliveries).
+        """
+        connection = self.send_connections[neighbor]
+        try:
+            if corrupt:
+                self.payload_bytes += connection.send_corrupted(message)
+            else:
+                self.payload_bytes += connection.send_update(message)
+                self.server.mark_delivered(neighbor, message)
+            self.frames_sent += 1
+        except ProtocolError:
+            # Retries (and reconnect attempts) exhausted: the peer is gone.
+            # Degrade — the straggler rule covers the missing update.
+            self.dead_peers.add(neighbor)
+
+    def _collect_round(self, round_index, down, plan, topology) -> None:
+        """Receive this round's frames, degrading on deadline or death.
+
+        Expected senders exclude plan-downed peers, plan-failed links, and
+        peers already believed dead. A frame rejected by the CRC check or a
+        peer that misses the round deadline resolves to the straggler rule:
+        the cached view stays in use and its staleness counter grows.
+        """
+        server = self.server
+        pending = set()
+        for neighbor in server.neighbors:
+            if neighbor in down or neighbor in self.dead_peers:
+                continue
+            if plan is not None and not plan.link_up(
+                topology, neighbor, server.node_id, round_index
+            ):
+                continue
+            pending.add(neighbor)
+
+        applied: set[int] = set()
+        deadline_s = self.runtime.round_deadline_s
+        strict = deadline_s is None
+        deadline = time.monotonic() + (
+            self.runtime.timeout_s if strict else deadline_s
+        )
         while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                if strict:
+                    raise ProtocolError(
+                        f"node {server.node_id} timed out waiting for round "
+                        f"{round_index} frames from {sorted(pending)}"
+                    )
+                break  # degrade: survivors of the deadline stay stale
             try:
-                update = self.inbox.get(timeout=self.runtime.timeout_s)
-            except Empty as error:
-                raise ProtocolError(
-                    f"node {server.node_id} timed out waiting for round "
-                    f"{round_index} frames from {sorted(pending)}"
-                ) from error
-            if update.round_index != round_index:
+                item = self.inbox.get(timeout=remaining)
+            except Empty:
+                continue
+            if isinstance(item, _PeerGone):
+                self.dead_peers.add(item.sender)
+                pending.discard(item.sender)
+                continue
+            if isinstance(item, _Corrupt):
+                self.corrupt_frames += 1
+                if item.sender is not None:
+                    pending.discard(item.sender)
+                continue
+            update = item
+            if update.round_index > round_index:
                 raise ProtocolError(
                     f"node {server.node_id} got a round-{update.round_index} "
                     f"frame during round {round_index}"
                 )
+            # A frame from an earlier round (a straggler catching up) is
+            # still the newest information from that peer — apply it, per
+            # the paper's reuse-the-latest-received rule.
             server.receive_update(update)
+            applied.add(update.sender)
             pending.discard(update.sender)
-        self.runtime.barrier_wait()  # everyone exchanged
+            self.dead_peers.discard(update.sender)
+            self.miss_streak[update.sender] = 0
+
+        # Deadline expired on whoever is left: count the miss, and after
+        # enough consecutive misses stop waiting for that peer at all.
+        for neighbor in pending:
+            self.miss_streak[neighbor] += 1
+            if (
+                self.runtime.dead_after_misses is not None
+                and self.miss_streak[neighbor] >= self.runtime.dead_after_misses
+            ):
+                self.dead_peers.add(neighbor)
+        for neighbor in self.staleness:
+            if neighbor in applied:
+                self.staleness[neighbor] = 0
+            else:
+                self.staleness[neighbor] += 1
+
+    # -- teardown ----------------------------------------------------------------
+
+    def hard_crash(self) -> None:
+        """Die abruptly: close every socket so peers see EOF/ECONNRESET."""
+        self.crashed.set()
+        self.close()
 
     def close(self) -> None:
         for connection in self.send_connections.values():
@@ -198,8 +493,32 @@ class TestbedRuntime:
 
     Accepts the same inputs as :class:`~repro.core.SNAPTrainer` (which it
     uses internally to build the weight matrix, step size, servers, and APE
-    schedules). Link/node failure injection is a simulator feature; the
-    testbed runs the failure-free protocol, as the paper's testbed does.
+    schedules), plus the fault-tolerance knobs below.
+
+    Parameters
+    ----------
+    fault_plan:
+        Deterministic chaos to inject (link outages, node-down spans, frame
+        corruption) — the same plan drives the simulator, so faulty runs
+        stay comparable bit-for-bit.
+    timeout_s:
+        Hard ceiling on barrier waits and (in strict mode) frame waits;
+        exceeding it kills the run.
+    round_deadline_s:
+        Soft per-round receive budget. ``None`` (default) is strict mode —
+        a missing frame is a protocol error, the pre-fault-tolerance
+        behavior. A number enables graceful degradation: neighbors that
+        miss the deadline are handled by the straggler rule.
+    dead_after_misses:
+        Consecutive missed deadlines before a peer is written off as dead
+        (``None`` = never). A frame arriving from a dead peer revives it.
+    crash_schedule:
+        ``{round_index: iterable of node ids}`` — servers to hard-crash at
+        the *start* of the given round (sockets closed abruptly, no
+        goodbye), exercising the EOF/ECONNRESET paths end to end.
+    retry_policy:
+        Transport retry schedule for sends (defaults to a fast schedule
+        suited to localhost).
     """
 
     #: Not a pytest test class, despite the name.
@@ -214,6 +533,11 @@ class TestbedRuntime:
         weight_matrix: WeightMatrix | None = None,
         initial_params: Params | None = None,
         timeout_s: float = DEFAULT_TIMEOUT_S,
+        fault_plan: FaultPlan | None = None,
+        round_deadline_s: float | None = None,
+        dead_after_misses: int | None = DEFAULT_DEAD_AFTER_MISSES,
+        crash_schedule: dict[int, object] | None = None,
+        retry_policy: RetryPolicy | None = None,
     ):
         trainer = SNAPTrainer(
             model,
@@ -225,7 +549,38 @@ class TestbedRuntime:
         )
         if timeout_s <= 0:
             raise ConfigurationError(f"timeout_s must be > 0, got {timeout_s}")
+        if round_deadline_s is not None and round_deadline_s <= 0:
+            raise ConfigurationError(
+                f"round_deadline_s must be > 0, got {round_deadline_s}"
+            )
+        if dead_after_misses is not None and dead_after_misses <= 0:
+            raise ConfigurationError(
+                f"dead_after_misses must be > 0, got {dead_after_misses}"
+            )
         self.timeout_s = float(timeout_s)
+        self.round_deadline_s = (
+            float(round_deadline_s) if round_deadline_s is not None else None
+        )
+        self.dead_after_misses = dead_after_misses
+        self.fault_plan = fault_plan
+        self.topology = topology
+        self.retry_policy = (
+            retry_policy
+            if retry_policy is not None
+            else RetryPolicy(max_attempts=3, backoff_base_s=0.02, backoff_max_s=0.2)
+        )
+        self.crash_schedule: dict[int, frozenset[int]] = {}
+        for round_index, nodes in (crash_schedule or {}).items():
+            crashed = frozenset(int(n) for n in (
+                [nodes] if isinstance(nodes, int) else nodes
+            ))
+            bad = [n for n in crashed if n not in set(topology)]
+            if bad:
+                raise ConfigurationError(
+                    f"crash_schedule round {round_index} names nodes {bad} "
+                    f"outside the topology"
+                )
+            self.crash_schedule[int(round_index)] = crashed
         self.selection = trainer.config.selection
         self.alpha = trainer.alpha
         self._trainer = trainer
@@ -234,13 +589,39 @@ class TestbedRuntime:
             _Node(server, schedule, self)
             for server, schedule in zip(trainer.servers, schedules)
         ]
-        self._barrier = threading.Barrier(len(self.nodes))
+        self._barrier = _DegradableBarrier(len(self.nodes))
         self._errors: list[BaseException] = []
         self._error_lock = threading.Lock()
+        self._stopping = threading.Event()
+        self._crash_requests: set[int] = set()
+        self._crash_lock = threading.Lock()
+        self.dead_nodes: set[int] = set()
 
     def barrier_wait(self) -> None:
-        """Synchronize all node threads (the shared-clock stand-in)."""
-        self._barrier.wait(timeout=self.timeout_s)
+        """Synchronize the surviving node threads (the shared-clock stand-in)."""
+        budget = self.timeout_s
+        if self.round_deadline_s is not None:
+            # In degraded mode a round may legitimately take a full receive
+            # deadline; give the barrier that much slack on top.
+            budget += self.round_deadline_s
+        self._barrier.wait(timeout=budget)
+
+    def crash(self, node_id: int) -> None:
+        """Request a hard crash of ``node_id`` at its next round boundary."""
+        if node_id not in {node.server.node_id for node in self.nodes}:
+            raise ConfigurationError(f"no such node: {node_id}")
+        with self._crash_lock:
+            self._crash_requests.add(node_id)
+
+    def _should_crash(self, node: _Node, round_index: int) -> bool:
+        if node.server.node_id in self.crash_schedule.get(round_index, ()):
+            return True
+        with self._crash_lock:
+            return node.server.node_id in self._crash_requests
+
+    def _record_error(self, error: BaseException) -> None:
+        with self._error_lock:
+            self._errors.append(error)
 
     def run(self, n_rounds: int) -> TestbedResult:
         """Execute ``n_rounds`` synchronized rounds over the real network."""
@@ -248,18 +629,18 @@ class TestbedRuntime:
             raise ConfigurationError(f"n_rounds must be > 0, got {n_rounds}")
         ports = {node.server.node_id: node.port for node in self.nodes}
 
-        # Wire up: accept loops first (threads), then outbound connections.
+        # Wire up: persistent acceptor loops first, then outbound connections.
         acceptors = [
-            threading.Thread(target=node.accept_from_neighbors, daemon=True)
+            threading.Thread(target=node.acceptor_loop, daemon=True)
             for node in self.nodes
         ]
         for thread in acceptors:
             thread.start()
         for node in self.nodes:
             node.connect_to_neighbors(ports)
-        for thread in acceptors:
-            thread.join(timeout=self.timeout_s)
-            if thread.is_alive():
+        for node in self.nodes:
+            if not node.wired.wait(timeout=self.timeout_s):
+                self._stopping.set()
                 raise ProtocolError("testbed wiring timed out")
 
         workers = [
@@ -268,31 +649,44 @@ class TestbedRuntime:
             )
             for node in self.nodes
         ]
-        for thread in workers:
-            thread.start()
-        for thread in workers:
-            thread.join(timeout=self.timeout_s * (n_rounds + 2))
-        for node in self.nodes:
-            node.close()
+        try:
+            for thread in workers:
+                thread.start()
+            per_round_budget = self.timeout_s + (self.round_deadline_s or 0.0)
+            for thread in workers:
+                thread.join(timeout=per_round_budget * (n_rounds + 2))
+        finally:
+            self._stopping.set()
+            for node in self.nodes:
+                node.close()
         if self._errors:
             raise self._errors[0]
 
         per_round = [
             int(
                 sum(
-                    node.per_round_payload[r] for node in self.nodes
+                    node.per_round_payload[r]
+                    for node in self.nodes
+                    if r < len(node.per_round_payload)
                 )
             )
             for r in range(n_rounds)
         ]
         mean_loss = [
-            float(np.mean([node.loss_trace[r] for node in self.nodes]))
+            float(np.mean([
+                node.loss_trace[r]
+                for node in self.nodes
+                if r < len(node.loss_trace)
+            ]))
             for r in range(n_rounds)
         ]
         payload_total = sum(node.payload_bytes for node in self.nodes)
-        n_frames = sum(
-            len(node.server.neighbors) * n_rounds for node in self.nodes
-        )
+        n_frames = sum(node.frames_sent for node in self.nodes)
+        link_staleness = {
+            (source, node.server.node_id): rounds
+            for node in self.nodes
+            for source, rounds in node.staleness.items()
+        }
         return TestbedResult(
             final_params=np.stack([node.server.params for node in self.nodes]),
             mean_loss_trace=mean_loss,
@@ -300,18 +694,24 @@ class TestbedRuntime:
             payload_bytes_total=payload_total,
             header_bytes_total=n_frames * HEADER_BYTES,
             n_rounds=n_rounds,
+            link_staleness=link_staleness,
+            dead_nodes=frozenset(self.dead_nodes),
+            corrupt_frames_total=sum(node.corrupt_frames for node in self.nodes),
         )
 
     def _node_loop(self, node: _Node, n_rounds: int) -> None:
-        node.per_round_payload = []
         try:
             for round_index in range(1, n_rounds + 1):
+                if self._should_crash(node, round_index):
+                    self.dead_nodes.add(node.server.node_id)
+                    node.hard_crash()
+                    self._barrier.leave()
+                    return
                 before = node.payload_bytes
                 node.run_round(round_index)
                 node.per_round_payload.append(node.payload_bytes - before)
         except BaseException as error:  # noqa: BLE001 - surfaced to the caller
-            with self._error_lock:
-                self._errors.append(error)
+            self._record_error(error)
             self._barrier.abort()
 
     def stacked_params(self) -> np.ndarray:

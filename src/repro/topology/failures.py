@@ -119,15 +119,35 @@ class IndependentNodeFailures(NodeFailureModel):
 
 
 class ScheduledNodeFailures(NodeFailureModel):
-    """Explicit per-round outage schedule for servers, for deterministic tests."""
+    """Explicit per-round outage schedule for servers, for deterministic tests.
+
+    Scheduled node ids are validated against the topology on first use: a
+    schedule naming a server that does not exist would otherwise silently
+    no-op, making a test believe it exercised an outage that never happened.
+    """
 
     def __init__(self, schedule: dict[int, list[int]]):
         self._schedule = {
             int(round_index): frozenset(int(n) for n in nodes)
             for round_index, nodes in schedule.items()
         }
+        self._validated_for: int | None = None
+
+    def _validate(self, topology: Topology) -> None:
+        if self._validated_for == id(topology):
+            return
+        for round_index, nodes in self._schedule.items():
+            bad = [n for n in nodes if not 0 <= n < topology.n_nodes]
+            if bad:
+                raise ConfigurationError(
+                    f"node-failure schedule for round {round_index} names "
+                    f"servers {sorted(bad)} outside the topology's "
+                    f"0..{topology.n_nodes - 1}"
+                )
+        self._validated_for = id(topology)
 
     def failed_nodes(self, topology: Topology, round_index: int) -> frozenset[int]:
+        self._validate(topology)
         return self._schedule.get(round_index, frozenset())
 
     def __repr__(self) -> str:
@@ -141,7 +161,10 @@ class ScheduledFailures(LinkFailureModel):
     ----------
     schedule:
         Mapping ``round_index -> iterable of edges`` that are down that round.
-        Rounds absent from the mapping have no failures.
+        Rounds absent from the mapping have no failures. Scheduled edges are
+        validated against the topology on first use: an edge that does not
+        exist would otherwise silently no-op, making a test believe it
+        exercised an outage that never happened.
     """
 
     def __init__(self, schedule: dict[int, list[Edge]]):
@@ -149,8 +172,23 @@ class ScheduledFailures(LinkFailureModel):
             int(round_index): frozenset((min(u, v), max(u, v)) for u, v in edges)
             for round_index, edges in schedule.items()
         }
+        self._validated_for: int | None = None
+
+    def _validate(self, topology: Topology) -> None:
+        if self._validated_for == id(topology):
+            return
+        known = set(topology.edges)
+        for round_index, edges in self._schedule.items():
+            bad = sorted(edge for edge in edges if edge not in known)
+            if bad:
+                raise ConfigurationError(
+                    f"link-failure schedule for round {round_index} names "
+                    f"edges {bad} that are not in the topology"
+                )
+        self._validated_for = id(topology)
 
     def failed_links(self, topology: Topology, round_index: int) -> FrozenSet[Edge]:
+        self._validate(topology)
         return self._schedule.get(round_index, frozenset())
 
     def __repr__(self) -> str:

@@ -6,6 +6,11 @@ not paper-scale performance (that is the benchmark harness's job).
 
 from __future__ import annotations
 
+import importlib.util
+import os
+import signal
+import threading
+
 import numpy as np
 import pytest
 
@@ -16,6 +21,56 @@ from repro.models.ridge import RidgeRegression
 from repro.models.svm import LinearSVM
 from repro.topology.generators import complete_topology, random_topology, ring_topology
 from repro.weights.construction import metropolis_weights
+
+
+_TIMEOUT_PLUGIN_PRESENT = importlib.util.find_spec("pytest_timeout") is not None
+
+#: Default per-test wall-clock limit for socket/thread-heavy suites: a
+#: deadlocked testbed must fail fast, not hang the whole run.
+NETWORKED_TEST_TIMEOUT_S = 120
+
+
+def pytest_collection_modifyitems(config, items):
+    """Give every networked/integration test a timeout unless it set its own."""
+    for item in items:
+        path = str(item.fspath)
+        networked = (
+            f"{os.sep}integration{os.sep}" in path
+            or f"{os.sep}runtime{os.sep}" in path
+        )
+        if networked and item.get_closest_marker("timeout") is None:
+            item.add_marker(pytest.mark.timeout(NETWORKED_TEST_TIMEOUT_S))
+
+
+@pytest.fixture(autouse=True)
+def _timeout_fallback(request):
+    """Enforce ``@pytest.mark.timeout`` via SIGALRM when pytest-timeout is absent.
+
+    The real plugin (a dev extra that may not be installed everywhere) takes
+    precedence when importable. The fallback only works on POSIX from the
+    main thread — elsewhere the marker is quietly advisory.
+    """
+    marker = request.node.get_closest_marker("timeout")
+    if (
+        marker is None
+        or _TIMEOUT_PLUGIN_PRESENT
+        or os.name != "posix"
+        or threading.current_thread() is not threading.main_thread()
+    ):
+        yield
+        return
+    seconds = int(marker.args[0]) if marker.args else NETWORKED_TEST_TIMEOUT_S
+
+    def _expired(signum, frame):
+        raise TimeoutError(f"test exceeded its {seconds}s timeout")
+
+    previous_handler = signal.signal(signal.SIGALRM, _expired)
+    signal.alarm(seconds)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous_handler)
 
 
 @pytest.fixture

@@ -174,3 +174,74 @@ class TestMismatchRejection:
         ape = build_trainer(setup, SelectionPolicy.APE)
         with pytest.raises(ConfigurationError, match="APE schedules"):
             restore_checkpoint(ape, path)
+
+
+class TestCrashSafety:
+    """save_checkpoint must be atomic: a crash mid-write never corrupts."""
+
+    def test_interrupted_save_preserves_previous_checkpoint(
+        self, setup, tmp_path, monkeypatch
+    ):
+        trainer = build_trainer(setup)
+        trainer.run(max_rounds=5, stop_on_convergence=False)
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(trainer, path)
+        good_bytes = path.read_bytes()
+
+        trainer.run(max_rounds=3, stop_on_convergence=False)
+
+        def dies_mid_write(stream, **arrays):
+            stream.write(b"partial garbage")
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez", dies_mid_write)
+        with pytest.raises(OSError, match="disk full"):
+            save_checkpoint(trainer, path)
+
+        # The old checkpoint survived intact and still restores.
+        assert path.read_bytes() == good_bytes
+        resumed = build_trainer(setup)
+        restore_checkpoint(resumed, path)
+
+    def test_interrupted_save_leaves_no_temp_files(
+        self, setup, tmp_path, monkeypatch
+    ):
+        trainer = build_trainer(setup)
+        trainer.run(max_rounds=2, stop_on_convergence=False)
+
+        def dies(stream, **arrays):
+            raise OSError("boom")
+
+        monkeypatch.setattr(np, "savez", dies)
+        with pytest.raises(OSError):
+            save_checkpoint(trainer, tmp_path / "ckpt.npz")
+        assert list(tmp_path.iterdir()) == []
+
+    def test_successful_save_leaves_only_the_checkpoint(self, setup, tmp_path):
+        trainer = build_trainer(setup)
+        trainer.run(max_rounds=2, stop_on_convergence=False)
+        final = save_checkpoint(trainer, tmp_path / "ckpt.npz")
+        assert [p.name for p in tmp_path.iterdir()] == ["ckpt.npz"]
+        assert final == tmp_path / "ckpt.npz"
+
+    def test_checkpoint_restart_is_bit_for_bit_after_overwrite(
+        self, setup, tmp_path
+    ):
+        """Overwriting an existing checkpoint (the crash-safe rename path)
+        still restores bit-for-bit."""
+        reference = build_trainer(setup)
+        reference.run(max_rounds=12, stop_on_convergence=False)
+
+        trainer = build_trainer(setup)
+        path = tmp_path / "ckpt.npz"
+        trainer.run(max_rounds=3, stop_on_convergence=False)
+        save_checkpoint(trainer, path)
+        trainer.run(max_rounds=3, stop_on_convergence=False)
+        save_checkpoint(trainer, path)  # atomic replace of the first
+
+        resumed = build_trainer(setup)
+        restore_checkpoint(resumed, path)
+        resumed.run(max_rounds=6, stop_on_convergence=False)
+        np.testing.assert_array_equal(
+            resumed.stacked_params(), reference.stacked_params()
+        )

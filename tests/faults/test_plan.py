@@ -1,0 +1,84 @@
+"""Tests for FaultPlan composition and its drop-in model interfaces."""
+
+import pytest
+
+from repro.faults import (
+    CrashRestartSchedule,
+    FaultPlan,
+    IndependentCorruption,
+    NoCorruption,
+    ScheduledCorruption,
+)
+from repro.topology.failures import (
+    ScheduledFailures,
+    ScheduledNodeFailures,
+)
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_benign(self, ring6):
+        plan = FaultPlan()
+        assert plan.failed_links(ring6, 1) == frozenset()
+        assert plan.failed_nodes(ring6, 1) == frozenset()
+        assert plan.link_up(ring6, 0, 1, 1)
+        assert not plan.corrupted(ring6, 0, 1, 1)
+        assert isinstance(plan.corruption, NoCorruption)
+
+    def test_link_failures_union_over_constituents(self, ring6):
+        plan = FaultPlan(
+            links=[
+                ScheduledFailures({1: [(0, 1)]}),
+                ScheduledFailures({1: [(2, 3)], 2: [(4, 5)]}),
+            ]
+        )
+        assert plan.failed_links(ring6, 1) == {(0, 1), (2, 3)}
+        assert plan.failed_links(ring6, 2) == {(4, 5)}
+        assert not plan.link_up(ring6, 1, 0, 1)  # direction-agnostic
+        assert plan.link_up(ring6, 4, 5, 1)
+
+    def test_node_failures_union_over_constituents(self, ring6):
+        plan = FaultPlan(
+            nodes=[
+                CrashRestartSchedule({0: [(1, 2)]}),
+                ScheduledNodeFailures({2: [1]}),
+            ]
+        )
+        assert plan.failed_nodes(ring6, 1) == {0}
+        assert plan.failed_nodes(ring6, 2) == {0, 1}
+
+    def test_single_model_accepted_without_sequence(self, ring6):
+        plan = FaultPlan(links=ScheduledFailures({1: [(0, 1)]}))
+        assert plan.failed_links(ring6, 1) == {(0, 1)}
+
+    def test_corruption_routed_through_plan(self, ring6):
+        plan = FaultPlan(corruption=ScheduledCorruption({2: [(0, 1)]}))
+        assert plan.corrupted(ring6, 0, 1, 2)
+        assert not plan.corrupted(ring6, 0, 1, 1)
+
+    def test_merged_with_adds_standalone_models(self, ring6):
+        plan = FaultPlan(links=ScheduledFailures({1: [(0, 1)]}))
+        merged = plan.merged_with(
+            link_model=ScheduledFailures({1: [(2, 3)]}),
+            node_model=ScheduledNodeFailures({1: [4]}),
+        )
+        assert merged.failed_links(ring6, 1) == {(0, 1), (2, 3)}
+        assert merged.failed_nodes(ring6, 1) == {4}
+        # the original plan is untouched
+        assert plan.failed_links(ring6, 1) == {(0, 1)}
+        assert plan.failed_nodes(ring6, 1) == frozenset()
+
+    def test_wrong_types_rejected(self):
+        with pytest.raises(TypeError):
+            FaultPlan(links=ScheduledNodeFailures({1: [0]}))
+        with pytest.raises(TypeError):
+            FaultPlan(nodes=ScheduledFailures({1: [(0, 1)]}))
+        with pytest.raises(TypeError):
+            FaultPlan(corruption="nope")
+
+    def test_corruption_rate_zero_is_never_corrupt(self, ring6):
+        plan = FaultPlan(corruption=IndependentCorruption(0.0, seed=1))
+        assert not any(
+            plan.corrupted(ring6, u, v, r)
+            for r in range(1, 10)
+            for u, v in ring6.edges
+        )

@@ -11,6 +11,7 @@ from repro.exceptions import ConfigurationError
 from repro.models.ridge import RidgeRegression
 from repro.models.svm import LinearSVM
 from repro.runtime.testbed import TestbedRuntime
+from repro.runtime.transport import HEADER_BYTES
 from repro.topology.generators import complete_topology, random_topology
 from repro.weights.construction import metropolis_weights
 
@@ -104,7 +105,7 @@ def test_testbed_on_sparse_topology_trains_an_svm(rng):
     assert result.payload_bytes_total > 0
     # header overhead: one fixed-size header per directed frame
     n_frames = 2 * topo.n_edges * 40
-    assert result.header_bytes_total == n_frames * 17
+    assert result.header_bytes_total == n_frames * HEADER_BYTES
 
 
 def test_bad_round_count_rejected(ridge_setup):

@@ -66,13 +66,16 @@ class TestRunScheme:
         assert result.scheme == "snap"
 
     def test_failure_model_reaches_snap(self, workload):
-        result = run_scheme(
-            "snap",
-            workload,
-            max_rounds=10,
-            failure_model=IndependentLinkFailures(1.0, seed=0),
-            stop_on_convergence=False,
-        )
+        # 10 rounds of total link loss legitimately trips the trainer's
+        # sustained-partition warning; this test is about byte accounting.
+        with pytest.warns(RuntimeWarning, match="partitioned"):
+            result = run_scheme(
+                "snap",
+                workload,
+                max_rounds=10,
+                failure_model=IndependentLinkFailures(1.0, seed=0),
+                stop_on_convergence=False,
+            )
         # all links always down -> no traffic at all
         assert result.total_bytes == 0
 

@@ -33,8 +33,10 @@ SUBPACKAGES = [
     "repro.consensus",
     "repro.core",
     "repro.data",
+    "repro.faults",
     "repro.models",
     "repro.network",
+    "repro.runtime",
     "repro.simulation",
     "repro.topology",
     "repro.utils",
