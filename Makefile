@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST := PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test chaos test-all bench
+.PHONY: test chaos perf test-all bench bench-figures
 
 ## The default suite: everything except the fault-injection tests.
 test:
@@ -15,9 +15,19 @@ test:
 chaos:
 	$(PYTEST) -m chaos
 
+## The performance smoke tests (vectorized engine speedup guard).
+perf:
+	$(PYTEST) -m perf
+
 ## Everything, chaos included (what CI / the tier-1 gate runs).
 test-all:
 	$(PYTEST)
 
+## Engine scaling benchmark: rounds/sec + peak RSS for both engines across
+## N x model; writes the committed BENCH_engine.json baseline.
 bench:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_engine_scaling.py --out BENCH_engine.json
+
+## The pytest-benchmark figure-reproduction suite (previous `make bench`).
+bench-figures:
 	$(PYTEST) benchmarks --benchmark-only

@@ -1,0 +1,216 @@
+"""Engine scaling benchmark: rounds/sec and peak RSS, reference vs vectorized.
+
+Sweeps N in {8, 32, 128} x {logistic, softmax, mlp} x {reference, vectorized}
+and writes ``BENCH_engine.json`` — the committed baseline that seeds the
+repository's performance trajectory (ISSUE 2).
+
+Each cell runs in its own subprocess so peak-RSS readings
+(``resource.getrusage().ru_maxrss``) are not contaminated by earlier cells,
+and so the reference engine's object graveyard cannot inflate the vectorized
+engine's footprint. The reference engine gets a smaller round budget at
+large N (it is the thing being demonstrated as slow); rates are normalized
+to rounds/sec either way.
+
+Usage::
+
+    make bench                  # full sweep -> BENCH_engine.json
+    python benchmarks/bench_engine_scaling.py --out BENCH_engine.json
+    python benchmarks/bench_engine_scaling.py --cell 32 softmax vectorized 40
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import resource
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+NODE_COUNTS = (8, 32, 128)
+MODELS = ("logistic", "softmax", "mlp")
+ENGINES = ("reference", "vectorized")
+
+#: Timed rounds per cell. The reference engine's budget shrinks with N so the
+#: full sweep stays tractable; rounds/sec normalizes the comparison.
+VECTORIZED_ROUNDS = 60
+
+
+def reference_rounds(n_nodes: int) -> int:
+    return {8: 30, 32: 15, 128: 6}[n_nodes]
+
+
+N_FEATURES = 10
+N_CLASSES = 5
+SAMPLES_PER_SHARD = 30
+WARMUP_ROUNDS = 2
+
+
+def build_trainer(n_nodes: int, model_name: str, engine: str):
+    import numpy as np
+
+    from repro.core.config import SNAPConfig
+    from repro.core.trainer import SNAPTrainer
+    from repro.data.dataset import Dataset
+    from repro.models.logistic import LogisticRegression
+    from repro.models.mlp import MLPClassifier
+    from repro.models.softmax import SoftmaxRegression
+    from repro.topology.generators import random_regular_topology
+
+    rng = np.random.default_rng(42)
+    if model_name == "logistic":
+        model = LogisticRegression(N_FEATURES)
+        labels = lambda X, w: (X @ w > 0).astype(float)  # noqa: E731
+    elif model_name == "softmax":
+        model = SoftmaxRegression(N_FEATURES, N_CLASSES)
+        labels = lambda X, w: rng.integers(0, N_CLASSES, size=len(X))  # noqa: E731
+    elif model_name == "mlp":
+        model = MLPClassifier((N_FEATURES, 16, N_CLASSES))
+        labels = lambda X, w: rng.integers(0, N_CLASSES, size=len(X))  # noqa: E731
+    else:
+        raise ValueError(f"unknown model {model_name!r}")
+
+    shards = []
+    for _ in range(n_nodes):
+        X = rng.normal(size=(SAMPLES_PER_SHARD, N_FEATURES))
+        w = rng.normal(size=N_FEATURES)
+        shards.append(Dataset(X, labels(X, w)))
+    topology = random_regular_topology(n_nodes, degree=4, seed=3)
+    config = SNAPConfig(
+        engine=engine,
+        max_rounds=10_000,
+        seed=7,
+        optimize_weights=False,
+        retain_flow_records=False,
+    )
+    return SNAPTrainer(model, shards, topology, config)
+
+
+def run_cell(n_nodes: int, model_name: str, engine: str, rounds: int) -> dict:
+    """One (N, model, engine) measurement — executed in a fresh process."""
+    trainer = build_trainer(n_nodes, model_name, engine)
+    trainer.run(max_rounds=WARMUP_ROUNDS, stop_on_convergence=False)
+    start = time.perf_counter()
+    trainer.run(max_rounds=rounds, stop_on_convergence=False)
+    elapsed = time.perf_counter() - start
+    ru_maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    peak_rss_mb = ru_maxrss / 1024 if sys.platform != "darwin" else ru_maxrss / 2**20
+    return {
+        "n_nodes": n_nodes,
+        "model": model_name,
+        "engine": engine,
+        "rounds": rounds,
+        "seconds": elapsed,
+        "rounds_per_sec": rounds / elapsed,
+        "peak_rss_mb": peak_rss_mb,
+    }
+
+
+def run_cell_subprocess(n_nodes: int, model_name: str, engine: str, rounds: int) -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    output = subprocess.run(
+        [
+            sys.executable,
+            str(Path(__file__).resolve()),
+            "--cell",
+            str(n_nodes),
+            model_name,
+            engine,
+            str(rounds),
+        ],
+        env=env,
+        check=True,
+        capture_output=True,
+        text=True,
+    )
+    return json.loads(output.stdout)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "BENCH_engine.json"),
+        help="output JSON path (default: repo-root BENCH_engine.json)",
+    )
+    parser.add_argument(
+        "--cell",
+        nargs=4,
+        metavar=("N", "MODEL", "ENGINE", "ROUNDS"),
+        help="internal: run one measurement in-process and print JSON",
+    )
+    args = parser.parse_args(argv)
+
+    if args.cell:
+        n_nodes, model_name, engine, rounds = args.cell
+        result = run_cell(int(n_nodes), model_name, engine, int(rounds))
+        json.dump(result, sys.stdout)
+        return 0
+
+    cells = []
+    for n_nodes in NODE_COUNTS:
+        for model_name in MODELS:
+            for engine in ENGINES:
+                rounds = (
+                    VECTORIZED_ROUNDS
+                    if engine == "vectorized"
+                    else reference_rounds(n_nodes)
+                )
+                print(
+                    f"[bench] N={n_nodes:<4} model={model_name:<8} "
+                    f"engine={engine:<10} rounds={rounds} ...",
+                    flush=True,
+                )
+                cell = run_cell_subprocess(n_nodes, model_name, engine, rounds)
+                print(
+                    f"        {cell['rounds_per_sec']:8.1f} rounds/s, "
+                    f"{cell['peak_rss_mb']:6.1f} MB peak RSS",
+                    flush=True,
+                )
+                cells.append(cell)
+
+    speedups = {}
+    for n_nodes in NODE_COUNTS:
+        for model_name in MODELS:
+            rates = {
+                c["engine"]: c["rounds_per_sec"]
+                for c in cells
+                if c["n_nodes"] == n_nodes and c["model"] == model_name
+            }
+            speedups[f"{model_name}_n{n_nodes}"] = (
+                rates["vectorized"] / rates["reference"]
+            )
+
+    report = {
+        "benchmark": "engine_scaling",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "node_counts": list(NODE_COUNTS),
+        "models": list(MODELS),
+        "samples_per_shard": SAMPLES_PER_SHARD,
+        "n_features": N_FEATURES,
+        "topology": "random_regular(degree=4, seed=3)",
+        "cells": cells,
+        "speedups": speedups,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\n[bench] wrote {out}")
+    print("[bench] speedups (vectorized / reference):")
+    for key, value in speedups.items():
+        print(f"        {key:<20} {value:6.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

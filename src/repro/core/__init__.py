@@ -22,6 +22,7 @@ from repro.core.config import (
 )
 from repro.core.ape import APESchedule
 from repro.core.checkpoint import restore_checkpoint, save_checkpoint
+from repro.core.engine import ReferenceEngine, VectorizedEngine, build_engine
 from repro.core.selection import select_parameters
 from repro.core.server import EdgeServer
 from repro.core.trainer import SNAPTrainer
@@ -34,6 +35,9 @@ __all__ = [
     "APESchedule",
     "restore_checkpoint",
     "save_checkpoint",
+    "ReferenceEngine",
+    "VectorizedEngine",
+    "build_engine",
     "select_parameters",
     "EdgeServer",
     "SNAPTrainer",

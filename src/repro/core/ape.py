@@ -96,6 +96,11 @@ class APESchedule:
         self._accumulated = 0.0
         self._iterations_in_stage = 0
         self._stage = 0
+        # I_k (1 + αG)^{I_k} never changes across stages (only T_k decays),
+        # so the send_threshold denominator is computed once.
+        self._send_denominator = (
+            self.stage_iterations * self.growth**self.stage_iterations
+        )
 
     @property
     def threshold(self) -> float:
@@ -126,9 +131,7 @@ class APESchedule:
         """
         if not self.active:
             return 0.0
-        return self._threshold / (
-            self.stage_iterations * self.growth**self.stage_iterations
-        )
+        return self._threshold / self._send_denominator
 
     def record_round(self, suppressed_max: float) -> None:
         """Fold one round's largest suppressed change into the APE estimate.

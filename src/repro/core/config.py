@@ -110,6 +110,18 @@ class SNAPConfig:
         The paper's equal-weight aggregate (default) or sample-weighted
         federation, which makes the consensual optimum match the pooled
         optimum under unequal shard sizes.
+    engine:
+        Which simulation engine executes the round loop. ``"reference"``
+        (the default) is the per-object oracle; ``"vectorized"`` stacks all
+        servers into dense matrices and runs the same algorithm through
+        batched numpy / scipy.sparse kernels. The two are bit-for-bit
+        equivalent on every seeded configuration (see
+        ``docs/PERFORMANCE.md``).
+    retain_flow_records:
+        Keep a :class:`~repro.network.cost.FlowRecord` per delivered frame
+        on the trainer's cost tracker. Required by analyses that inspect
+        raw flows; large sweeps turn it off to keep memory flat (aggregate
+        byte/cost series are always available).
     max_rounds:
         Hard iteration cap.
     max_partitioned_rounds:
@@ -136,6 +148,8 @@ class SNAPConfig:
     ape_growth: float = 1.01
     straggler_strategy: StragglerStrategy = StragglerStrategy.STALE
     shard_weighting: ShardWeighting = ShardWeighting.UNIFORM
+    engine: str = "reference"
+    retain_flow_records: bool = True
     max_rounds: int = 500
     max_partitioned_rounds: int | None = None
     seed: int | None = None
@@ -169,6 +183,10 @@ class SNAPConfig:
             raise ConfigurationError(
                 f"shard_weighting must be a ShardWeighting, got "
                 f"{self.shard_weighting!r}"
+            )
+        if self.engine not in ("reference", "vectorized"):
+            raise ConfigurationError(
+                f"engine must be 'reference' or 'vectorized', got {self.engine!r}"
             )
         check_positive_int("max_rounds", self.max_rounds)
         if self.max_partitioned_rounds is not None:

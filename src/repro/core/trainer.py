@@ -27,6 +27,7 @@ import numpy as np
 from repro.consensus.convergence import ConvergenceDetector, consensus_error
 from repro.consensus.step_size import safe_step_size
 from repro.core.config import SelectionPolicy, ShardWeighting, SNAPConfig
+from repro.core.engine import build_engine
 from repro.core.server import EdgeServer
 from repro.data.dataset import Dataset
 from repro.exceptions import ConfigurationError, NetworkPartitionError
@@ -200,7 +201,9 @@ class SNAPTrainer:
             for node in topology
         ]
 
-        self.tracker = CommunicationCostTracker()
+        self.tracker = CommunicationCostTracker(
+            retain_records=self.config.retain_flow_records
+        )
         if fault_plan is not None:
             # Fold any standalone models into the plan so the channel and the
             # round loop see one consistent fault description.
@@ -235,6 +238,10 @@ class SNAPTrainer:
         #: must keep numbering where the checkpointed one stopped.
         self.rounds_completed = 0
         self._schedules = self._build_schedules()
+        #: The execution engine behind run(): the per-object reference
+        #: implementation or the bit-for-bit equivalent vectorized fast path
+        #: (see repro.core.engine), per ``config.engine``.
+        self.engine = build_engine(self)
 
     def _build_schedules(self) -> list[APESchedule] | None:
         """One APE schedule per server, operating in *relative* units.
@@ -326,47 +333,67 @@ class SNAPTrainer:
             detector = ConvergenceDetector()
         records: list[RoundRecord] = []
 
-        for _ in range(cap):
-            round_index = self.rounds_completed + 1
-            down = self.node_failure_model.failed_nodes(self.topology, round_index)
-            for server in self.servers:
-                if server.node_id not in down:
-                    server.step()
+        engine = self.engine
+        engine.begin_run()
+        # The engine may hold state outside the server objects (the
+        # vectorized path does); the finally guarantees the servers are
+        # consistent even when the loop exits via NetworkPartitionError or
+        # an observer's exception.
+        try:
+            for _ in range(cap):
+                round_index = self.rounds_completed + 1
+                down = self.node_failure_model.failed_nodes(
+                    self.topology, round_index
+                )
+                engine.step_round(round_index, down)
 
-            params_sent, delivered = self._communicate(round_index, down)
-            self.rounds_completed = round_index
-            stale_links = self._advance_staleness(delivered)
-            connected = _delivered_graph_connected(
-                self.topology.n_nodes, delivered, down
-            )
-            self._observe_partition(connected, round_index)
+                params_sent, delivered = engine.communicate(round_index, down)
+                self.rounds_completed = round_index
+                stale_links = self._advance_staleness(delivered)
+                connected = _delivered_graph_connected(
+                    self.topology.n_nodes, delivered, down
+                )
+                self._observe_partition(connected, round_index)
 
-            mean_loss = self.mean_local_loss()
-            consensus = consensus_error(self.stacked_params())
-            accuracy = None
-            if test_set is not None and eval_every > 0 and round_index % eval_every == 0:
-                accuracy = self._evaluate(test_set)
-            record = RoundRecord(
-                round_index=round_index,
-                mean_loss=mean_loss,
-                consensus_error=consensus,
-                bytes_sent=self.tracker.round_bytes(round_index),
-                cost=self.tracker.round_cost(round_index),
-                params_sent=params_sent,
-                accuracy=accuracy,
-                stale_links=stale_links,
-                max_staleness=max(self.link_staleness.values(), default=0),
-                connected=connected,
-            )
-            records.append(record)
-            if on_round is not None:
-                on_round(record)
-            converged = detector.observe(mean_loss, consensus)
-            if converged and stop_on_convergence:
-                break
+                # One parameter stack per round feeds the consensus error,
+                # the optional accuracy evaluation, and (after the loop) the
+                # final mean parameters.
+                stack = engine.stacked_params()
+                mean_loss = engine.mean_local_loss()
+                consensus = consensus_error(stack)
+                accuracy = None
+                if (
+                    test_set is not None
+                    and eval_every > 0
+                    and round_index % eval_every == 0
+                ):
+                    accuracy = self._evaluate(test_set, stack.mean(axis=0))
+                record = RoundRecord(
+                    round_index=round_index,
+                    mean_loss=mean_loss,
+                    consensus_error=consensus,
+                    bytes_sent=self.tracker.round_bytes(round_index),
+                    cost=self.tracker.round_cost(round_index),
+                    params_sent=params_sent,
+                    accuracy=accuracy,
+                    stale_links=stale_links,
+                    max_staleness=max(self.link_staleness.values(), default=0),
+                    connected=connected,
+                )
+                records.append(record)
+                if on_round is not None:
+                    engine.sync_to_servers()
+                    on_round(record)
+                converged = detector.observe(mean_loss, consensus)
+                if converged and stop_on_convergence:
+                    break
+        finally:
+            engine.sync_to_servers()
 
-        final_params = self.mean_params()
-        final_accuracy = self._evaluate(test_set) if test_set is not None else None
+        final_params = stack.mean(axis=0)
+        final_accuracy = (
+            self._evaluate(test_set, final_params) if test_set is not None else None
+        )
         info = {
             "alpha": self.alpha,
             "lipschitz_bound": self.lipschitz,
@@ -491,6 +518,8 @@ class SNAPTrainer:
             return self._schedules[server_index].send_threshold
         return 0.0
 
-    def _evaluate(self, test_set: Dataset) -> float:
-        predictions = self.model.predict(self.mean_params(), test_set.X)
+    def _evaluate(self, test_set: Dataset, mean_params: Params | None = None) -> float:
+        if mean_params is None:
+            mean_params = self.mean_params()
+        predictions = self.model.predict(mean_params, test_set.X)
         return accuracy_score(test_set.y, predictions)

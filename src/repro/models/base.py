@@ -63,6 +63,53 @@ class Model(abc.ABC):
         top_singular = float(np.linalg.norm(X, ord=2))
         return top_singular**2 / X.shape[0]
 
+    # -- batched multi-shard API ------------------------------------------------
+    #
+    # The vectorized simulation engine evaluates all N servers' local losses
+    # and gradients once per round. The three methods below let a model do
+    # that in one call: ``prepare_shards`` validates and caches per-shard
+    # state up front (design matrices, encoded labels, ...) and the batch
+    # evaluators consume it. The defaults simply loop over the shards calling
+    # :meth:`loss` / :meth:`gradient`, which is bit-for-bit identical to N
+    # individual calls — subclasses override them with genuinely batched
+    # kernels only where that can be done without changing a single floating
+    # point operation's order or operands.
+
+    def prepare_shards(self, shards) -> object:
+        """Precompute immutable per-shard state for the batch evaluators.
+
+        ``shards`` is a sequence of ``(X, y)`` pairs (one per server). The
+        return value is opaque: pass it back to :meth:`batch_losses` /
+        :meth:`batch_gradients` unchanged.
+        """
+        return tuple(self.check_batch(X, y) for X, y in shards)
+
+    def batch_losses(self, params_stack: np.ndarray, prepared) -> np.ndarray:
+        """Per-shard losses for stacked parameters ``(N, n_params)`` -> ``(N,)``.
+
+        Row ``i`` equals ``self.loss(params_stack[i], X_i, y_i)`` exactly
+        (same floating point operations in the same order).
+        """
+        return np.array(
+            [
+                self.loss(params_stack[i], X, y)
+                for i, (X, y) in enumerate(prepared)
+            ],
+            dtype=float,
+        )
+
+    def batch_gradients(self, params_stack: np.ndarray, prepared) -> np.ndarray:
+        """Per-shard gradients, stacked ``(N, n_params)``.
+
+        Row ``i`` equals ``self.gradient(params_stack[i], X_i, y_i)`` exactly.
+        """
+        return np.stack(
+            [
+                self.gradient(params_stack[i], X, y)
+                for i, (X, y) in enumerate(prepared)
+            ]
+        )
+
     def check_batch(self, X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Validate and normalize a batch to float arrays with matching lengths."""
         X = np.asarray(X, dtype=float)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.exceptions import DataError
@@ -74,6 +76,92 @@ class LogisticRegression(Model):
         coefficients = -(weights * signed) / design.shape[0]
         return design.T @ coefficients + self.regularization * params
 
+    # -- batched multi-shard path (vectorized engine) ---------------------------
+
+    def prepare_shards(self, shards) -> "_PreparedLogisticShards":
+        """Cache design matrices and signed labels for all shards at once."""
+        designs = []
+        signed = []
+        for X, y in shards:
+            X, y = self.check_batch(X, y)
+            designs.append(np.ascontiguousarray(self._design(X)))
+            signed.append(self._signed_labels(y))
+        sizes = {d.shape[0] for d in designs}
+        uniform = len(sizes) == 1
+        return _PreparedLogisticShards(
+            designs=tuple(designs),
+            signed=tuple(signed),
+            signed_stack=np.stack(signed) if uniform and designs else None,
+        )
+
+    def _margins_stack(
+        self, params_stack: np.ndarray, prepared: "_PreparedLogisticShards"
+    ) -> np.ndarray:
+        """Per-shard margins ``signed * (design @ params)`` as one (N, n) array.
+
+        The matvec stays per-shard (a batched 3-D matmul may reassociate the
+        dot products), but writing the rows into one buffer lets every
+        subsequent elementwise op run batched with unchanged per-row results.
+        """
+        n = prepared.designs[0].shape[0]
+        margins = np.empty((len(prepared.designs), n))
+        for i, (design, signed) in enumerate(zip(prepared.designs, prepared.signed)):
+            margins[i] = signed * (design @ params_stack[i])
+        return margins
+
+    def batch_losses(
+        self, params_stack: np.ndarray, prepared: "_PreparedLogisticShards"
+    ) -> np.ndarray:
+        if prepared.signed_stack is None:
+            return self._batch_losses_loop(params_stack, prepared)
+        margins = self._margins_stack(params_stack, prepared)
+        data_terms = np.logaddexp(0.0, -margins).mean(axis=1)
+        reg_terms = np.array(
+            [float(params_stack[i] @ params_stack[i]) for i in range(len(params_stack))]
+        )
+        return data_terms + 0.5 * self.regularization * reg_terms
+
+    def batch_gradients(
+        self, params_stack: np.ndarray, prepared: "_PreparedLogisticShards"
+    ) -> np.ndarray:
+        if prepared.signed_stack is None:
+            return self._batch_gradients_loop(params_stack, prepared)
+        margins = self._margins_stack(params_stack, prepared)
+        n = prepared.designs[0].shape[0]
+        weights = _stable_sigmoid(-margins)
+        coefficients = -(weights * prepared.signed_stack) / n
+        gradients = np.empty_like(params_stack)
+        for i, design in enumerate(prepared.designs):
+            gradients[i] = design.T @ coefficients[i]
+        gradients += self.regularization * params_stack
+        return gradients
+
+    def _batch_losses_loop(
+        self, params_stack: np.ndarray, prepared: "_PreparedLogisticShards"
+    ) -> np.ndarray:
+        """Unequal shard sizes: per-shard evaluation on the cached designs."""
+        losses = np.empty(len(prepared.designs))
+        for i, (design, signed) in enumerate(zip(prepared.designs, prepared.signed)):
+            margins = signed * (design @ params_stack[i])
+            data_term = float(np.mean(np.logaddexp(0.0, -margins)))
+            losses[i] = data_term + 0.5 * self.regularization * float(
+                params_stack[i] @ params_stack[i]
+            )
+        return losses
+
+    def _batch_gradients_loop(
+        self, params_stack: np.ndarray, prepared: "_PreparedLogisticShards"
+    ) -> np.ndarray:
+        gradients = np.empty_like(params_stack)
+        for i, (design, signed) in enumerate(zip(prepared.designs, prepared.signed)):
+            margins = signed * (design @ params_stack[i])
+            weights = _stable_sigmoid(-margins)
+            coefficients = -(weights * signed) / design.shape[0]
+            gradients[i] = (
+                design.T @ coefficients + self.regularization * params_stack[i]
+            )
+        return gradients
+
     def predict_proba(self, params: Params, X: np.ndarray) -> np.ndarray:
         """P(y = 1 | x) for each row of ``X``."""
         params = self.check_params(params)
@@ -90,6 +178,21 @@ class LogisticRegression(Model):
         design = self._design(X)
         top_singular = float(np.linalg.norm(design, ord=2))
         return top_singular**2 / (4.0 * design.shape[0]) + self.regularization
+
+
+@dataclass(frozen=True)
+class _PreparedLogisticShards:
+    """Cached shard state for the batched evaluators.
+
+    ``signed_stack`` is the ``(N, n)`` label matrix when every shard has the
+    same sample count (the batched elementwise fast path); ``None`` means the
+    shards are ragged and the evaluators fall back to a per-shard loop over
+    the cached designs.
+    """
+
+    designs: tuple[np.ndarray, ...]
+    signed: tuple[np.ndarray, ...]
+    signed_stack: np.ndarray | None
 
 
 def _stable_sigmoid(z: np.ndarray) -> np.ndarray:

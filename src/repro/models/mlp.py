@@ -132,6 +132,9 @@ class MLPClassifier(Model):
         X, y = self.check_batch(X, y)
         X = self._check_inputs(X)
         labels = self._check_labels(y)
+        return self._loss_impl(params, X, labels)
+
+    def _loss_impl(self, params: Params, X: np.ndarray, labels: np.ndarray) -> float:
         _, log_probs = self._forward(params, X)
         data_term = -float(np.mean(log_probs[np.arange(len(labels)), labels]))
         return data_term + 0.5 * self.regularization * float(params @ params)
@@ -141,6 +144,11 @@ class MLPClassifier(Model):
         X, y = self.check_batch(X, y)
         X = self._check_inputs(X)
         labels = self._check_labels(y)
+        return self._gradient_impl(params, X, labels)
+
+    def _gradient_impl(
+        self, params: Params, X: np.ndarray, labels: np.ndarray
+    ) -> Params:
         layers = self.unpack(params)
         activations, log_probs = self._forward(params, X)
         n = X.shape[0]
@@ -161,6 +169,30 @@ class MLPClassifier(Model):
 
         flat = self.pack(grads)
         return flat + self.regularization * params
+
+    # -- batched multi-shard path (vectorized engine) ---------------------------
+
+    def prepare_shards(self, shards) -> tuple:
+        """Cache validated inputs and label vectors per shard."""
+        prepared = []
+        for X, y in shards:
+            X, y = self.check_batch(X, y)
+            X = self._check_inputs(X)
+            labels = self._check_labels(y)
+            prepared.append((np.ascontiguousarray(X), labels))
+        return tuple(prepared)
+
+    def batch_losses(self, params_stack: np.ndarray, prepared) -> np.ndarray:
+        losses = np.empty(len(prepared))
+        for i, (X, labels) in enumerate(prepared):
+            losses[i] = self._loss_impl(params_stack[i], X, labels)
+        return losses
+
+    def batch_gradients(self, params_stack: np.ndarray, prepared) -> np.ndarray:
+        gradients = np.empty_like(params_stack)
+        for i, (X, labels) in enumerate(prepared):
+            gradients[i] = self._gradient_impl(params_stack[i], X, labels)
+        return gradients
 
     def predict_proba(self, params: Params, X: np.ndarray) -> np.ndarray:
         """Class-probability matrix of shape ``(n_samples, n_classes)``."""

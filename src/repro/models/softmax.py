@@ -70,7 +70,12 @@ class SoftmaxRegression(Model):
         params = self.check_params(params)
         X, y = self.check_batch(X, y)
         labels = self._check_labels(y)
-        logits = self._design(X) @ self._unflatten(params)
+        return self._loss_impl(params, self._design(X), labels)
+
+    def _loss_impl(
+        self, params: Params, design: np.ndarray, labels: np.ndarray
+    ) -> float:
+        logits = design @ self._unflatten(params)
         log_probs = self._log_softmax(logits)
         data_term = -float(np.mean(log_probs[np.arange(len(labels)), labels]))
         return data_term + 0.5 * self.regularization * float(params @ params)
@@ -79,12 +84,39 @@ class SoftmaxRegression(Model):
         params = self.check_params(params)
         X, y = self.check_batch(X, y)
         labels = self._check_labels(y)
-        design = self._design(X)
+        return self._gradient_impl(params, self._design(X), labels)
+
+    def _gradient_impl(
+        self, params: Params, design: np.ndarray, labels: np.ndarray
+    ) -> Params:
         logits = design @ self._unflatten(params)
         probs = np.exp(self._log_softmax(logits))
         probs[np.arange(len(labels)), labels] -= 1.0
         grad = design.T @ probs / design.shape[0]
         return grad.reshape(-1) + self.regularization * params
+
+    # -- batched multi-shard path (vectorized engine) ---------------------------
+
+    def prepare_shards(self, shards) -> tuple:
+        """Cache validated design matrices and label vectors per shard."""
+        prepared = []
+        for X, y in shards:
+            X, y = self.check_batch(X, y)
+            labels = self._check_labels(y)
+            prepared.append((np.ascontiguousarray(self._design(X)), labels))
+        return tuple(prepared)
+
+    def batch_losses(self, params_stack: np.ndarray, prepared) -> np.ndarray:
+        losses = np.empty(len(prepared))
+        for i, (design, labels) in enumerate(prepared):
+            losses[i] = self._loss_impl(params_stack[i], design, labels)
+        return losses
+
+    def batch_gradients(self, params_stack: np.ndarray, prepared) -> np.ndarray:
+        gradients = np.empty_like(params_stack)
+        for i, (design, labels) in enumerate(prepared):
+            gradients[i] = self._gradient_impl(params_stack[i], design, labels)
+        return gradients
 
     def predict_proba(self, params: Params, X: np.ndarray) -> np.ndarray:
         """Class-probability matrix of shape ``(n_samples, n_classes)``."""

@@ -65,12 +65,27 @@ class Channel:
         self.tracker = tracker
         self.failure_model = failure_model if failure_model is not None else NoFailures()
         self.corruption_model = corruption_model
+        self._failed_cache: tuple[int, frozenset] | None = None
+
+    def round_failed_links(self, round_index: int) -> frozenset:
+        """The failure model's down-links for one round, memoized.
+
+        Failure models are deterministic functions of the round, but some
+        (the Gilbert–Elliott chains) walk their Markov state forward on
+        every query; a trainer asks about O(E) links per round, so one
+        cached query per round replaces O(E) model evaluations.
+        """
+        cached = self._failed_cache
+        if cached is not None and cached[0] == round_index:
+            return cached[1]
+        failed = self.failure_model.failed_links(self.topology, round_index)
+        self._failed_cache = (round_index, failed)
+        return failed
 
     def link_up(self, source: NodeId, destination: NodeId, round_index: int) -> bool:
         """Whether the (undirected) link is available this round."""
         edge = (min(source, destination), max(source, destination))
-        failed = self.failure_model.failed_links(self.topology, round_index)
-        return edge not in failed
+        return edge not in self.round_failed_links(round_index)
 
     def send(
         self, source: NodeId, destination: NodeId, message: ParameterUpdate

@@ -44,11 +44,20 @@ class CommunicationCostTracker:
         :func:`repro.topology.all_pairs_hop_counts`). When provided, flows
         may omit their hop count and it is looked up; when absent, every
         flow must state its hops explicitly (SNAP traffic is always 1 hop).
+    retain_records:
+        Keep a :class:`FlowRecord` per flow for :meth:`records`. Large
+        sweeps (hundreds of nodes × hundreds of rounds) accumulate one
+        object per directed edge per round; passing ``False`` keeps only
+        the per-round and total aggregates, which is all the figures need.
     """
 
-    def __init__(self, hop_counts: np.ndarray | None = None):
+    def __init__(
+        self, hop_counts: np.ndarray | None = None, retain_records: bool = True
+    ):
         self._hop_counts = None if hop_counts is None else np.asarray(hop_counts)
+        self.retain_records = bool(retain_records)
         self._records: list[FlowRecord] = []
+        self._n_flows = 0
         self._per_round_cost: dict[int, int] = defaultdict(int)
         self._per_round_bytes: dict[int, int] = defaultdict(int)
         self._total_cost = 0
@@ -62,7 +71,7 @@ class CommunicationCostTracker:
         size_bytes: int,
         hops: int | None = None,
     ) -> FlowRecord:
-        """Record one flow; returns the stored record."""
+        """Record one flow; returns the (possibly unretained) record."""
         if size_bytes < 0:
             raise ConfigurationError(f"size_bytes must be >= 0, got {size_bytes}")
         if hops is None:
@@ -76,12 +85,72 @@ class CommunicationCostTracker:
                 f"no route from {source} to {destination} (hops={hops})"
             )
         record = FlowRecord(round_index, source, destination, int(size_bytes), hops)
-        self._records.append(record)
+        if self.retain_records:
+            self._records.append(record)
+        self._n_flows += 1
         self._per_round_cost[round_index] += record.cost
         self._per_round_bytes[round_index] += record.size_bytes
         self._total_cost += record.cost
         self._total_bytes += record.size_bytes
         return record
+
+    def record_many(
+        self,
+        round_index: int,
+        sources,
+        destinations,
+        sizes,
+        hops=None,
+    ) -> int:
+        """Record a batch of same-round flows without per-flow Python objects.
+
+        ``sources``, ``destinations`` and ``sizes`` are parallel arrays;
+        ``hops`` may be a scalar (SNAP's one-hop traffic), a parallel array,
+        or ``None`` to look every pair up in the hop matrix. Aggregates are
+        updated exactly as ``len(sizes)`` individual :meth:`record` calls
+        would, and :class:`FlowRecord` objects are materialized only when
+        ``retain_records`` is on (preserving the same insertion order).
+        Returns the number of flows recorded.
+        """
+        sources = np.asarray(sources, dtype=np.int64)
+        destinations = np.asarray(destinations, dtype=np.int64)
+        sizes = np.asarray(sizes, dtype=np.int64)
+        if not (sources.shape == destinations.shape == sizes.shape):
+            raise ConfigurationError(
+                f"sources {sources.shape}, destinations {destinations.shape} "
+                f"and sizes {sizes.shape} must be parallel arrays"
+            )
+        if sizes.size and sizes.min() < 0:
+            raise ConfigurationError(
+                f"size_bytes must be >= 0, got {int(sizes.min())}"
+            )
+        if hops is None:
+            if self._hop_counts is None:
+                raise ConfigurationError(
+                    "hops not given and no hop matrix configured"
+                )
+            hops = self._hop_counts[sources, destinations]
+        hops = np.broadcast_to(np.asarray(hops, dtype=np.int64), sizes.shape)
+        if hops.size and hops.min() < 0:
+            bad = int(np.argmin(hops))
+            raise ConfigurationError(
+                f"no route from {int(sources[bad])} to "
+                f"{int(destinations[bad])} (hops={int(hops[bad])})"
+            )
+        costs = sizes * hops
+        total_bytes = int(sizes.sum())
+        total_cost = int(costs.sum())
+        if self.retain_records:
+            self._records.extend(
+                FlowRecord(round_index, int(s), int(d), int(b), int(h))
+                for s, d, b, h in zip(sources, destinations, sizes, hops)
+            )
+        self._n_flows += int(sizes.size)
+        self._per_round_cost[round_index] += total_cost
+        self._per_round_bytes[round_index] += total_bytes
+        self._total_cost += total_cost
+        self._total_bytes += total_bytes
+        return int(sizes.size)
 
     @property
     def total_cost(self) -> int:
@@ -95,8 +164,8 @@ class CommunicationCostTracker:
 
     @property
     def n_flows(self) -> int:
-        """Number of recorded flows."""
-        return len(self._records)
+        """Number of recorded flows (counted even when records are not retained)."""
+        return self._n_flows
 
     def round_cost(self, round_index: int) -> int:
         """Hop-weighted cost of one round."""
@@ -115,5 +184,17 @@ class CommunicationCostTracker:
         return sorted(self._per_round_bytes.items())
 
     def records(self) -> tuple[FlowRecord, ...]:
-        """All recorded flows, in insertion order."""
+        """All recorded flows, in insertion order.
+
+        Raises :class:`~repro.exceptions.ConfigurationError` when the tracker
+        was built with ``retain_records=False`` — the per-flow ledger was
+        never kept, and silently returning an empty tuple would corrupt any
+        analysis built on it.
+        """
+        if not self.retain_records:
+            raise ConfigurationError(
+                "flow records were not retained (tracker built with "
+                "retain_records=False); use the per-round/total aggregates, "
+                "or retain records"
+            )
         return tuple(self._records)

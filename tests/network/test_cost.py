@@ -79,3 +79,91 @@ class TestHopMatrix:
         records = tracker.records()
         assert len(records) == 1
         assert records[0].size_bytes == 10
+
+
+class TestRecordMany:
+    def test_aggregates_match_individual_records(self):
+        batch = CommunicationCostTracker()
+        loop = CommunicationCostTracker()
+        sources = [0, 1, 2, 0]
+        destinations = [1, 2, 0, 2]
+        sizes = [10, 0, 25, 7]
+        count = batch.record_many(3, sources, destinations, sizes, hops=1)
+        for s, d, b in zip(sources, destinations, sizes):
+            loop.record(3, s, d, b, hops=1)
+        assert count == 4
+        assert batch.total_bytes == loop.total_bytes
+        assert batch.total_cost == loop.total_cost
+        assert batch.n_flows == loop.n_flows == 4
+        assert batch.per_round_costs() == loop.per_round_costs()
+        assert batch.records() == loop.records()
+
+    def test_per_flow_hops_array(self):
+        tracker = CommunicationCostTracker()
+        tracker.record_many(1, [0, 1], [1, 0], [10, 20], hops=[2, 3])
+        assert tracker.total_cost == 10 * 2 + 20 * 3
+
+    def test_hop_matrix_lookup(self):
+        topo = ring_topology(6)
+        tracker = CommunicationCostTracker(all_pairs_hop_counts(topo))
+        tracker.record_many(1, [0], [3], [10])
+        assert tracker.total_cost == 30
+
+    def test_mismatched_arrays_rejected(self):
+        tracker = CommunicationCostTracker()
+        with pytest.raises(ConfigurationError):
+            tracker.record_many(1, [0, 1], [1], [10, 20], hops=1)
+
+    def test_negative_size_rejected(self):
+        tracker = CommunicationCostTracker()
+        with pytest.raises(ConfigurationError):
+            tracker.record_many(1, [0], [1], [-1], hops=1)
+
+    def test_unreachable_pair_rejected(self):
+        from repro.topology.graph import Topology
+
+        topo = Topology(4, [(0, 1), (2, 3)])
+        tracker = CommunicationCostTracker(all_pairs_hop_counts(topo))
+        with pytest.raises(ConfigurationError):
+            tracker.record_many(1, [0], [2], [10])
+
+    def test_aggregates_stay_plain_ints(self):
+        tracker = CommunicationCostTracker()
+        tracker.record_many(1, [0], [1], [10], hops=1)
+        assert type(tracker.total_bytes) is int
+        assert type(tracker.round_cost(1)) is int
+
+
+class TestRetainRecords:
+    def test_disabled_keeps_aggregates_but_not_records(self):
+        tracker = CommunicationCostTracker(retain_records=False)
+        tracker.record(1, 0, 1, 10, hops=1)
+        tracker.record_many(2, [0, 1], [1, 0], [5, 5], hops=1)
+        assert tracker.total_bytes == 20
+        assert tracker.n_flows == 3
+        assert tracker.round_bytes(2) == 10
+        with pytest.raises(ConfigurationError):
+            tracker.records()
+
+    def test_trainer_config_controls_retention(self):
+        import numpy as np
+
+        from repro.core.config import SNAPConfig
+        from repro.core.trainer import SNAPTrainer
+        from repro.data.dataset import Dataset
+        from repro.models.logistic import LogisticRegression
+
+        rng = np.random.default_rng(0)
+        topo = ring_topology(4)
+        shards = [
+            Dataset(rng.normal(size=(12, 3)), (rng.normal(size=12) > 0).astype(float))
+            for _ in range(4)
+        ]
+        config = SNAPConfig(
+            max_rounds=3, optimize_weights=False, retain_flow_records=False, seed=1
+        )
+        trainer = SNAPTrainer(LogisticRegression(3), shards, topo, config)
+        trainer.run(stop_on_convergence=False)
+        assert trainer.tracker.total_bytes > 0
+        with pytest.raises(ConfigurationError):
+            trainer.tracker.records()
