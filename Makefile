@@ -4,7 +4,7 @@
 PYTHON ?= python
 PYTEST := PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test chaos perf test-all bench bench-figures
+.PHONY: test chaos perf test-all bench bench-compression bench-figures
 
 ## The default suite: everything except the fault-injection tests.
 test:
@@ -27,6 +27,11 @@ test-all:
 ## N x model; writes the committed BENCH_engine.json baseline.
 bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_engine_scaling.py --out BENCH_engine.json
+
+## Compression frontier: total bytes vs final loss/accuracy for every
+## compressor spec; writes the committed BENCH_compression.json baseline.
+bench-compression:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_compression.py --out BENCH_compression.json
 
 ## The pytest-benchmark figure-reproduction suite (previous `make bench`).
 bench-figures:

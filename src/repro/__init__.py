@@ -22,6 +22,7 @@ paper-vs-measured record of every reproduced table and figure.
 
 from repro.core.config import SelectionPolicy, SNAPConfig
 from repro.core.trainer import SNAPTrainer
+from repro.compression import Compressor, CompressorSpec, build_compressor
 from repro.consensus.convergence import ConvergenceDetector
 from repro.results import RoundRecord, TrainingResult
 from repro.topology.graph import Topology
@@ -33,6 +34,9 @@ __all__ = [
     "SNAPTrainer",
     "SNAPConfig",
     "SelectionPolicy",
+    "Compressor",
+    "CompressorSpec",
+    "build_compressor",
     "ConvergenceDetector",
     "TrainingResult",
     "RoundRecord",

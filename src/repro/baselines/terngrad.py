@@ -17,29 +17,14 @@ direction").
 
 from __future__ import annotations
 
-import numpy as np
-
 from repro.baselines.parameter_server import ParameterServerTrainer
+from repro.compression import TernGradCompressor
+from repro.compression.quantize import ternarize
 from repro.network.frames import terngrad_vector_bytes
 from repro.types import Params, SeedLike
 from repro.utils.rng import make_rng
 
-
-def ternarize(gradient: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-    """Stochastic ternary quantization of a gradient vector.
-
-    Returns a vector whose entries are in ``{-s, 0, +s}`` with
-    ``s = max|gradient|`` and ``P[keep component k] = |g_k| / s`` — an
-    unbiased estimator of ``gradient``. The zero vector passes through
-    unchanged.
-    """
-    gradient = np.asarray(gradient, dtype=float)
-    scale = float(np.max(np.abs(gradient))) if gradient.size else 0.0
-    if scale == 0.0:
-        return gradient.copy()
-    keep_probability = np.abs(gradient) / scale
-    kept = rng.random(gradient.shape) < keep_probability
-    return scale * np.sign(gradient) * kept
+__all__ = ["TernGradTrainer", "ternarize"]
 
 
 class TernGradTrainer(ParameterServerTrainer):
@@ -59,5 +44,7 @@ class TernGradTrainer(ParameterServerTrainer):
         )
 
     def encode_gradient(self, gradient: Params) -> tuple[Params, int]:
-        encoded = ternarize(gradient, self._quantization_rng)
+        # The canonical ternarize implementation lives on the mesh
+        # compressor; this baseline is the parameter-server consumer of it.
+        encoded = TernGradCompressor.ternarize(gradient, self._quantization_rng)
         return encoded, terngrad_vector_bytes(gradient.size)

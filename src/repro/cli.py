@@ -66,6 +66,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="how missing neighbor updates are handled",
     )
     run.add_argument(
+        "--compressor",
+        type=str,
+        default=None,
+        help="update compressor spec, e.g. 'topk:k=32', 'ef:uniform:bits=4', "
+        "'terngrad' (mesh schemes only: snap, snap0, sno)",
+    )
+    run.add_argument(
+        "--compressor-arg",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        help="override one compressor parameter (repeatable), "
+        "e.g. --compressor-arg k=64",
+    )
+    run.add_argument(
         "--output", type=str, default=None, help="write the result JSON here"
     )
 
@@ -135,7 +150,42 @@ def _build_workload(args: argparse.Namespace) -> Workload:
     )
 
 
+def _parse_compressor(args: argparse.Namespace):
+    """Resolve --compressor/--compressor-arg into a spec, or None."""
+    from repro.compression import CompressorSpec
+    from repro.exceptions import ConfigurationError
+
+    if args.compressor is None:
+        if args.compressor_arg:
+            print(
+                "--compressor-arg requires --compressor", file=sys.stderr
+            )
+            raise SystemExit(EXIT_USAGE)
+        return None
+    if args.scheme not in ("snap", "snap0", "sno"):
+        print(
+            f"--compressor only applies to the mesh schemes (snap, snap0, "
+            f"sno), not {args.scheme!r}",
+            file=sys.stderr,
+        )
+        raise SystemExit(EXIT_USAGE)
+    try:
+        spec = CompressorSpec.parse(args.compressor)
+        for override in args.compressor_arg or ():
+            key, separator, value = override.partition("=")
+            if not separator or not key:
+                raise ConfigurationError(
+                    f"--compressor-arg expects KEY=VALUE, got {override!r}"
+                )
+            spec = spec.with_param(key, value)
+    except ConfigurationError as error:
+        print(str(error), file=sys.stderr)
+        raise SystemExit(EXIT_USAGE)
+    return spec
+
+
 def _command_run(args: argparse.Namespace) -> int:
+    compressor = _parse_compressor(args)
     workload = _build_workload(args)
     failure_model = (
         IndependentLinkFailures(args.failure_rate, seed=args.seed)
@@ -150,6 +200,7 @@ def _command_run(args: argparse.Namespace) -> int:
     config = SNAPConfig(
         straggler_strategy=StragglerStrategy(args.straggler_strategy),
         max_rounds=args.rounds,
+        compressor=compressor,
     )
     result = run_scheme(
         args.scheme,

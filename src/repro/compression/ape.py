@@ -1,0 +1,94 @@
+"""SNAP's own selection policies expressed as compressors.
+
+One class covers all three of the paper's schemes — they differ only in the
+threshold fed to :func:`repro.core.selection.select_parameters`:
+
+* **APE** (``kind="ape"``) — the threshold follows one
+  :class:`~repro.core.ape.APESchedule` per node, in relative units of the
+  node's mean absolute parameter value; stage boundaries restart the EXTRA
+  recursion (Algorithm 1).
+* **SNAP-0** (``kind="changed_only"``) — threshold 0: every changed
+  coordinate is sent, exact ties are suppressed.
+* **SNO** (``kind="dense"``) — no selection at all; the full vector goes out
+  every round.
+
+The arithmetic here reproduces the pre-subsystem trainer expressions
+operation for operation: the same scale (``max(mean|x|, 1e-8)``), the same product order
+(``relative_threshold * scale``), the same relative suppressed statistic
+(``suppressed_max / scale``) — which is what keeps default runs bit-for-bit
+identical to the historical implementation (pinned by
+``tests/compression/test_regression_pin.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.compression.base import Compressor, EdgeState, Payload
+from repro.core.ape import APESchedule
+from repro.core.selection import select_parameters
+
+
+class APECompressor(Compressor):
+    """Threshold selection against the per-edge reference (SNAP / SNAP-0 / SNO).
+
+    Parameters
+    ----------
+    schedule:
+        The node's :class:`~repro.core.ape.APESchedule`, or ``None`` for a
+        permanent zero threshold (SNAP-0).
+    dense:
+        Skip selection entirely and always emit the full vector (SNO).
+    """
+
+    name = "ape"
+
+    def __init__(self, schedule: APESchedule | None = None, dense: bool = False):
+        if dense and schedule is not None:
+            raise ValueError("dense selection does not take a schedule")
+        self.schedule = schedule
+        self.dense = bool(dense)
+
+    def begin_round(self, params: np.ndarray, round_index: int) -> dict:
+        if self.dense:
+            return {}
+        scale = max(float(np.mean(np.abs(params))), 1e-8)
+        relative = self.schedule.send_threshold if self.schedule is not None else 0.0
+        return {
+            "scale": scale,
+            "threshold": relative * scale,
+            "suppressed_max": 0.0,
+        }
+
+    def compress(
+        self, current: np.ndarray, state: EdgeState, ctx: dict
+    ) -> Payload:
+        if self.dense:
+            values = np.asarray(current, dtype=float)
+            return Payload(
+                indices=np.arange(values.size, dtype=np.int64),
+                values=values,
+                meta={},
+            )
+        selection = select_parameters(current, state.reference, ctx["threshold"])
+        ctx["suppressed_max"] = max(ctx["suppressed_max"], selection.suppressed_max)
+        return Payload(
+            indices=selection.indices, values=selection.values, meta={}
+        )
+
+    def end_round(self, ctx: dict) -> bool:
+        if self.schedule is None:
+            return False
+        stage_before = self.schedule.stage
+        self.schedule.record_round(ctx["suppressed_max"] / ctx["scale"])
+        return self.schedule.stage != stage_before
+
+    def state_dict(self) -> dict:
+        """Schedule state for checkpointing (empty outside the APE policy)."""
+        if self.schedule is None:
+            return {}
+        return self.schedule.state_dict()
+
+    def load_state_dict(self, state: dict) -> None:
+        if self.schedule is not None and state:
+            self.schedule.load_state_dict(state)

@@ -1,0 +1,215 @@
+"""Declarative compressor specification: parse, validate, build.
+
+A spec names one compression scheme plus its parameters, in a form that is
+hashable (lives inside the frozen ``SNAPConfig``), printable (the ``label``
+doubles as the cost tracker's stage key and the checkpoint compatibility
+tag), and parseable from one CLI token::
+
+    ape                    changed_only              dense
+    topk:k=32              randomk:k=8               uniform:bits=6
+    terngrad               ef:topk:k=32              ef:uniform
+
+Grammar: ``[ef:]kind[:key=value,...]``. The three *preset* kinds (``ape``,
+``changed_only``, ``dense``) are the paper's SNAP / SNAP-0 / SNO policies
+and take no parameters; wrapping them in ``ef:`` is rejected because their
+reference tracking already performs error feedback (the wrapper would be a
+misleading no-op — see ``docs/COMPRESSION.md``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import ConfigurationError
+
+#: The paper's own selection policies; ``SNAPConfig.selection`` maps onto
+#: these kinds one to one (``SelectionPolicy.value`` == the kind string).
+PRESET_KINDS = ("ape", "changed_only", "dense")
+
+#: Parameter schema per kind: name -> (default, validator).
+_SCHEMAS: dict[str, dict] = {
+    "ape": {},
+    "changed_only": {},
+    "dense": {},
+    "topk": {"k": 16},
+    "randomk": {"k": 16},
+    "uniform": {"bits": 4},
+    "terngrad": {},
+}
+
+
+def _coerce(text: str):
+    """CLI value coercion: int, then float, then bool, else reject later."""
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            pass
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    return text
+
+
+@dataclass(frozen=True)
+class CompressorSpec:
+    """One validated compressor choice.
+
+    Attributes
+    ----------
+    kind:
+        Scheme name; one of ``ape``, ``changed_only``, ``dense``, ``topk``,
+        ``randomk``, ``uniform``, ``terngrad``.
+    params:
+        Canonicalized ``(name, value)`` pairs — every schema parameter
+        present, in schema order, defaults filled in.
+    error_feedback:
+        Wrap the scheme in :class:`~repro.compression.ErrorFeedback`.
+    """
+
+    kind: str
+    params: tuple = field(default=())
+    error_feedback: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in _SCHEMAS:
+            raise ConfigurationError(
+                f"unknown compressor kind {self.kind!r}; known kinds: "
+                f"{', '.join(sorted(_SCHEMAS))}"
+            )
+        schema = _SCHEMAS[self.kind]
+        given = dict(self.params)
+        unknown = set(given) - set(schema)
+        if unknown:
+            raise ConfigurationError(
+                f"compressor {self.kind!r} does not take parameter(s) "
+                f"{', '.join(sorted(unknown))}; it takes "
+                f"{', '.join(sorted(schema)) or 'no parameters'}"
+            )
+        canonical = tuple(
+            (name, given.get(name, default)) for name, default in schema.items()
+        )
+        object.__setattr__(self, "params", canonical)
+        if self.error_feedback and self.is_preset:
+            raise ConfigurationError(
+                f"error feedback cannot wrap the {self.kind!r} preset: its "
+                "reference tracking already performs error feedback (the "
+                "residual current - last_sent is re-offered every round)"
+            )
+
+    # -- derived views -----------------------------------------------------------
+
+    @property
+    def is_preset(self) -> bool:
+        """Whether this spec is one of the paper's own selection policies."""
+        return self.kind in PRESET_KINDS
+
+    @property
+    def label(self) -> str:
+        """Canonical printable form; also the stage/checkpoint identity."""
+        if self.params:
+            rendered = ",".join(f"{name}={value}" for name, value in self.params)
+            base = f"{self.kind}({rendered})"
+        else:
+            base = self.kind
+        return f"ef({base})" if self.error_feedback else base
+
+    def params_dict(self) -> dict:
+        return dict(self.params)
+
+    def with_param(self, name: str, value) -> "CompressorSpec":
+        """A copy with one parameter overridden (validation re-runs).
+
+        String values go through the same CLI coercion as :meth:`parse`, so
+        ``--compressor-arg k=8`` yields an integer ``k``.
+        """
+        if isinstance(value, str):
+            value = _coerce(value)
+        merged = {**dict(self.params), name: value}
+        return CompressorSpec(
+            kind=self.kind,
+            params=tuple(merged.items()),
+            error_feedback=self.error_feedback,
+        )
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, text: str) -> "CompressorSpec":
+        """Parse the CLI grammar ``[ef:]kind[:key=value,...]``."""
+        if not isinstance(text, str) or not text.strip():
+            raise ConfigurationError(
+                f"compressor spec must be a non-empty string, got {text!r}"
+            )
+        pieces = text.strip().split(":")
+        error_feedback = False
+        if pieces and pieces[0] == "ef":
+            error_feedback = True
+            pieces = pieces[1:]
+        if not pieces or not pieces[0]:
+            raise ConfigurationError(
+                f"compressor spec {text!r} names no kind (grammar: "
+                "[ef:]kind[:key=value,...])"
+            )
+        kind, *arg_groups = pieces
+        params: dict = {}
+        for group in arg_groups:
+            for item in group.split(","):
+                if not item:
+                    continue
+                if "=" not in item:
+                    raise ConfigurationError(
+                        f"malformed compressor argument {item!r} in {text!r} "
+                        "(expected key=value)"
+                    )
+                name, _, raw = item.partition("=")
+                params[name.strip()] = _coerce(raw.strip())
+        return cls(
+            kind=kind, params=tuple(params.items()), error_feedback=error_feedback
+        )
+
+    @staticmethod
+    def normalize(value) -> "CompressorSpec | None":
+        """Accept ``None`` / spec string / :class:`CompressorSpec` uniformly."""
+        if value is None or isinstance(value, CompressorSpec):
+            return value
+        if isinstance(value, str):
+            return CompressorSpec.parse(value)
+        raise ConfigurationError(
+            f"compressor must be None, a spec string, or a CompressorSpec; "
+            f"got {value!r}"
+        )
+
+
+def build_compressor(spec: CompressorSpec, schedule=None):
+    """Instantiate the compressor a spec describes.
+
+    ``schedule`` is the node's :class:`~repro.core.ape.APESchedule` and is
+    only consumed by the ``ape`` preset. The instance's ``name`` is set to
+    the spec's label so cost-tracker stage attribution and checkpoints
+    carry the full parameterization.
+    """
+    from repro.compression.ape import APECompressor
+    from repro.compression.error_feedback import ErrorFeedback
+    from repro.compression.quantize import TernGradCompressor, UniformQuantizer
+    from repro.compression.sparsify import RandomKCompressor, TopKCompressor
+
+    params = spec.params_dict()
+    if spec.kind == "ape":
+        compressor = APECompressor(schedule=schedule)
+    elif spec.kind == "changed_only":
+        compressor = APECompressor()
+    elif spec.kind == "dense":
+        compressor = APECompressor(dense=True)
+    elif spec.kind == "topk":
+        compressor = TopKCompressor(**params)
+    elif spec.kind == "randomk":
+        compressor = RandomKCompressor(**params)
+    elif spec.kind == "uniform":
+        compressor = UniformQuantizer(**params)
+    else:
+        compressor = TernGradCompressor()
+    if spec.error_feedback:
+        compressor = ErrorFeedback(compressor)
+    compressor.name = spec.label
+    return compressor

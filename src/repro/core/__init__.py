@@ -12,6 +12,11 @@ Three selection policies cover the paper's scheme family:
 * ``changed_only`` — SNAP-0 (threshold zero: every *changed* parameter is
   sent, exactly-unchanged ones are suppressed);
 * ``dense`` — SNO (every parameter is sent every round, no index overhead).
+
+Beyond the presets, ``SNAPConfig(compressor=...)`` accepts any
+:class:`~repro.compression.CompressorSpec` (Top-k, Random-k, uniform
+quantization, TernGrad, optionally error-feedback wrapped) — see
+``repro.compression`` and ``docs/COMPRESSION.md``.
 """
 
 from repro.core.config import (

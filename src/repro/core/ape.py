@@ -152,7 +152,13 @@ class APESchedule:
             self._advance_stage()
 
     def _advance_stage(self) -> None:
-        self._threshold *= self.decay
+        decayed = self._threshold * self.decay
+        # In the denormal range the product can round back to the threshold
+        # itself (e.g. 2 ulp * 0.9 -> 2 ulp), which would pin the schedule
+        # above a denormal epsilon forever; a decay step that fails to
+        # strictly shrink the budget means the threshold is already
+        # numerically indistinguishable from exhausted.
+        self._threshold = decayed if decayed < self._threshold else 0.0
         self._accumulated = 0.0
         self._iterations_in_stage = 0
         self._stage += 1

@@ -3,7 +3,9 @@
 Edge deployments run for a long time and servers restart; a checkpoint
 captures every piece of *optimization* state — per-server iterates, the
 EXTRA recursion memory, cached neighbor views, per-neighbor link state,
-freshness flags, and the APE schedules — so a restored run continues
+freshness flags, the APE schedules, and per-edge compressor state
+(error-feedback residuals and compressor RNG streams) — so a restored run
+continues
 bit-for-bit identically to an uninterrupted one (verified by
 ``tests/core/test_checkpoint.py``).
 
@@ -40,6 +42,7 @@ def save_checkpoint(trainer, path: str | Path) -> Path:
         "n_params": trainer.model.n_params,
         "alpha": trainer.alpha,
         "selection": trainer.config.selection.value,
+        "compressor": trainer.compressor_spec.label,
         "rounds_completed": trainer.rounds_completed,
         "servers": [],
     }
@@ -68,6 +71,15 @@ def save_checkpoint(trainer, path: str | Path) -> Path:
         )
     if trainer._schedules is not None:
         meta["schedules"] = [s.state_dict() for s in trainer._schedules]
+    edge_rng_states: dict[str, dict] = {}
+    for (source, destination), state in sorted(trainer._edge_states.items()):
+        edge_key = f"edge{source}-{destination}"
+        if state.residual is not None:
+            arrays[f"{edge_key}/residual"] = state.residual
+        if state.rng is not None:
+            edge_rng_states[f"{source},{destination}"] = state.rng.bit_generator.state
+    if edge_rng_states:
+        meta["edge_rng"] = edge_rng_states
     arrays["__meta__"] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
@@ -110,6 +122,13 @@ def restore_checkpoint(trainer, path: str | Path) -> None:
                 f"checkpoint version {meta.get('version')} unsupported "
                 f"(expected {CHECKPOINT_VERSION})"
             )
+        expected = trainer.compressor_spec.label
+        recorded = meta.get("compressor", meta.get("selection"))
+        if recorded != expected:
+            raise ConfigurationError(
+                f"checkpoint was taken from a {recorded!r} run but the "
+                f"trainer is configured for {expected!r}"
+            )
         if meta["n_servers"] != len(trainer.servers):
             raise ConfigurationError(
                 f"checkpoint has {meta['n_servers']} servers, trainer has "
@@ -150,6 +169,21 @@ def restore_checkpoint(trainer, path: str | Path) -> None:
                 )
             for schedule, state in zip(trainer._schedules, schedule_states):
                 schedule.load_state_dict(state)
+        trainer._edge_states.clear()
+        for key in archive.files:
+            if key.startswith("edge") and key.endswith("/residual"):
+                source, _, destination = key[4:-len("/residual")].partition("-")
+                state = trainer._edge_state(int(source), int(destination))
+                state.residual = archive[key].copy()
+        for edge_key, rng_state in meta.get("edge_rng", {}).items():
+            source, _, destination = edge_key.partition(",")
+            state = trainer._edge_state(int(source), int(destination))
+            if state.rng is None:
+                raise ConfigurationError(
+                    f"checkpoint carries RNG state for edge {edge_key} but the "
+                    f"{expected!r} compressor draws no randomness"
+                )
+            state.rng.bit_generator.state = rng_state
 
 
 def _load_group(archive, prefix: str) -> dict[int, np.ndarray]:

@@ -132,7 +132,14 @@ class SNAPConfig:
         ``None`` (the default) never aborts — the trainer only warns.
     seed:
         Seed for tie-breaking randomness (none in the core loop itself, but
-        threaded to failure models created from this config).
+        threaded to failure models created from this config and to the
+        per-edge generators of stochastic compressors).
+    compressor:
+        Optional compression scheme overriding ``selection``: a
+        :class:`~repro.compression.CompressorSpec`, a spec string such as
+        ``"topk:k=32"`` or ``"ef:uniform:bits=6"``, or ``None`` to derive
+        the scheme from ``selection`` (the default, and the paper's
+        behavior). See :meth:`compressor_spec`.
     """
 
     alpha: float | None = None
@@ -153,6 +160,7 @@ class SNAPConfig:
     max_rounds: int = 500
     max_partitioned_rounds: int | None = None
     seed: int | None = None
+    compressor: object | None = None
 
     def __post_init__(self) -> None:
         if self.alpha is not None:
@@ -191,6 +199,25 @@ class SNAPConfig:
         check_positive_int("max_rounds", self.max_rounds)
         if self.max_partitioned_rounds is not None:
             check_positive_int("max_partitioned_rounds", self.max_partitioned_rounds)
+        if self.compressor is not None:
+            # Local import: repro.compression imports network/core modules,
+            # so a module-level import here would cycle.
+            from repro.compression.spec import CompressorSpec
+
+            self.compressor = CompressorSpec.normalize(self.compressor)
+
+    def compressor_spec(self):
+        """The effective compression scheme of this run.
+
+        An explicit ``compressor`` wins; otherwise the ``selection`` policy
+        maps onto its preset spec (``SelectionPolicy.APE`` -> ``"ape"`` and
+        so on), which reproduces the historical behavior exactly.
+        """
+        from repro.compression.spec import CompressorSpec
+
+        if self.compressor is not None:
+            return self.compressor
+        return CompressorSpec(kind=self.selection.value)
 
     @classmethod
     def snap0(cls, **overrides) -> "SNAPConfig":

@@ -36,7 +36,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 from scipy.sparse import csr_matrix
 
-from repro.core.config import SelectionPolicy, StragglerStrategy
+from repro.core.config import StragglerStrategy
 from repro.network.frames import FLOAT_BYTES, INT_BYTES
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (trainer imports us)
@@ -279,13 +279,25 @@ class VectorizedEngine:
     def communicate(
         self, round_index: int, down: frozenset
     ) -> tuple[int, set[tuple[int, int]]]:
-        trainer = self.trainer
-        config = trainer.config
+        """Dispatch on the compression scheme.
+
+        The three preset policies run through the historical fully-batched
+        kernel (whose operation order is pinned bit-for-bit against the
+        reference engine); every other compressor runs through the generic
+        protocol path, batched where the compressor supports it.
+        """
+        if self.trainer.compressor_spec.is_preset:
+            return self._communicate_preset(round_index, down)
+        return self._communicate_generic(round_index, down)
+
+    def _active_mask(self, down: frozenset) -> np.ndarray:
         active = np.ones(self.n_nodes, dtype=bool)
         for node in down:
             if 0 <= node < self.n_nodes:
                 active[node] = False
+        return active
 
+    def _advance_views(self, active: np.ndarray) -> None:
         # advance_views for every active receiver: its incoming edges shift
         # the current layer down and reset freshness pessimistically.
         advancing = active[self.edge_dst]
@@ -293,6 +305,38 @@ class VectorizedEngine:
         self.previous_fresh = np.where(advancing, self.fresh, self.previous_fresh)
         self.fresh &= ~advancing
         self.previous_views_valid |= active
+
+    def _round_link_down(self, round_index: int) -> np.ndarray:
+        # One failure-model query per round mapped onto directed edge rows.
+        link_down = np.zeros(self.n_edges, dtype=bool)
+        for edge in self.trainer.channel.round_failed_links(round_index):
+            for e in self._undirected.get(tuple(edge), ()):
+                link_down[e] = True
+        return link_down
+
+    def _delivered_after_corruption(
+        self, wire: np.ndarray, round_index: int
+    ) -> np.ndarray:
+        corruption = self.trainer.channel.corruption_model
+        if corruption is None:
+            return wire
+        delivered_mask = wire.copy()
+        for e in np.flatnonzero(wire):
+            if corruption.corrupted(
+                self.trainer.topology,
+                int(self.edge_src[e]),
+                int(self.edge_dst[e]),
+                round_index,
+            ):
+                delivered_mask[e] = False
+        return delivered_mask
+
+    def _communicate_preset(
+        self, round_index: int, down: frozenset
+    ) -> tuple[int, set[tuple[int, int]]]:
+        trainer = self.trainer
+        active = self._active_mask(down)
+        self._advance_views(active)
 
         scale = np.maximum(np.abs(self.params).mean(axis=1), 1e-8)
         if trainer._schedules is not None:
@@ -306,7 +350,7 @@ class VectorizedEngine:
         # A message exists for every active-src, active-dst edge (even over a
         # failed link: the sender builds it before the channel drops it).
         eligible = active[self.edge_src] & active[self.edge_dst]
-        dense = config.selection is SelectionPolicy.DENSE
+        dense = trainer.compressor_spec.kind == "dense"
         d = self.n_params
         if dense:
             send_mask = None
@@ -323,25 +367,8 @@ class VectorizedEngine:
             idx = np.flatnonzero(eligible)
             np.maximum.at(suppressed_node, self.edge_src[idx], suppressed_edge[idx])
 
-        # One failure-model query per round mapped onto directed edge rows.
-        link_down = np.zeros(self.n_edges, dtype=bool)
-        for edge in trainer.channel.round_failed_links(round_index):
-            for e in self._undirected.get(tuple(edge), ()):
-                link_down[e] = True
-        wire = eligible & ~link_down
-
-        corruption = trainer.channel.corruption_model
-        delivered_mask = wire
-        if corruption is not None:
-            delivered_mask = wire.copy()
-            for e in np.flatnonzero(wire):
-                if corruption.corrupted(
-                    trainer.topology,
-                    int(self.edge_src[e]),
-                    int(self.edge_dst[e]),
-                    round_index,
-                ):
-                    delivered_mask[e] = False
+        wire = eligible & ~self._round_link_down(round_index)
+        delivered_mask = self._delivered_after_corruption(wire, round_index)
 
         # Fig. 3 byte accounting: UNCHANGED_INDEX (4 + 4M + 8(d-M)) when
         # d > 2M + 1, else INDEX_VALUE (12 (d-M)) — per message, analytically.
@@ -359,6 +386,7 @@ class VectorizedEngine:
                 self.edge_dst[wire_idx],
                 sizes[wire_idx],
                 hops=1,
+                stage=trainer.compressors[0].name,
             )
 
         delivered_idx = np.flatnonzero(delivered_mask)
@@ -388,6 +416,115 @@ class VectorizedEngine:
                     # Algorithm 1 stage boundary: restart the EXTRA recursion.
                     self.has_previous[i] = False
                     self.previous_views_valid[i] = False
+        return params_sent, delivered
+
+    def _communicate_generic(
+        self, round_index: int, down: frozenset
+    ) -> tuple[int, set[tuple[int, int]]]:
+        """The compressor-protocol round for non-preset schemes.
+
+        Mirrors the reference trainer's ``_communicate`` exactly — same
+        eligibility rules, same per-edge operands (a parameter row and the
+        live view row for that directed edge), same hook ordering — so every
+        compressor inherits bit-for-bit engine parity. Batched compressors
+        get one ``compress_batch`` call over all eligible edges; the rest
+        compress edge by edge against their keyed per-edge state.
+        """
+        trainer = self.trainer
+        active = self._active_mask(down)
+        self._advance_views(active)
+
+        compressors = trainer.compressors
+        ctxs: dict[int, dict] = {
+            int(i): compressors[int(i)].begin_round(self.params[int(i)], round_index)
+            for i in np.flatnonzero(active)
+        }
+
+        eligible = active[self.edge_src] & active[self.edge_dst]
+        elig_idx = np.flatnonzero(eligible)
+        d = self.n_params
+
+        states = {
+            int(e): trainer._edge_state(
+                int(self.edge_src[e]), int(self.edge_dst[e])
+            )
+            for e in elig_idx
+        }
+        payloads: dict[int, object] = {}
+        if elig_idx.size:
+            if compressors[0].batched:
+                batch = compressors[0].compress_batch(
+                    self.params[self.edge_src[elig_idx]],
+                    self.views[elig_idx],
+                    [states[int(e)] for e in elig_idx],
+                    [ctxs[int(self.edge_src[e])] for e in elig_idx],
+                )
+                payloads = {int(e): p for e, p in zip(elig_idx, batch)}
+            else:
+                for e in elig_idx:
+                    e = int(e)
+                    src = int(self.edge_src[e])
+                    state = states[e]
+                    state.reference = self.views[e]
+                    payloads[e] = compressors[src].compress(
+                        self.params[src], state, ctxs[src]
+                    )
+
+        sizes = np.zeros(self.n_edges, dtype=np.int64)
+        n_sent = np.zeros(self.n_edges, dtype=np.int64)
+        for e, payload in payloads.items():
+            n_sent[e] = payload.n_sent
+            sizes[e] = compressors[int(self.edge_src[e])].bytes_on_wire(
+                payload, d
+            )
+
+        wire = eligible & ~self._round_link_down(round_index)
+        delivered_mask = self._delivered_after_corruption(wire, round_index)
+
+        wire_idx = np.flatnonzero(wire)
+        if wire_idx.size:
+            trainer.tracker.record_many(
+                round_index,
+                self.edge_src[wire_idx],
+                self.edge_dst[wire_idx],
+                sizes[wire_idx],
+                hops=1,
+                stage=compressors[0].name,
+            )
+
+        delivered_idx = np.flatnonzero(delivered_mask)
+        for e in delivered_idx:
+            e = int(e)
+            payload = payloads[e]
+            if payload.n_sent:
+                self.views[e][payload.indices] = payload.values
+            self.fresh[e] = True
+        params_sent = int(n_sent[delivered_idx].sum())
+        delivered = set(
+            zip(
+                self.edge_src[delivered_idx].tolist(),
+                self.edge_dst[delivered_idx].tolist(),
+            )
+        )
+
+        # Outcome hooks observe the post-round reference (the live view row,
+        # advanced in place by the delivery writes above), matching the
+        # reference engine's mark_delivered-then-hook ordering.
+        for e in elig_idx:
+            e = int(e)
+            state = states[e]
+            state.reference = self.views[e]
+            src = int(self.edge_src[e])
+            if delivered_mask[e]:
+                compressors[src].payload_delivered(payloads[e], state)
+            else:
+                compressors[src].payload_dropped(payloads[e], state)
+
+        for i, ctx in ctxs.items():
+            if compressors[i].end_round(ctx):
+                # Algorithm 1 stage boundary: restart the EXTRA recursion.
+                self.has_previous[i] = False
+                self.previous_views_valid[i] = False
         return params_sent, delivered
 
     # -- observation ------------------------------------------------------------

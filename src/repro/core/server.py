@@ -175,7 +175,10 @@ class EdgeServer:
             raise ProtocolError(
                 f"server {self.node_id} has no link state for non-neighbor {neighbor}"
             )
-        self.last_sent[neighbor][message.indices] = message.values
+        if message.additive:
+            self.last_sent[neighbor][message.indices] += message.values
+        else:
+            self.last_sent[neighbor][message.indices] = message.values
 
     def advance_views(self) -> None:
         """Shift the view layers: current views become the previous-iteration layer.

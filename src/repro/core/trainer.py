@@ -24,9 +24,10 @@ import warnings
 
 import numpy as np
 
+from repro.compression import EdgeState, build_compressor, payload_to_update
 from repro.consensus.convergence import ConvergenceDetector, consensus_error
 from repro.consensus.step_size import safe_step_size
-from repro.core.config import SelectionPolicy, ShardWeighting, SNAPConfig
+from repro.core.config import ShardWeighting, SNAPConfig
 from repro.core.engine import build_engine
 from repro.core.server import EdgeServer
 from repro.data.dataset import Dataset
@@ -36,7 +37,6 @@ from repro.models.base import Model
 from repro.models.metrics import accuracy_score
 from repro.network.channel import Channel
 from repro.network.cost import CommunicationCostTracker
-from repro.network.messages import ParameterUpdate
 from repro.core.ape import APESchedule
 from repro.results import RoundRecord, TrainingResult
 from repro.topology.failures import (
@@ -237,7 +237,24 @@ class SNAPTrainer:
         #: resumes): failure models sample by round index, so a resumed run
         #: must keep numbering where the checkpointed one stopped.
         self.rounds_completed = 0
+        #: The effective compression scheme: an explicit ``config.compressor``
+        #: or the preset derived from ``config.selection``.
+        self.compressor_spec = self.config.compressor_spec()
         self._schedules = self._build_schedules()
+        #: One compressor instance per server (the APE preset binds each
+        #: node's schedule; every other scheme is stateless per node and
+        #: keeps its state on the edge states instead).
+        self.compressors = [
+            build_compressor(
+                self.compressor_spec,
+                schedule=None if self._schedules is None else self._schedules[i],
+            )
+            for i in range(len(self.servers))
+        ]
+        #: Lazily created per-directed-edge compressor state, shared with
+        #: whichever engine (or testbed runtime) executes the round loop so
+        #: seeded streams and residuals survive engine swaps.
+        self._edge_states: dict[tuple[int, int], EdgeState] = {}
         #: The execution engine behind run(): the per-object reference
         #: implementation or the bit-for-bit equivalent vectorized fast path
         #: (see repro.core.engine), per ``config.engine``.
@@ -255,7 +272,7 @@ class SNAPTrainer:
         This keeps the 10%-of-the-parameters semantics true throughout the
         run instead of freezing it at the (arbitrary) initialization scale.
         """
-        if self.config.selection is not SelectionPolicy.APE:
+        if self.compressor_spec.kind != "ape":
             return None
         initial_threshold = self.config.ape_initial_fraction
         epsilon = self.config.ape_epsilon_fraction * initial_threshold
@@ -398,6 +415,7 @@ class SNAPTrainer:
             "alpha": self.alpha,
             "lipschitz_bound": self.lipschitz,
             "selection": self.config.selection.value,
+            "compressor": self.compressor_spec.label,
             **self._weight_info,
         }
         return TrainingResult(
@@ -412,22 +430,35 @@ class SNAPTrainer:
         )
 
     def _scheme_name(self) -> str:
-        return {
-            SelectionPolicy.APE: "snap",
-            SelectionPolicy.CHANGED_ONLY: "snap0",
-            SelectionPolicy.DENSE: "sno",
-        }[self.config.selection]
+        spec = self.compressor_spec
+        if spec.is_preset:
+            return {"ape": "snap", "changed_only": "snap0", "dense": "sno"}[
+                spec.kind
+            ]
+        return f"snap+{spec.label}"
+
+    def _edge_state(self, source: int, destination: int) -> EdgeState:
+        """The persistent compressor state of one directed edge (lazy)."""
+        key = (source, destination)
+        state = self._edge_states.get(key)
+        if state is None:
+            state = self.compressors[source].make_edge_state(
+                self.model.n_params, source, destination, self.config.seed
+            )
+            self._edge_states[key] = state
+        return state
 
     def _communicate(
         self, round_index: int, down: frozenset = frozenset()
     ) -> tuple[int, set[tuple[int, int]]]:
-        """Send every server's per-neighbor updates.
+        """Send every server's per-neighbor updates through its compressor.
 
         View layers shift first (so a failed link leaves the receiver's
-        current layer stale, per the straggler rule), then each server builds
-        one message per neighbor against that neighbor's known state and
-        advances its link state only on confirmed delivery. Servers in
-        ``down`` neither advance, send, nor receive this round.
+        current layer stale, per the straggler rule), then each server
+        compresses its parameters against every neighbor's known state
+        (``last_sent``, the edge state's reference) and advances that link
+        state only on confirmed delivery. Servers in ``down`` neither
+        advance, send, nor receive this round.
 
         Returns the total parameter values delivered and the set of directed
         ``(source, destination)`` pairs whose update arrived this round.
@@ -438,40 +469,38 @@ class SNAPTrainer:
 
         params_sent = 0
         delivered: set[tuple[int, int]] = set()
+        n_params = self.model.n_params
         for server_index, server in enumerate(self.servers):
             if server.node_id in down:
                 continue
-            scale = self._parameter_scale(server)
-            threshold = self._send_threshold(server_index) * scale
-            suppressed_max = 0.0
+            compressor = self.compressors[server_index]
+            ctx = compressor.begin_round(server.params, round_index)
             for neighbor in server.neighbors:
                 if neighbor in down:
                     # The peer is offline: the connection fails before any
                     # bytes enter the network; link state stays pending.
                     continue
-                if self.config.selection is SelectionPolicy.DENSE:
-                    message = ParameterUpdate.dense(
-                        server.node_id, round_index, server.params
-                    )
-                else:
-                    message, selection = server.build_update(
-                        neighbor, round_index, threshold
-                    )
-                    suppressed_max = max(suppressed_max, selection.suppressed_max)
-                report = self.channel.send(server.node_id, neighbor, message)
+                state = self._edge_state(server.node_id, neighbor)
+                state.reference = server.last_sent[neighbor]
+                payload = compressor.compress(server.params, state, ctx)
+                message = payload_to_update(
+                    payload, server.node_id, round_index, n_params
+                )
+                report = self.channel.send(
+                    server.node_id, neighbor, message, stage=compressor.name
+                )
                 if report.delivered:
                     self.servers[neighbor].receive_update(message)
                     server.mark_delivered(neighbor, message)
+                    compressor.payload_delivered(payload, state)
                     params_sent += message.n_sent
                     delivered.add((server.node_id, neighbor))
-            if self._schedules is not None:
-                schedule = self._schedules[server_index]
-                stage_before = schedule.stage
-                schedule.record_round(suppressed_max / scale)
-                if schedule.stage != stage_before:
-                    # Algorithm 1 stage boundary: restart EXTRA from the
-                    # current solution under the tightened threshold.
-                    server.restart_recursion()
+                else:
+                    compressor.payload_dropped(payload, state)
+            if compressor.end_round(ctx):
+                # Algorithm 1 stage boundary: restart EXTRA from the
+                # current solution under the tightened threshold.
+                server.restart_recursion()
         return params_sent, delivered
 
     def _advance_staleness(self, delivered: set[tuple[int, int]]) -> int:

@@ -12,12 +12,14 @@ from repro.network.frames import (
     FLOAT_BYTES,
     INT_BYTES,
     FrameFormat,
+    dequantize_levels,
     frame_size_bytes,
     full_vector_bytes,
+    quantized_frame_bytes,
     select_frame_format,
 )
 from repro.network.codec import decode_update, encode_update
-from repro.network.messages import ParameterUpdate
+from repro.network.messages import ParameterUpdate, QuantizationInfo
 from repro.network.cost import CommunicationCostTracker
 from repro.network.channel import Channel, DeliveryReport
 from repro.network.timing import GIGABIT_PER_SECOND, LinkTimingModel
@@ -28,10 +30,13 @@ __all__ = [
     "FLOAT_BYTES",
     "INT_BYTES",
     "FrameFormat",
+    "dequantize_levels",
     "frame_size_bytes",
     "full_vector_bytes",
+    "quantized_frame_bytes",
     "select_frame_format",
     "ParameterUpdate",
+    "QuantizationInfo",
     "CommunicationCostTracker",
     "Channel",
     "DeliveryReport",

@@ -88,9 +88,17 @@ class Channel:
         return edge not in self.round_failed_links(round_index)
 
     def send(
-        self, source: NodeId, destination: NodeId, message: ParameterUpdate
+        self,
+        source: NodeId,
+        destination: NodeId,
+        message: ParameterUpdate,
+        stage: str | None = None,
     ) -> DeliveryReport:
-        """Attempt a one-hop delivery; records cost only when the link is up."""
+        """Attempt a one-hop delivery; records cost only when the link is up.
+
+        ``stage`` is forwarded to the tracker for per-compressor byte
+        attribution; it never affects delivery.
+        """
         if not self.topology.has_edge(source, destination):
             raise TopologyError(
                 f"{source} and {destination} are not neighbors; SNAP only sends "
@@ -111,6 +119,7 @@ class Channel:
             destination=destination,
             size_bytes=message.size_bytes,
             hops=1,
+            stage=stage,
         )
         if self.corruption_model is not None and self.corruption_model.corrupted(
             self.topology, source, destination, round_index

@@ -15,9 +15,24 @@ Wire layouts (big-endian):
 * ``INDEX_VALUE`` — ``N - M`` records of ``u32 index`` + ``f64 value``.
   ``12 (N - M)`` bytes.
 
-The decoder needs to know the frame format and (for UNCHANGED_INDEX) the
-total parameter count ``N``; in a deployment both ride in the transport
-header, exactly as the paper's "frame structure" field would.
+A third layout carries quantized payloads from ``repro.compression``:
+
+* ``QUANTIZED`` — ``u8 bits``, ``u8 flags`` (bit 0 set = dense frame, index
+  list omitted), ``f64 scale``, ``u32 K`` (sent count), the ``K`` sent
+  indexes as ``u32`` (absent when dense), then the ``K`` signed levels
+  bit-packed MSB-first at ``bits`` bits each (stored biased by
+  ``L = 2**(bits-1) - 1`` so every code is unsigned).
+  ``14 + 4K·[not dense] + ceil(K·bits / 8)`` bytes. Decoding returns an
+  *additive* update whose values are the reconstructed deltas — the
+  receiver adds them onto its cached view, which carries bit-for-bit the
+  same result as the sender's absolute values because both sides share one
+  reconstruction expression (:func:`repro.network.frames.dequantize_levels`)
+  and the receiver's view equals the sender's reference by protocol
+  invariant.
+
+The decoder needs to know the frame format and (for UNCHANGED_INDEX and
+QUANTIZED) the total parameter count ``N``; in a deployment both ride in the
+transport header, exactly as the paper's "frame structure" field would.
 """
 
 from __future__ import annotations
@@ -27,10 +42,20 @@ import struct
 import numpy as np
 
 from repro.exceptions import ProtocolError
-from repro.network.frames import FrameFormat, frame_size_bytes
-from repro.network.messages import ParameterUpdate
+from repro.network.frames import (
+    FrameFormat,
+    dequantize_levels,
+    frame_size_bytes,
+    quantization_levels,
+    quantized_frame_bytes,
+)
+from repro.network.messages import ParameterUpdate, QuantizationInfo
 
 _U32 = struct.Struct(">I")
+_QUANT_PROLOGUE = struct.Struct(">BBdI")
+
+#: QUANTIZED flags-byte bit: the frame is dense (index list omitted).
+_FLAG_DENSE = 0x01
 
 
 def encode_update(update: ParameterUpdate) -> bytes:
@@ -41,6 +66,8 @@ def encode_update(update: ParameterUpdate) -> bytes:
     """
     if update.frame_format is FrameFormat.UNCHANGED_INDEX:
         payload = _encode_unchanged_index(update)
+    elif update.frame_format is FrameFormat.QUANTIZED:
+        payload = _encode_quantized(update)
     else:
         payload = _encode_index_value(update)
     if len(payload) != update.size_bytes:
@@ -66,6 +93,8 @@ def decode_update(
         indices, values = _decode_unchanged_index(payload, total_params)
     elif frame_format is FrameFormat.INDEX_VALUE:
         indices, values = _decode_index_value(payload, total_params)
+    elif frame_format is FrameFormat.QUANTIZED:
+        return _decode_quantized(payload, total_params, sender, round_index)
     else:
         raise ProtocolError(f"unknown frame format {frame_format!r}")
     return ParameterUpdate(
@@ -159,3 +188,95 @@ def _decode_index_value(
     ):
         raise ProtocolError("INDEX_VALUE frame has invalid index sequence")
     return indices, records["value"].astype(float)
+
+
+# -- QUANTIZED -----------------------------------------------------------------
+
+
+def _pack_levels(levels: np.ndarray, bits: int) -> bytes:
+    """Bit-pack signed levels at ``bits`` bits each, MSB-first, zero-padded."""
+    codes = levels.astype(np.int64) + quantization_levels(bits)
+    shifts = np.arange(bits - 1, -1, -1, dtype=np.int64)
+    bit_matrix = ((codes[:, None] >> shifts) & 1).astype(np.uint8)
+    return np.packbits(bit_matrix.ravel()).tobytes()
+
+
+def _unpack_levels(packed: bytes, count: int, bits: int) -> np.ndarray:
+    expected = (count * bits + 7) // 8
+    if len(packed) != expected:
+        raise ProtocolError(
+            f"QUANTIZED level block is {len(packed)} bytes, expected {expected}"
+        )
+    flat = np.unpackbits(np.frombuffer(packed, dtype=np.uint8))
+    bit_matrix = flat[: count * bits].reshape(count, bits).astype(np.int64)
+    weights = 1 << np.arange(bits - 1, -1, -1, dtype=np.int64)
+    codes = bit_matrix @ weights
+    cap = quantization_levels(bits)
+    if codes.size and int(codes.max()) > 2 * cap:
+        raise ProtocolError(
+            f"QUANTIZED frame carries codes above the {bits}-bit level range"
+        )
+    return codes - cap
+
+
+def _encode_quantized(update: ParameterUpdate) -> bytes:
+    q = update.quantization
+    if q is None:
+        raise ProtocolError("QUANTIZED frame requires quantization metadata")
+    dense = update.n_unsent == 0
+    prologue = _QUANT_PROLOGUE.pack(
+        q.bits, _FLAG_DENSE if dense else 0, q.scale, update.n_sent
+    )
+    index_block = b"" if dense else update.indices.astype(">u4").tobytes()
+    return prologue + index_block + _pack_levels(q.levels, q.bits)
+
+
+def _decode_quantized(
+    payload: bytes, total_params: int, sender: int, round_index: int
+) -> ParameterUpdate:
+    if len(payload) < _QUANT_PROLOGUE.size:
+        raise ProtocolError("truncated QUANTIZED frame: missing prologue")
+    bits, flags, scale, sent_count = _QUANT_PROLOGUE.unpack_from(payload, 0)
+    if bits < 2:
+        raise ProtocolError(f"QUANTIZED frame declares invalid bit width {bits}")
+    if sent_count > total_params:
+        raise ProtocolError(
+            f"QUANTIZED sent count {sent_count} exceeds total {total_params}"
+        )
+    dense = bool(flags & _FLAG_DENSE)
+    if dense and sent_count != total_params:
+        raise ProtocolError(
+            f"dense QUANTIZED frame carries {sent_count} of {total_params} "
+            "parameters"
+        )
+    expected = quantized_frame_bytes(total_params, total_params - sent_count, bits)
+    if not dense and sent_count == total_params:
+        # A full frame must use the dense layout; a sparse-layout encoding
+        # of it would be 4K bytes larger than the accounted size.
+        raise ProtocolError("full QUANTIZED frame is missing its dense flag")
+    if len(payload) != expected:
+        raise ProtocolError(
+            f"QUANTIZED frame is {len(payload)} bytes, expected {expected}"
+        )
+    offset = _QUANT_PROLOGUE.size
+    if dense:
+        indices = np.arange(total_params, dtype=np.int64)
+    else:
+        indices = np.frombuffer(
+            payload, dtype=">u4", count=sent_count, offset=offset
+        ).astype(np.int64)
+        offset += 4 * sent_count
+        if indices.size and (
+            np.any(np.diff(indices) <= 0) or indices.max() >= total_params
+        ):
+            raise ProtocolError("QUANTIZED frame has invalid index sequence")
+    levels = _unpack_levels(payload[offset:], sent_count, bits)
+    return ParameterUpdate(
+        sender=sender,
+        round_index=round_index,
+        total_params=total_params,
+        indices=indices,
+        values=dequantize_levels(levels, scale, bits),
+        quantization=QuantizationInfo(bits=bits, scale=scale, levels=levels),
+        additive=True,
+    )

@@ -60,6 +60,8 @@ class CommunicationCostTracker:
         self._n_flows = 0
         self._per_round_cost: dict[int, int] = defaultdict(int)
         self._per_round_bytes: dict[int, int] = defaultdict(int)
+        self._per_stage_bytes: dict[str, int] = defaultdict(int)
+        self._per_stage_cost: dict[str, int] = defaultdict(int)
         self._total_cost = 0
         self._total_bytes = 0
 
@@ -70,8 +72,15 @@ class CommunicationCostTracker:
         destination: NodeId,
         size_bytes: int,
         hops: int | None = None,
+        stage: str | None = None,
     ) -> FlowRecord:
-        """Record one flow; returns the (possibly unretained) record."""
+        """Record one flow; returns the (possibly unretained) record.
+
+        ``stage`` optionally attributes the flow's bytes/cost to a named
+        pipeline stage (e.g. a compressor label), aggregated by
+        :meth:`stage_bytes` / :meth:`stage_costs`. Unattributed flows are
+        counted in the totals only.
+        """
         if size_bytes < 0:
             raise ConfigurationError(f"size_bytes must be >= 0, got {size_bytes}")
         if hops is None:
@@ -90,6 +99,9 @@ class CommunicationCostTracker:
         self._n_flows += 1
         self._per_round_cost[round_index] += record.cost
         self._per_round_bytes[round_index] += record.size_bytes
+        if stage is not None:
+            self._per_stage_bytes[stage] += record.size_bytes
+            self._per_stage_cost[stage] += record.cost
         self._total_cost += record.cost
         self._total_bytes += record.size_bytes
         return record
@@ -101,6 +113,7 @@ class CommunicationCostTracker:
         destinations,
         sizes,
         hops=None,
+        stage: str | None = None,
     ) -> int:
         """Record a batch of same-round flows without per-flow Python objects.
 
@@ -148,6 +161,9 @@ class CommunicationCostTracker:
         self._n_flows += int(sizes.size)
         self._per_round_cost[round_index] += total_cost
         self._per_round_bytes[round_index] += total_bytes
+        if stage is not None:
+            self._per_stage_bytes[stage] += total_bytes
+            self._per_stage_cost[stage] += total_cost
         self._total_cost += total_cost
         self._total_bytes += total_bytes
         return int(sizes.size)
@@ -182,6 +198,14 @@ class CommunicationCostTracker:
     def per_round_bytes(self) -> list[tuple[int, int]]:
         """Sorted ``(round, bytes)`` pairs for rounds with any traffic."""
         return sorted(self._per_round_bytes.items())
+
+    def stage_bytes(self) -> dict[str, int]:
+        """Raw bytes per attributed pipeline stage (compressor label)."""
+        return dict(self._per_stage_bytes)
+
+    def stage_costs(self) -> dict[str, int]:
+        """Hop-weighted cost per attributed pipeline stage."""
+        return dict(self._per_stage_cost)
 
     def records(self) -> tuple[FlowRecord, ...]:
         """All recorded flows, in insertion order.

@@ -1,6 +1,7 @@
-"""The two candidate frame structures of Fig. 3 and their byte accounting.
+"""The candidate frame structures and their byte accounting.
 
-For a server hosting ``N`` parameters of which ``M`` are *not* sent:
+For a server hosting ``N`` parameters of which ``M`` are *not* sent, the two
+full-precision structures of Fig. 3 are:
 
 * **UNCHANGED_INDEX** frame — a 4-byte count of unchanged parameters, the
   ``M`` unchanged indexes (4 bytes each), then the ``N - M`` updated values
@@ -11,11 +12,25 @@ For a server hosting ``N`` parameters of which ``M`` are *not* sent:
 
 The first is smaller exactly when ``N > 2M + 1`` (few parameters suppressed);
 the second wins once most parameters are unchanged. SNAP picks per message.
+
+Quantizing compressors (``repro.compression``) add a third structure:
+
+* **QUANTIZED** frame — a 2-byte (bits, flags) prologue, one ``f64`` scale
+  factor, a ``u32`` sent-count ``K = N - M``, the ``K`` sent indexes as
+  ``u32`` (omitted entirely when ``K == N``: the dense case needs no index
+  list), then the ``K`` signed quantization levels bit-packed at ``b`` bits
+  each: ``14 + 4K·[K < N] + ceil(K·b / 8)`` bytes.
+
+:func:`select_frame_format` extends the paper's rule to pick the cheapest of
+the three whenever the update carries quantization metadata; full-precision
+updates keep the paper's exact two-way rule.
 """
 
 from __future__ import annotations
 
 import enum
+
+import numpy as np
 
 from repro.exceptions import ProtocolError
 
@@ -24,14 +39,50 @@ INT_BYTES = 4
 #: Bytes for a parameter value (paper: "8 bytes for a double number").
 FLOAT_BYTES = 8
 
+#: Inclusive bit-width range a QUANTIZED frame supports per level.
+MIN_QUANT_BITS = 2
+MAX_QUANT_BITS = 16
+
 
 class FrameFormat(enum.Enum):
-    """Wire format of a parameter-update frame (Fig. 3)."""
+    """Wire format of a parameter-update frame (Fig. 3 plus QUANTIZED)."""
 
     #: Count + unchanged indexes + raw updated values: ``4 + 8N - 4M`` bytes.
     UNCHANGED_INDEX = "unchanged_index"
     #: (index, value) pairs for updated parameters only: ``12 (N - M)`` bytes.
     INDEX_VALUE = "index_value"
+    #: Scale + indexes + bit-packed b-bit levels (quantized payloads only).
+    QUANTIZED = "quantized"
+
+
+def check_quant_bits(bits: int) -> int:
+    """Validate a QUANTIZED frame's per-level bit width."""
+    if not isinstance(bits, (int, np.integer)) or isinstance(bits, bool):
+        raise ProtocolError(f"quantization bits must be an int, got {bits!r}")
+    if not MIN_QUANT_BITS <= bits <= MAX_QUANT_BITS:
+        raise ProtocolError(
+            f"quantization bits must be in "
+            f"[{MIN_QUANT_BITS}, {MAX_QUANT_BITS}], got {bits}"
+        )
+    return int(bits)
+
+
+def quantization_levels(bits: int) -> int:
+    """``L`` such that levels span ``[-L, L]``: ``2**(bits-1) - 1``."""
+    return 2 ** (check_quant_bits(bits) - 1) - 1
+
+
+def dequantize_levels(levels, scale: float, bits: int) -> np.ndarray:
+    """Reconstruct real values from signed levels: ``level * (scale / L)``.
+
+    This is *the* shared reconstruction expression: the compressors use it
+    when they build a payload and the codec uses it when it decodes one, so
+    the sender's arithmetic and the receiver's arithmetic apply the same
+    float operations to the same operands — reconstructions agree bit for
+    bit and the wire format cannot perturb trajectories.
+    """
+    step = float(scale) / quantization_levels(bits)
+    return np.asarray(levels, dtype=np.int64).astype(float) * step
 
 
 def _check_counts(total_params: int, unsent_params: int) -> None:
@@ -46,34 +97,73 @@ def _check_counts(total_params: int, unsent_params: int) -> None:
         )
 
 
+def quantized_frame_bytes(total_params: int, unsent_params: int, bits: int) -> int:
+    """Exact QUANTIZED frame size: ``14 + 4K·[K < N] + ceil(K·b / 8)``.
+
+    The 14 fixed bytes are the ``u8`` bit width, a ``u8`` flags byte, the
+    ``f64`` scale factor, and the ``u32`` sent count. A dense frame
+    (``K == N``, nothing suppressed) omits the index list entirely.
+    """
+    _check_counts(total_params, unsent_params)
+    check_quant_bits(bits)
+    sent = total_params - unsent_params
+    index_bytes = 0 if unsent_params == 0 else INT_BYTES * sent
+    return 2 + FLOAT_BYTES + INT_BYTES + index_bytes + (sent * bits + 7) // 8
+
+
 def frame_size_bytes(
-    total_params: int, unsent_params: int, frame_format: FrameFormat
+    total_params: int,
+    unsent_params: int,
+    frame_format: FrameFormat,
+    bits: int | None = None,
 ) -> int:
-    """Exact frame size in bytes for ``N = total_params``, ``M = unsent_params``."""
+    """Exact frame size in bytes for ``N = total_params``, ``M = unsent_params``.
+
+    ``bits`` is required for (and only meaningful to) the QUANTIZED format.
+    """
     _check_counts(total_params, unsent_params)
     sent = total_params - unsent_params
     if frame_format is FrameFormat.UNCHANGED_INDEX:
         return INT_BYTES + INT_BYTES * unsent_params + FLOAT_BYTES * sent
     if frame_format is FrameFormat.INDEX_VALUE:
         return (INT_BYTES + FLOAT_BYTES) * sent
+    if frame_format is FrameFormat.QUANTIZED:
+        if bits is None:
+            raise ProtocolError("QUANTIZED frame size requires the bit width")
+        return quantized_frame_bytes(total_params, unsent_params, bits)
     raise ProtocolError(f"unknown frame format {frame_format!r}")
 
 
-def select_frame_format(total_params: int, unsent_params: int) -> FrameFormat:
-    """The smaller of the two formats; the paper's ``N > 2M + 1`` rule.
+def select_frame_format(
+    total_params: int, unsent_params: int, bits: int | None = None
+) -> FrameFormat:
+    """The cheapest frame format for this update.
 
-    Ties go to INDEX_VALUE (the paper's "otherwise" branch).
+    Without ``bits`` (full-precision payloads) this is exactly the paper's
+    ``N > 2M + 1`` rule between the two Fig. 3 structures, ties going to
+    INDEX_VALUE (the paper's "otherwise" branch). With ``bits`` (the update
+    carries quantized levels) the QUANTIZED structure joins the comparison
+    and wins only when *strictly* smaller, so full-precision accounting is
+    never disturbed by the extension.
     """
     _check_counts(total_params, unsent_params)
     if total_params > 2 * unsent_params + 1:
-        return FrameFormat.UNCHANGED_INDEX
-    return FrameFormat.INDEX_VALUE
+        chosen = FrameFormat.UNCHANGED_INDEX
+    else:
+        chosen = FrameFormat.INDEX_VALUE
+    if bits is not None:
+        best = frame_size_bytes(total_params, unsent_params, chosen)
+        if quantized_frame_bytes(total_params, unsent_params, bits) < best:
+            return FrameFormat.QUANTIZED
+    return chosen
 
 
-def encoded_update_bytes(total_params: int, unsent_params: int) -> int:
+def encoded_update_bytes(
+    total_params: int, unsent_params: int, bits: int | None = None
+) -> int:
     """Bytes of the best frame for this update (what SNAP actually transmits)."""
-    chosen = select_frame_format(total_params, unsent_params)
-    return frame_size_bytes(total_params, unsent_params, chosen)
+    chosen = select_frame_format(total_params, unsent_params, bits)
+    return frame_size_bytes(total_params, unsent_params, chosen, bits)
 
 
 def full_vector_bytes(total_params: int) -> int:

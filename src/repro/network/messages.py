@@ -10,9 +10,50 @@ from repro.exceptions import ProtocolError
 from repro.network.frames import (
     FrameFormat,
     frame_size_bytes,
+    quantization_levels,
+    check_quant_bits,
     select_frame_format,
 )
 from repro.types import NodeId
+
+
+@dataclass(frozen=True, eq=False)
+class QuantizationInfo:
+    """Quantization metadata riding on an update whose values are quantized.
+
+    Attributes
+    ----------
+    bits:
+        Bit width of one level on the wire (2..16).
+    scale:
+        Full-precision scale factor; level ``l`` reconstructs to
+        ``l * scale / (2**(bits-1) - 1)``.
+    levels:
+        Signed integer levels aligned with the update's ``indices``, each in
+        ``[-L, L]`` for ``L = 2**(bits-1) - 1``.
+    """
+
+    bits: int
+    scale: float
+    levels: np.ndarray
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "bits", check_quant_bits(self.bits))
+        scale = float(self.scale)
+        if not np.isfinite(scale) or scale <= 0:
+            raise ProtocolError(f"quantization scale must be finite > 0, got {scale}")
+        object.__setattr__(self, "scale", scale)
+        levels = np.asarray(self.levels)
+        if levels.ndim != 1 or not np.issubdtype(levels.dtype, np.integer):
+            raise ProtocolError("quantization levels must be a 1-D integer array")
+        levels = levels.astype(np.int64)
+        cap = quantization_levels(self.bits)
+        if levels.size and int(np.abs(levels).max()) > cap:
+            raise ProtocolError(
+                f"quantization levels exceed the {self.bits}-bit range "
+                f"[-{cap}, {cap}]"
+            )
+        object.__setattr__(self, "levels", levels)
 
 
 @dataclass(frozen=True)
@@ -35,9 +76,20 @@ class ParameterUpdate:
     indices:
         Sorted flat indices of the transmitted parameters.
     values:
-        Transmitted values, aligned with ``indices``.
+        Transmitted values, aligned with ``indices``. Absolute parameter
+        values normally; reconstructed *deltas* when ``additive`` is set.
+    quantization:
+        Optional :class:`QuantizationInfo` when the values were produced by
+        a quantizing compressor; enables the QUANTIZED wire format.
+    additive:
+        Decoded quantized frames are additive: ``apply_to`` adds the values
+        onto the target instead of overwriting. Only valid together with
+        ``quantization`` (the simulator always builds absolute updates; the
+        flag exists so the wire codec can round-trip without re-deriving
+        absolute values it does not know the receiver's reference for).
     frame_format:
-        The cheaper of the two Fig. 3 formats for this update.
+        The cheapest frame format for this update (two Fig. 3 structures,
+        plus QUANTIZED when quantization metadata is present).
     size_bytes:
         Exact wire size of the chosen frame.
     """
@@ -47,6 +99,8 @@ class ParameterUpdate:
     total_params: int
     indices: np.ndarray
     values: np.ndarray
+    quantization: QuantizationInfo | None = None
+    additive: bool = False
     frame_format: FrameFormat = field(init=False)
     size_bytes: int = field(init=False)
 
@@ -68,11 +122,30 @@ class ParameterUpdate:
                 raise ProtocolError("indices must be strictly increasing")
         object.__setattr__(self, "indices", indices)
         object.__setattr__(self, "values", values)
+        bits = None
+        if self.quantization is not None:
+            if not isinstance(self.quantization, QuantizationInfo):
+                raise ProtocolError(
+                    f"quantization must be QuantizationInfo, got "
+                    f"{self.quantization!r}"
+                )
+            if self.quantization.levels.shape != indices.shape:
+                raise ProtocolError(
+                    f"quantization levels ({self.quantization.levels.shape}) "
+                    f"and indices ({indices.shape}) differ in length"
+                )
+            bits = self.quantization.bits
+        elif self.additive:
+            raise ProtocolError(
+                "additive updates must carry quantization metadata"
+            )
         unsent = self.total_params - indices.size
-        chosen = select_frame_format(self.total_params, unsent)
+        chosen = select_frame_format(self.total_params, unsent, bits)
         object.__setattr__(self, "frame_format", chosen)
         object.__setattr__(
-            self, "size_bytes", frame_size_bytes(self.total_params, unsent, chosen)
+            self,
+            "size_bytes",
+            frame_size_bytes(self.total_params, unsent, chosen, bits),
         )
 
     @property
@@ -100,7 +173,10 @@ class ParameterUpdate:
                 f"{self.total_params}"
             )
         updated = target.copy()
-        updated[self.indices] = self.values
+        if self.additive:
+            updated[self.indices] = target[self.indices] + self.values
+        else:
+            updated[self.indices] = self.values
         return updated
 
     @classmethod

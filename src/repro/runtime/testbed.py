@@ -44,7 +44,8 @@ from queue import Empty, Queue
 
 import numpy as np
 
-from repro.core.config import SelectionPolicy, SNAPConfig
+from repro.compression import payload_to_update
+from repro.core.config import SNAPConfig
 from repro.core.trainer import SNAPTrainer
 from repro.data.dataset import Dataset
 from repro.exceptions import (
@@ -186,9 +187,9 @@ class TestbedResult:
 class _Node:
     """Runtime wrapper around one EdgeServer: sockets, inbox, per-round loop."""
 
-    def __init__(self, server, schedule, runtime: "TestbedRuntime"):
+    def __init__(self, server, compressor, runtime: "TestbedRuntime"):
         self.server = server
-        self.schedule = schedule
+        self.compressor = compressor
         self.runtime = runtime
         self.listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self.listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
@@ -329,14 +330,8 @@ class _Node:
         self.runtime.barrier_wait()  # everyone stepped
 
         server.advance_views()
-        scale = max(float(np.mean(np.abs(server.params))), 1e-8)
-        if self.runtime.selection is SelectionPolicy.DENSE:
-            threshold = None
-        elif self.schedule is not None:
-            threshold = self.schedule.send_threshold * scale
-        else:
-            threshold = 0.0
-        suppressed_max = 0.0
+        compressor = self.compressor
+        ctx = compressor.begin_round(server.params, round_index)
         for neighbor in server.neighbors:
             if neighbor in down:
                 # The peer is offline: the connection fails before any
@@ -346,55 +341,56 @@ class _Node:
             link_up = plan is None or plan.link_up(
                 topology, server.node_id, neighbor, round_index
             )
-            if threshold is None:
-                message = ParameterUpdate.dense(
-                    server.node_id, round_index, server.params
-                )
-            else:
-                message, selection = server.build_update(
-                    neighbor, round_index, threshold
-                )
-                suppressed_max = max(suppressed_max, selection.suppressed_max)
+            state = self.runtime._trainer._edge_state(server.node_id, neighbor)
+            state.reference = server.last_sent[neighbor]
+            payload = compressor.compress(server.params, state, ctx)
+            message = payload_to_update(
+                payload, server.node_id, round_index, server.model.n_params
+            )
             if not link_up:
                 # Link outage: the frame never enters the network. The
                 # update was still *built* (so APE suppression statistics
                 # match the simulator), but costs nothing and the link
                 # state stays pending — the straggler rule's territory.
+                compressor.payload_dropped(payload, state)
                 continue
             corrupt = plan is not None and plan.corrupted(
                 topology, server.node_id, neighbor, round_index
             )
-            self._send(neighbor, message, corrupt)
-        if self.schedule is not None:
-            stage_before = self.schedule.stage
-            self.schedule.record_round(suppressed_max / scale)
-            if self.schedule.stage != stage_before:
-                server.restart_recursion()
+            self._send(neighbor, message, corrupt, payload, state)
+        if compressor.end_round(ctx):
+            server.restart_recursion()
 
         self._collect_round(round_index, down, plan, topology)
         self.runtime.barrier_wait()  # everyone exchanged
 
     def _send(
-        self, neighbor: int, message: ParameterUpdate, corrupt: bool
+        self, neighbor: int, message: ParameterUpdate, corrupt: bool,
+        payload, state,
     ) -> None:
         """Transmit one frame; a peer that proves unreachable is marked dead.
 
         Corrupted sends still count their payload bytes — the bits crossed
         the wire even though the receiver will reject them (exactly how the
-        simulator's channel charges corrupted deliveries).
+        simulator's channel charges corrupted deliveries). The compressor's
+        outcome hook fires after the link state settles, so its view of the
+        edge reference matches the simulator's.
         """
         connection = self.send_connections[neighbor]
         try:
             if corrupt:
                 self.payload_bytes += connection.send_corrupted(message)
+                self.compressor.payload_dropped(payload, state)
             else:
                 self.payload_bytes += connection.send_update(message)
                 self.server.mark_delivered(neighbor, message)
+                self.compressor.payload_delivered(payload, state)
             self.frames_sent += 1
         except ProtocolError:
             # Retries (and reconnect attempts) exhausted: the peer is gone.
             # Degrade — the straggler rule covers the missing update.
             self.dead_peers.add(neighbor)
+            self.compressor.payload_dropped(payload, state)
 
     def _collect_round(self, round_index, down, plan, topology) -> None:
         """Receive this round's frames, degrading on deadline or death.
@@ -582,12 +578,12 @@ class TestbedRuntime:
                 )
             self.crash_schedule[int(round_index)] = crashed
         self.selection = trainer.config.selection
+        self.compressor_spec = trainer.compressor_spec
         self.alpha = trainer.alpha
         self._trainer = trainer
-        schedules = trainer._schedules or [None] * len(trainer.servers)
         self.nodes = [
-            _Node(server, schedule, self)
-            for server, schedule in zip(trainer.servers, schedules)
+            _Node(server, compressor, self)
+            for server, compressor in zip(trainer.servers, trainer.compressors)
         ]
         self._barrier = _DegradableBarrier(len(self.nodes))
         self._errors: list[BaseException] = []

@@ -5,7 +5,7 @@ One :class:`FrameHeader` precedes every Fig. 3 payload on the wire:
 ```
 >u32 sender        originating server id
 >u32 round_index   iteration the update belongs to
->u8  frame_format  0 = UNCHANGED_INDEX, 1 = INDEX_VALUE
+>u8  frame_format  0 = UNCHANGED_INDEX, 1 = INDEX_VALUE, 2 = QUANTIZED
 >u32 total_params  model dimension N (needed to decode frame A)
 >u32 payload_len   bytes of codec payload that follow
 >u32 payload_crc   CRC32 of the payload (zlib.crc32)
@@ -53,7 +53,11 @@ _HEADER = struct.Struct(">IIBIII")
 #: Wire bytes of the transport header preceding each payload.
 HEADER_BYTES = _HEADER.size
 
-_FORMAT_CODES = {FrameFormat.UNCHANGED_INDEX: 0, FrameFormat.INDEX_VALUE: 1}
+_FORMAT_CODES = {
+    FrameFormat.UNCHANGED_INDEX: 0,
+    FrameFormat.INDEX_VALUE: 1,
+    FrameFormat.QUANTIZED: 2,
+}
 _FORMAT_BY_CODE = {code: fmt for fmt, code in _FORMAT_CODES.items()}
 
 

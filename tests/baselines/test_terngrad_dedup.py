@@ -1,0 +1,47 @@
+"""The TernGrad baseline now imports ternarize from repro.compression.
+
+The frozen copy below is the baseline's pre-refactor implementation,
+verbatim. The canonical implementation that replaced it must produce
+bit-identical output on the same generator state — the dedup is a move,
+not a rewrite.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines import terngrad as baseline
+from repro.compression import TernGradCompressor, ternarize
+from repro.compression.quantize import ternarize as canonical
+
+
+def _ternarize_frozen(gradient, rng):
+    """Pre-refactor repro.baselines.terngrad.ternarize, copied verbatim."""
+    gradient = np.asarray(gradient, dtype=float)
+    scale = float(np.max(np.abs(gradient))) if gradient.size else 0.0
+    if scale == 0.0:
+        return gradient.copy()
+    keep_probability = np.abs(gradient) / scale
+    kept = rng.random(gradient.shape) < keep_probability
+    return scale * np.sign(gradient) * kept
+
+
+def test_canonical_matches_frozen_copy_bitwise():
+    for seed in range(50):
+        rng_data = np.random.default_rng(seed)
+        gradient = rng_data.normal(size=int(rng_data.integers(1, 200)))
+        old = _ternarize_frozen(gradient, np.random.default_rng(1000 + seed))
+        new = canonical(gradient, np.random.default_rng(1000 + seed))
+        np.testing.assert_array_equal(old, new)
+
+
+def test_zero_and_empty_vectors_pass_through():
+    rng = np.random.default_rng(0)
+    np.testing.assert_array_equal(canonical(np.zeros(5), rng), np.zeros(5))
+    assert canonical(np.empty(0), rng).size == 0
+
+
+def test_baseline_reexports_the_canonical_function():
+    assert baseline.ternarize is canonical
+    assert ternarize is canonical
+    assert TernGradCompressor.ternarize is canonical

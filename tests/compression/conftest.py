@@ -1,0 +1,136 @@
+"""Shared harness for the compression test suite.
+
+A small but non-trivial mesh (6 logistic-regression servers, 7 links, one
+chord) that exercises every compressor code path: the clean variant runs the
+pure round loop, the faulty variant layers Gilbert-Elliott link losses,
+Markov node outages and payload corruption on top, so delivery/drop hooks
+and down-peer skips all fire.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+import pytest
+
+from repro.core.config import SelectionPolicy, SNAPConfig
+from repro.core.trainer import SNAPTrainer
+from repro.data.dataset import Dataset
+from repro.faults.models import (
+    GilbertElliottLinkFailures,
+    IndependentCorruption,
+    MarkovNodeFailures,
+)
+from repro.faults.plan import FaultPlan
+from repro.models.logistic import LogisticRegression
+from repro.topology.graph import Topology
+
+N_NODES = 6
+EDGES = [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)]
+N_PARAMS = 5
+
+
+def make_shards(seed: int = 1, n: int = 40, d: int = N_PARAMS) -> list[Dataset]:
+    rng = np.random.default_rng(seed)
+    out = []
+    for _ in range(N_NODES):
+        X = rng.normal(size=(n, d))
+        w = rng.normal(size=d)
+        y = (X @ w + 0.3 * rng.normal(size=n) > 0).astype(float)
+        out.append(Dataset(X, y))
+    return out
+
+
+def make_fault_plan() -> FaultPlan:
+    return FaultPlan(
+        links=GilbertElliottLinkFailures(0.25, 0.5, seed=11),
+        nodes=MarkovNodeFailures(0.12, 0.6, seed=12),
+        corruption=IndependentCorruption(0.08, seed=13),
+    )
+
+
+def make_trainer(engine: str, faulty: bool = False, **config_kwargs) -> SNAPTrainer:
+    config_kwargs.setdefault("max_rounds", 25)
+    if isinstance(config_kwargs.get("selection"), str):
+        config_kwargs["selection"] = SelectionPolicy(config_kwargs["selection"])
+    config = SNAPConfig(
+        engine=engine, seed=7, optimize_weights=False, **config_kwargs
+    )
+    return SNAPTrainer(
+        LogisticRegression(N_PARAMS),
+        make_shards(),
+        Topology(N_NODES, EDGES),
+        config,
+        fault_plan=make_fault_plan() if faulty else None,
+    )
+
+
+def run_digest(trainer: SNAPTrainer) -> dict:
+    """The exact digest recipe the golden values were captured with."""
+    result = trainer.run(stop_on_convergence=False)
+    rounds = hashlib.sha256()
+    for r in result.rounds:
+        rounds.update(
+            repr(
+                (
+                    r.round_index,
+                    r.mean_loss.hex(),
+                    r.consensus_error.hex(),
+                    r.bytes_sent,
+                    r.cost,
+                    r.params_sent,
+                    r.stale_links,
+                    r.max_staleness,
+                    r.connected,
+                )
+            ).encode()
+        )
+    ledger = hashlib.sha256()
+    for f in trainer.tracker.records():
+        ledger.update(
+            repr(
+                (f.round_index, f.source, f.destination, f.size_bytes, f.hops)
+            ).encode()
+        )
+    return {
+        "rounds_sha": rounds.hexdigest(),
+        "ledger_sha": ledger.hexdigest(),
+        "final_params_sha": hashlib.sha256(result.final_params.tobytes()).hexdigest(),
+        "total_bytes": trainer.tracker.total_bytes,
+        "total_cost": trainer.tracker.total_cost,
+        "final_loss": result.rounds[-1].mean_loss.hex(),
+    }
+
+
+def run_trace(trainer: SNAPTrainer) -> tuple:
+    """Full comparable trace: per-round records, flow ledger, final params."""
+    result = trainer.run(stop_on_convergence=False)
+    rounds = tuple(
+        (
+            r.round_index,
+            r.mean_loss.hex(),
+            r.consensus_error.hex(),
+            r.bytes_sent,
+            r.cost,
+            r.params_sent,
+            r.stale_links,
+            r.max_staleness,
+            r.connected,
+        )
+        for r in result.rounds
+    )
+    ledger = tuple(
+        (f.round_index, f.source, f.destination, f.size_bytes, f.hops)
+        for f in trainer.tracker.records()
+    )
+    return rounds, ledger, result.final_params.tobytes()
+
+
+@pytest.fixture(scope="module")
+def mesh_setup():
+    return (
+        LogisticRegression(N_PARAMS),
+        make_shards(),
+        Topology(N_NODES, EDGES),
+    )

@@ -1,0 +1,194 @@
+"""Unit tests for the individual compressor implementations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import (
+    APECompressor,
+    RandomKCompressor,
+    TernGradCompressor,
+    TopKCompressor,
+    UniformQuantizer,
+    edge_rng,
+)
+from repro.exceptions import ConfigurationError
+from repro.network.frames import (
+    dequantize_levels,
+    encoded_update_bytes,
+    quantization_levels,
+)
+
+
+def make_state(compressor, reference, source=0, destination=1, seed=7):
+    state = compressor.make_edge_state(reference.size, source, destination, seed)
+    state.reference = reference
+    return state
+
+
+class TestTopK:
+    def test_sends_k_largest_drifts_in_index_order(self):
+        compressor = TopKCompressor(k=2)
+        reference = np.zeros(5)
+        current = np.array([0.1, -3.0, 0.2, 2.0, 0.0])
+        state = make_state(compressor, reference)
+        payload = compressor.compress(current, state, {})
+        np.testing.assert_array_equal(payload.indices, [1, 3])
+        np.testing.assert_array_equal(payload.values, [-3.0, 2.0])
+
+    def test_never_sends_zero_drift_even_below_k(self):
+        compressor = TopKCompressor(k=4)
+        reference = np.array([1.0, 2.0, 3.0])
+        current = np.array([1.0, 5.0, 3.0])
+        state = make_state(compressor, reference)
+        payload = compressor.compress(current, state, {})
+        np.testing.assert_array_equal(payload.indices, [1])
+
+    def test_batch_matches_per_edge_bitwise(self):
+        compressor = TopKCompressor(k=3)
+        rng = np.random.default_rng(0)
+        currents = rng.normal(size=(4, 9))
+        references = rng.normal(size=(4, 9))
+        states = [make_state(compressor, references[i], 0, i) for i in range(4)]
+        batched = compressor.compress_batch(
+            currents, references, states, [{}] * 4
+        )
+        for row in range(4):
+            single = compressor.compress(currents[row], states[row], {})
+            np.testing.assert_array_equal(batched[row].indices, single.indices)
+            np.testing.assert_array_equal(batched[row].values, single.values)
+
+    def test_rejects_bad_k(self):
+        for bad in (0, -1, 2.5, True):
+            with pytest.raises(ConfigurationError):
+                TopKCompressor(k=bad)
+
+
+class TestRandomK:
+    def test_sends_exactly_k_sorted_coordinates(self):
+        compressor = RandomKCompressor(k=3)
+        reference = np.zeros(10)
+        state = make_state(compressor, reference)
+        payload = compressor.compress(np.arange(10.0), state, {})
+        assert payload.n_sent == 3
+        assert np.all(np.diff(payload.indices) > 0)
+
+    def test_draws_depend_only_on_edge_key(self):
+        compressor = RandomKCompressor(k=4)
+        reference = np.zeros(20)
+        a = make_state(compressor, reference, source=2, destination=5)
+        b = make_state(compressor, reference, source=2, destination=5)
+        current = np.ones(20)
+        first = compressor.compress(current, a, {})
+        second = compressor.compress(current, b, {})
+        np.testing.assert_array_equal(first.indices, second.indices)
+        other_edge = make_state(compressor, reference, source=5, destination=2)
+        third = compressor.compress(current, other_edge, {})
+        assert not np.array_equal(first.indices, third.indices)
+
+
+class TestUniformQuantizer:
+    def test_values_match_receiver_side_dequantization(self):
+        compressor = UniformQuantizer(bits=4)
+        rng = np.random.default_rng(3)
+        reference = rng.normal(size=12)
+        current = reference + rng.normal(size=12)
+        state = make_state(compressor, reference)
+        payload = compressor.compress(current, state, {})
+        info = payload.meta["quantization"]
+        assert info.bits == 4
+        expected = reference[payload.indices] + dequantize_levels(
+            info.levels, info.scale, info.bits
+        )
+        np.testing.assert_array_equal(payload.values, expected)
+        cap = quantization_levels(4)
+        assert np.all(np.abs(info.levels) <= cap)
+
+    def test_zero_drift_sends_empty_payload(self):
+        compressor = UniformQuantizer(bits=4)
+        reference = np.ones(6)
+        state = make_state(compressor, reference)
+        payload = compressor.compress(reference.copy(), state, {})
+        assert payload.n_sent == 0
+        assert "quantization" not in payload.meta
+
+    def test_batch_matches_per_edge_bitwise(self):
+        compressor = UniformQuantizer(bits=6)
+        rng = np.random.default_rng(5)
+        currents = rng.normal(size=(5, 8))
+        references = currents.copy()
+        references[1:] += rng.normal(size=(4, 8))  # row 0 has zero drift
+        states = [make_state(compressor, references[i], 0, i) for i in range(5)]
+        batched = compressor.compress_batch(
+            currents, references, states, [{}] * 5
+        )
+        for row in range(5):
+            single = compressor.compress(currents[row], states[row], {})
+            np.testing.assert_array_equal(batched[row].indices, single.indices)
+            np.testing.assert_array_equal(batched[row].values, single.values)
+
+    def test_wire_bytes_use_quantized_frame_when_cheaper(self):
+        compressor = UniformQuantizer(bits=2)
+        rng = np.random.default_rng(9)
+        reference = np.zeros(400)
+        current = rng.normal(size=400)
+        state = make_state(compressor, reference)
+        payload = compressor.compress(current, state, {})
+        size = compressor.bytes_on_wire(payload, 400)
+        assert size == encoded_update_bytes(400, 400 - payload.n_sent, 2)
+        assert size < encoded_update_bytes(400, 400 - payload.n_sent)
+
+
+class TestTernGrad:
+    def test_levels_are_ternary_and_values_reconstruct(self):
+        compressor = TernGradCompressor()
+        rng = np.random.default_rng(2)
+        reference = rng.normal(size=30)
+        current = reference + rng.normal(size=30)
+        state = make_state(compressor, reference)
+        payload = compressor.compress(current, state, {})
+        info = payload.meta["quantization"]
+        assert info.bits == 2
+        assert set(np.unique(info.levels)) <= {-1, 1}
+        expected = reference[payload.indices] + info.scale * info.levels
+        np.testing.assert_allclose(payload.values, expected)
+
+    def test_ternarize_is_unbiased_in_expectation(self):
+        gradient = np.array([0.5, -1.0, 0.25, 0.0])
+        rng = np.random.default_rng(0)
+        draws = np.mean(
+            [TernGradCompressor.ternarize(gradient, rng) for _ in range(4000)],
+            axis=0,
+        )
+        np.testing.assert_allclose(draws, gradient, atol=0.05)
+
+
+class TestAPECompressor:
+    def test_dense_sends_every_coordinate(self):
+        compressor = APECompressor(dense=True)
+        reference = np.zeros(4)
+        current = np.array([1.0, 0.0, 2.0, 0.0])
+        state = make_state(compressor, reference)
+        payload = compressor.compress(current, state, compressor.begin_round(current, 0))
+        np.testing.assert_array_equal(payload.indices, np.arange(4))
+        np.testing.assert_array_equal(payload.values, current)
+
+    def test_zero_threshold_sends_exactly_the_changes(self):
+        compressor = APECompressor()  # changed_only preset
+        reference = np.array([1.0, 2.0, 3.0])
+        current = np.array([1.0, 2.5, 3.0])
+        state = make_state(compressor, reference)
+        ctx = compressor.begin_round(current, 0)
+        payload = compressor.compress(current, state, ctx)
+        np.testing.assert_array_equal(payload.indices, [1])
+        assert compressor.end_round(ctx) is False
+
+
+class TestEdgeRng:
+    def test_streams_are_order_independent(self):
+        a = edge_rng(7, 1, 2).random(5)
+        b = edge_rng(7, 2, 1).random(5)
+        a_again = edge_rng(7, 1, 2).random(5)
+        np.testing.assert_array_equal(a, a_again)
+        assert not np.array_equal(a, b)

@@ -1,0 +1,50 @@
+"""Error feedback: transparency and the residual invariant.
+
+Reference tracking already performs error feedback, so the wrapper must be
+a telemetry-only decoration: wrapping any compressor changes neither the
+trajectory nor one wire byte, and the materialized residual always equals
+``current - reference`` (everything the receiver does not yet hold).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.compression import CompressorSpec
+from repro.exceptions import ConfigurationError
+
+from tests.compression.conftest import make_trainer, run_trace
+
+
+@pytest.mark.parametrize("inner", ["topk:k=3", "uniform:bits=6", "randomk:k=2"])
+@pytest.mark.parametrize("faulty", [False, True], ids=["clean", "faulty"])
+def test_wrapper_is_transparent(inner, faulty):
+    bare = run_trace(make_trainer("reference", faulty=faulty, compressor=inner))
+    wrapped = run_trace(
+        make_trainer("reference", faulty=faulty, compressor=f"ef:{inner}")
+    )
+    assert bare == wrapped
+
+
+@pytest.mark.parametrize("engine", ["reference", "vectorized"])
+def test_residual_equals_params_minus_last_sent(engine):
+    trainer = make_trainer(engine, compressor="ef:uniform:bits=4", max_rounds=6)
+    trainer.run(stop_on_convergence=False)
+    if engine == "vectorized":
+        trainer.engine.sync_to_servers()
+    checked = 0
+    for (source, destination), state in trainer._edge_states.items():
+        assert state.residual is not None
+        server = trainer.servers[source]
+        np.testing.assert_array_equal(
+            state.residual, server.params - server.last_sent[destination]
+        )
+        checked += 1
+    assert checked > 0
+
+
+@pytest.mark.parametrize("preset", ["ape", "changed_only", "dense"])
+def test_wrapping_a_preset_is_rejected(preset):
+    with pytest.raises(ConfigurationError, match="already performs error feedback"):
+        CompressorSpec.parse(f"ef:{preset}")

@@ -172,7 +172,9 @@ class TestMismatchRejection:
         snap0 = build_trainer(setup, SelectionPolicy.CHANGED_ONLY)
         path = save_checkpoint(snap0, tmp_path / "c.npz")
         ape = build_trainer(setup, SelectionPolicy.APE)
-        with pytest.raises(ConfigurationError, match="APE schedules"):
+        with pytest.raises(
+            ConfigurationError, match="'changed_only' run.*configured for 'ape'"
+        ):
             restore_checkpoint(ape, path)
 
 

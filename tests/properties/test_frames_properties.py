@@ -10,6 +10,9 @@ from repro.network.frames import (
 )
 
 counts = st.integers(min_value=0, max_value=10_000)
+bit_widths = st.integers(min_value=2, max_value=16)
+
+FIG3_FORMATS = (FrameFormat.UNCHANGED_INDEX, FrameFormat.INDEX_VALUE)
 
 
 @given(total=counts, unsent=counts)
@@ -17,8 +20,18 @@ def test_selected_frame_is_minimal(total, unsent):
     """The auto-selected format never loses to the other one."""
     unsent = min(unsent, total)
     best = encoded_update_bytes(total, unsent)
-    for fmt in FrameFormat:
+    for fmt in FIG3_FORMATS:
         assert best <= frame_size_bytes(total, unsent, fmt)
+
+
+@given(total=counts, unsent=counts, bits=bit_widths)
+def test_selected_frame_is_minimal_with_quantization(total, unsent, bits):
+    """With a bit width on offer, the selection beats all three formats."""
+    unsent = min(unsent, total)
+    best = encoded_update_bytes(total, unsent, bits)
+    assert best <= encoded_update_bytes(total, unsent)
+    for fmt in FrameFormat:
+        assert best <= frame_size_bytes(total, unsent, fmt, bits=bits)
 
 
 @given(total=counts, unsent=counts)

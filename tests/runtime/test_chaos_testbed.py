@@ -175,7 +175,7 @@ def test_silent_peer_declared_dead_after_k_misses(rng):
         dead_after_misses=2,
     )
     # Node 0 goes mute: frames are built but never transmitted.
-    testbed.nodes[0]._send = lambda neighbor, message, corrupt: None
+    testbed.nodes[0]._send = lambda neighbor, message, corrupt, payload, state: None
     result = testbed.run(rounds)
 
     assert result.n_rounds == rounds
