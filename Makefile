@@ -4,11 +4,13 @@
 PYTHON ?= python
 PYTEST := PYTHONPATH=src $(PYTHON) -m pytest
 
-.PHONY: test chaos perf test-all bench bench-compression bench-figures
+.PHONY: test chaos perf differential verify-invariants coverage test-all \
+	bench bench-compression bench-figures
 
-## The default suite: everything except the fault-injection tests.
+## The default (tier-1) suite: the addopts in pyproject.toml deselect the
+## chaos, perf, and differential markers, so a bare pytest run is tier-1.
 test:
-	$(PYTEST) -m "not chaos"
+	$(PYTEST)
 
 ## The fault suite: chaos-injection tests only (link outages, crashes,
 ## corruption, partitions — simulator and TCP testbed).
@@ -19,9 +21,24 @@ chaos:
 perf:
 	$(PYTEST) -m perf
 
-## Everything, chaos included (what CI / the tier-1 gate runs).
+## The generated-scenario oracle suite: reference vs. vectorized engines
+## must agree bit-for-bit with the invariant monitors armed.
+differential:
+	$(PYTEST) -m differential
+
+## The push-button acceptance gate: a seeded differential sweep plus the
+## monitor self-test (deliberate faults must be caught by name).
+verify-invariants:
+	PYTHONPATH=src $(PYTHON) -m repro verify --scenarios 25
+
+## Line-coverage floor over the compression and network packages
+## (pytest-cov when installed, a sys.settrace fallback otherwise).
+coverage:
+	PYTHONPATH=src $(PYTHON) scripts/check_coverage.py
+
+## Everything — every marker included.
 test-all:
-	$(PYTEST)
+	$(PYTEST) -m ""
 
 ## Engine scaling benchmark: rounds/sec + peak RSS for both engines across
 ## N x model; writes the committed BENCH_engine.json baseline.

@@ -109,6 +109,37 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--threshold", type=float, default=0.02)
     plan.add_argument("--iterations", type=int, default=150)
 
+    verify = subparsers.add_parser(
+        "verify",
+        help="differential + invariant verification over generated scenarios",
+    )
+    verify.add_argument(
+        "--scenarios",
+        type=int,
+        default=25,
+        help="number of generated scenarios to sweep",
+    )
+    verify.add_argument(
+        "--master-seed",
+        type=int,
+        default=0,
+        help="seed of the scenario stream (a failure reproduces from "
+        "(master-seed, index))",
+    )
+    verify.add_argument(
+        "--start", type=int, default=0, help="first scenario index to run"
+    )
+    verify.add_argument(
+        "--fail-fast",
+        action="store_true",
+        help="stop the sweep at the first failing scenario",
+    )
+    verify.add_argument(
+        "--skip-selftest",
+        action="store_true",
+        help="skip the deliberate fault injections that prove the monitors fire",
+    )
+
     return parser
 
 
@@ -295,6 +326,30 @@ def _command_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_verify(args: argparse.Namespace) -> int:
+    # Local import: repro.testing pulls in the trainer stack, which the
+    # lighter subcommands should not pay for.
+    from repro.testing import run_selftest, run_suite, summarize
+
+    reports = run_suite(
+        args.scenarios,
+        master_seed=args.master_seed,
+        start=args.start,
+        fail_fast=args.fail_fast,
+        progress=lambda report: print(
+            f"[{'ok' if report.ok else 'FAIL'}] {report.scenario.describe()}"
+        ),
+    )
+    print(summarize(reports))
+    failed = any(not report.ok for report in reports)
+    if not args.skip_selftest:
+        print("monitor self-test (deliberate fault injections):")
+        for outcome in run_selftest(args.master_seed):
+            print(f"  {outcome}")
+            failed = failed or not outcome.caught
+    return 1 if failed else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -304,6 +359,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_compare(args)
     if args.command == "plan":
         return _command_plan(args)
+    if args.command == "verify":
+        return _command_verify(args)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

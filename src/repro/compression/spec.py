@@ -114,6 +114,20 @@ class CompressorSpec:
             base = self.kind
         return f"ef({base})" if self.error_feedback else base
 
+    @property
+    def spec_string(self) -> str:
+        """This spec back in the parse grammar: ``[ef:]kind[:key=value,...]``.
+
+        The exact inverse of :meth:`parse` on canonical specs:
+        ``CompressorSpec.parse(spec.spec_string) == spec`` always holds
+        (unlike :attr:`label`, whose ``kind(k=v)`` rendering is for display
+        and stage keys, not re-parsing).
+        """
+        text = self.kind
+        if self.params:
+            text += ":" + ",".join(f"{name}={value}" for name, value in self.params)
+        return f"ef:{text}" if self.error_feedback else text
+
     def params_dict(self) -> dict:
         return dict(self.params)
 

@@ -122,6 +122,15 @@ class SNAPConfig:
         on the trainer's cost tracker. Required by analyses that inspect
         raw flows; large sweeps turn it off to keep memory flat (aggregate
         byte/cost series are always available).
+    invariants:
+        ``"strict"`` attaches a :class:`repro.testing.InvariantMonitor` to
+        the trainer: every round, the paper's machine-checkable contracts
+        (weight-matrix stochasticity and spectrum, the Algorithm 1 APE
+        budget, analytic frame-byte conservation, the error-feedback
+        identity, the consensus envelope) are asserted live, and any break
+        raises :class:`~repro.exceptions.InvariantViolation` naming the
+        violated invariant and the round. ``"off"`` (the default) adds no
+        overhead.
     max_rounds:
         Hard iteration cap.
     max_partitioned_rounds:
@@ -157,6 +166,7 @@ class SNAPConfig:
     shard_weighting: ShardWeighting = ShardWeighting.UNIFORM
     engine: str = "reference"
     retain_flow_records: bool = True
+    invariants: str = "off"
     max_rounds: int = 500
     max_partitioned_rounds: int | None = None
     seed: int | None = None
@@ -195,6 +205,10 @@ class SNAPConfig:
         if self.engine not in ("reference", "vectorized"):
             raise ConfigurationError(
                 f"engine must be 'reference' or 'vectorized', got {self.engine!r}"
+            )
+        if self.invariants not in ("off", "strict"):
+            raise ConfigurationError(
+                f"invariants must be 'off' or 'strict', got {self.invariants!r}"
             )
         check_positive_int("max_rounds", self.max_rounds)
         if self.max_partitioned_rounds is not None:

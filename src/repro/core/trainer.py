@@ -259,6 +259,16 @@ class SNAPTrainer:
         #: implementation or the bit-for-bit equivalent vectorized fast path
         #: (see repro.core.engine), per ``config.engine``.
         self.engine = build_engine(self)
+        #: Live paper-contract checks (``config.invariants="strict"``); the
+        #: run loop invokes it every round on synced server state. Lazy
+        #: import: repro.testing imports network modules and would cycle at
+        #: module level.
+        if self.config.invariants == "strict":
+            from repro.testing.invariants import InvariantMonitor
+
+            self.monitor: "InvariantMonitor | None" = InvariantMonitor(self)
+        else:
+            self.monitor = None
 
     def _build_schedules(self) -> list[APESchedule] | None:
         """One APE schedule per server, operating in *relative* units.
@@ -352,6 +362,8 @@ class SNAPTrainer:
 
         engine = self.engine
         engine.begin_run()
+        if self.monitor is not None:
+            self.monitor.on_run_start()
         # The engine may hold state outside the server objects (the
         # vectorized path does); the finally guarantees the servers are
         # consistent even when the loop exits via NetworkPartitionError or
@@ -398,6 +410,12 @@ class SNAPTrainer:
                     connected=connected,
                 )
                 records.append(record)
+                if self.monitor is not None:
+                    # The monitor inspects the server objects, so the
+                    # engine's state must be written back first (a no-op on
+                    # the reference engine).
+                    engine.sync_to_servers()
+                    self.monitor.on_round(record, down)
                 if on_round is not None:
                     engine.sync_to_servers()
                     on_round(record)

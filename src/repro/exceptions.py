@@ -69,3 +69,26 @@ class NetworkPartitionError(ReproError):
 
 class DataError(ReproError):
     """A dataset or partition request was invalid."""
+
+
+class InvariantViolation(ReproError):
+    """A runtime invariant monitor caught a violated paper contract.
+
+    Raised by :class:`repro.testing.InvariantMonitor` (enabled via
+    ``SNAPConfig(invariants="strict")``) when a live run breaks one of the
+    machine-checkable guarantees the paper claims — weight-matrix
+    stochasticity/spectrum, the Algorithm 1 APE budget, analytic frame-byte
+    conservation, the error-feedback identity, or the consensus envelope.
+    The violated invariant's name and the offending round ride on the
+    exception for programmatic triage.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        invariant: str | None = None,
+        round_index: int | None = None,
+    ):
+        super().__init__(message)
+        self.invariant = invariant
+        self.round_index = round_index

@@ -1,0 +1,68 @@
+"""Differential-testing and runtime-invariant harness.
+
+Three pillars, built so every future change inherits bit-for-bit safety:
+
+* :class:`RunDigest` — one canonical, versioned fingerprint per training
+  run (round records, flow ledger, final params, per-server state), with
+  stable JSON serialization and a human-readable :meth:`RunDigest.diff`.
+* :class:`InvariantMonitor` — live per-round assertions of the paper's
+  machine-checkable contracts, armed via ``SNAPConfig(invariants="strict")``
+  or the ``snap verify`` CLI; violations raise
+  :class:`~repro.exceptions.InvariantViolation`.
+* :class:`ScenarioGen` + the differential runner — seeded generated
+  scenarios run on both engines, asserting digest equality plus clean
+  monitors (``make verify-invariants`` / ``tests/differential/``).
+
+See ``docs/TESTING.md`` for the full catalog and reproduction workflow.
+"""
+
+from repro.testing.digest import (
+    DIGEST_VERSION,
+    LEGACY_PIN_KEYS,
+    RunDigest,
+    capture_run,
+    flow_trace_entry,
+    round_trace_entry,
+    server_state_sha,
+)
+from repro.testing.invariants import (
+    InvariantMonitor,
+    feasible_frame_sizes,
+    quantization_bits,
+)
+from repro.testing.scenarios import Scenario, ScenarioGen
+from repro.testing.differential import (
+    DifferentialReport,
+    run_scenario,
+    run_suite,
+    summarize,
+)
+from repro.testing.selftest import (
+    INJECTIONS,
+    SelfTestResult,
+    run_injection,
+    run_selftest,
+)
+
+__all__ = [
+    "DIGEST_VERSION",
+    "DifferentialReport",
+    "INJECTIONS",
+    "InvariantMonitor",
+    "LEGACY_PIN_KEYS",
+    "RunDigest",
+    "Scenario",
+    "ScenarioGen",
+    "SelfTestResult",
+    "capture_run",
+    "feasible_frame_sizes",
+    "flow_trace_entry",
+    "quantization_bits",
+    "round_trace_entry",
+    "run_injection",
+    "run_scenario",
+    "run_selftest",
+    "run_suite",
+    "server_state_sha",
+    "summarize",
+]

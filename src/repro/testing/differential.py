@@ -1,0 +1,136 @@
+"""Differential runner: reference vs. vectorized engines on generated scenarios.
+
+The strongest correctness oracle the repo has is *engine equivalence*: the
+per-object reference implementation and the batched vectorized fast path
+must produce bit-for-bit identical runs on every configuration. This module
+turns that oracle into a push-button sweep — each generated
+:class:`~repro.testing.scenarios.Scenario` is run once per engine with the
+invariant monitors armed, and the two :class:`~repro.testing.digest.RunDigest`
+fingerprints must be equal with zero violations on either side.
+
+``make verify-invariants`` and ``snap verify`` both drive
+:func:`run_suite`; a failing scenario is reproduced from its
+``(master_seed, index)`` pair via ``Scenario.from_index``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import InvariantViolation
+from repro.testing.digest import RunDigest, capture_run
+from repro.testing.scenarios import Scenario, ScenarioGen
+
+#: Engines every scenario must agree across.
+ENGINES = ("reference", "vectorized")
+
+
+@dataclass
+class DifferentialReport:
+    """Outcome of one scenario's reference-vs-vectorized comparison."""
+
+    scenario: Scenario
+    ok: bool
+    detail: str = ""
+    digests: dict = field(default_factory=dict)  # engine -> RunDigest
+    monitor_checks: dict = field(default_factory=dict)  # engine -> {name: count}
+
+    def __str__(self) -> str:
+        status = "ok" if self.ok else "FAIL"
+        line = f"[{status}] {self.scenario.describe()}"
+        return line if self.ok else f"{line}\n{self.detail}"
+
+
+def run_scenario(
+    scenario: Scenario, *, invariants: str = "strict"
+) -> DifferentialReport:
+    """Run one scenario on both engines; compare digests and monitors.
+
+    Each engine gets a freshly built trainer (fault models and edge RNG
+    streams are stateful). An :class:`InvariantViolation` on either engine
+    fails the scenario with a diagnostic naming the invariant and round; a
+    digest mismatch fails it with the first diverging trace entry.
+    """
+    digests: dict[str, RunDigest] = {}
+    checks: dict[str, dict] = {}
+    for engine in ENGINES:
+        trainer = scenario.build_trainer(engine, invariants=invariants)
+        try:
+            digests[engine] = capture_run(trainer)
+        except InvariantViolation as violation:
+            return DifferentialReport(
+                scenario=scenario,
+                ok=False,
+                detail=(
+                    f"{engine} engine violated invariant "
+                    f"{violation.invariant!r}: {violation}"
+                ),
+                digests=digests,
+            )
+        if trainer.monitor is not None:
+            checks[engine] = trainer.monitor.summary()
+    reference, vectorized = digests["reference"], digests["vectorized"]
+    if reference != vectorized:
+        return DifferentialReport(
+            scenario=scenario,
+            ok=False,
+            detail=(
+                "reference and vectorized digests differ:\n"
+                + reference.diff(vectorized)
+            ),
+            digests=digests,
+            monitor_checks=checks,
+        )
+    return DifferentialReport(
+        scenario=scenario, ok=True, digests=digests, monitor_checks=checks
+    )
+
+
+def run_suite(
+    count: int,
+    master_seed: int = 0,
+    *,
+    start: int = 0,
+    invariants: str = "strict",
+    fail_fast: bool = False,
+    progress=None,
+) -> list[DifferentialReport]:
+    """Differentially test ``count`` scenarios of the ``master_seed`` stream.
+
+    ``progress`` (if given) is called with each finished
+    :class:`DifferentialReport` — the CLI uses it for live per-scenario
+    lines. With ``fail_fast`` the sweep stops at the first failure.
+    """
+    reports = []
+    for scenario in ScenarioGen(master_seed).scenarios(count, start=start):
+        report = run_scenario(scenario, invariants=invariants)
+        reports.append(report)
+        if progress is not None:
+            progress(report)
+        if fail_fast and not report.ok:
+            break
+    return reports
+
+
+def summarize(reports: list[DifferentialReport]) -> str:
+    """Human-readable sweep summary (failures first, then the tally)."""
+    failures = [report for report in reports if not report.ok]
+    lines = [str(report) for report in failures]
+    checked = sum(
+        sum(engine_checks.values())
+        for report in reports
+        for engine_checks in report.monitor_checks.values()
+    )
+    lines.append(
+        f"{len(reports) - len(failures)}/{len(reports)} scenarios passed "
+        f"({checked} invariant checks across both engines)"
+    )
+    if failures:
+        seeds = ", ".join(
+            f"({r.scenario.master_seed}, {r.scenario.index})" for r in failures
+        )
+        lines.append(
+            f"reproduce failures with Scenario.from_index(master_seed, index) "
+            f"for: {seeds}"
+        )
+    return "\n".join(lines)

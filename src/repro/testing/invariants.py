@@ -1,0 +1,439 @@
+"""Runtime invariant monitors: the paper's contracts, asserted live.
+
+SNAP's headline guarantees are machine-checkable, and this module checks
+them *during* a run instead of post-hoc:
+
+``weight-stochasticity``
+    The mixing matrix ``W`` of problems (22)/(23) must be symmetric,
+    doubly stochastic, and supported on the topology (and then
+    ``W̃ = (I + W)/2`` inherits all three) — the structural precondition
+    of the EXTRA recursion (8).
+``weight-spectrum``
+    EXTRA's convergence class needs ``λ_max(W) = 1`` simple (a spectral
+    gap below one) and ``W̃ ≻ 0``, i.e. ``λ_min(W) > -1``.
+``ape-budget``
+    Algorithm 1: each server's accumulated parameter error estimate must
+    stay within the stage budget ``T_k``, the budget must decay
+    monotonically from its initial value, and the per-iteration send
+    threshold must equal ``T_k / (I_k (1 + αG)^{I_k})`` exactly.
+``byte-ledger``
+    Every recorded flow's byte count must be one of the analytic Fig. 3
+    frame sizes — ``4 + 8N - 4M`` (UNCHANGED_INDEX), ``12 (N - M)``
+    (INDEX_VALUE), or the QUANTIZED size when the scheme quantizes — at
+    one hop, and the per-round ledger aggregates must conserve (round
+    record == tracker == sum of the round's flows).
+``error-feedback``
+    The protocol backbone: ``sender.last_sent[j] == receiver.views[i]``
+    bitwise on every directed edge (both advance only on confirmed
+    delivery), and any materialized error-feedback residual must equal
+    ``params - last_sent`` exactly.
+``consensus-envelope``
+    The EXTRA consensus residual may oscillate under suppression and
+    faults but must stay finite and inside a constant multiple of its
+    opening envelope — divergence (NaN/∞/explosion) is flagged at the
+    round it happens.
+
+Enable with ``SNAPConfig(invariants="strict")``; the trainer then runs
+every check each round on both engines (the vectorized engine's state is
+synced back to the server objects before inspection). Violations raise
+:class:`~repro.exceptions.InvariantViolation` naming the invariant and the
+round. Custom checks plug in via :meth:`InvariantMonitor.add_check`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import InvariantViolation
+from repro.network.frames import encoded_update_bytes
+
+#: Floor under the consensus envelope so an all-but-converged opening
+#: (consensus ~ 1e-16) does not turn numeric noise into violations.
+_CONSENSUS_FLOOR = 1e-9
+
+#: Rounds used to establish the consensus envelope's opening level.
+_ENVELOPE_WARMUP_ROUNDS = 3
+
+
+def quantization_bits(spec) -> int | None:
+    """The wire bit-width a compressor spec's frames may use (None = never)."""
+    if spec.kind == "uniform":
+        return spec.params_dict().get("bits")
+    if spec.kind == "terngrad":
+        return 2
+    return None
+
+
+def feasible_frame_sizes(total_params: int, bits: int | None) -> frozenset:
+    """Every byte count a sender can legally put on the wire for ``d`` params.
+
+    The cheapest-format rule means a flow of a ``d``-parameter model is
+    always ``encoded_update_bytes(d, M)`` for some suppressed count ``M`` —
+    with the quantized variant joining the comparison when the scheme
+    carries quantization metadata. Anything outside this set is a corrupted
+    ledger entry.
+    """
+    sizes = {encoded_update_bytes(total_params, m) for m in range(total_params + 1)}
+    if bits is not None:
+        sizes |= {
+            encoded_update_bytes(total_params, m, bits)
+            for m in range(total_params + 1)
+        }
+    return frozenset(sizes)
+
+
+class InvariantMonitor:
+    """Per-round invariant checks over one :class:`SNAPTrainer`.
+
+    Parameters
+    ----------
+    trainer:
+        The trainer to observe. The monitor reads the synced server
+        objects, the cost tracker, the APE schedules, and the weight
+        matrix; it never mutates anything.
+    atol:
+        Absolute tolerance for the structural weight-matrix checks
+        (stochasticity sums, symmetry, spectrum endpoints).
+    consensus_slack:
+        Multiple of the opening consensus envelope the residual may reach
+        before the run is declared divergent. Generous by design: the
+        invariant targets blow-ups, not the bounded oscillation faults and
+        suppression legitimately cause.
+    """
+
+    def __init__(
+        self,
+        trainer,
+        *,
+        atol: float = 1e-8,
+        consensus_slack: float = 1e3,
+    ):
+        self.trainer = trainer
+        self.atol = float(atol)
+        self.consensus_slack = float(consensus_slack)
+        #: How many times each named invariant was checked (for reports).
+        self.checks: Counter = Counter()
+        self._extra_checks: list[tuple[str, Callable]] = []
+        self._flow_cursor = 0
+        self._feasible_sizes: frozenset | None = None
+        self._threshold_watermarks: list[float] | None = None
+        self._consensus_envelope: float | None = None
+        self._envelope_rounds_seen = 0
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def add_check(self, name: str, check: Callable) -> None:
+        """Register a custom per-round check.
+
+        ``check(monitor, record, down)`` runs after the built-in checks each
+        round and reports failures via :meth:`violate`.
+        """
+        self._extra_checks.append((str(name), check))
+
+    def violate(self, invariant: str, detail: str, round_index: int | None = None):
+        """Raise the canonical diagnostic for a violated invariant."""
+        where = "" if round_index is None else f" at round {round_index}"
+        raise InvariantViolation(
+            f"invariant '{invariant}' violated{where}: {detail}",
+            invariant=invariant,
+            round_index=round_index,
+        )
+
+    def summary(self) -> dict:
+        """Check counts per invariant (all zero means the monitor never ran)."""
+        return dict(self.checks)
+
+    # -- run-start checks --------------------------------------------------------
+
+    def on_run_start(self) -> None:
+        """Validate the structural weight-matrix contracts before round one."""
+        self._check_weight_stochasticity()
+        self._check_weight_spectrum()
+        if self._threshold_watermarks is None and self.trainer._schedules:
+            self._threshold_watermarks = [
+                schedule.state_dict()["threshold"]
+                for schedule in self.trainer._schedules
+            ]
+
+    def _check_weight_stochasticity(self) -> None:
+        self.checks["weight-stochasticity"] += 1
+        W = np.asarray(self.trainer.weight_matrix, dtype=float)
+        n = self.trainer.topology.n_nodes
+        if W.shape != (n, n):
+            self.violate(
+                "weight-stochasticity",
+                f"W has shape {W.shape}, topology has {n} nodes",
+            )
+        asymmetry = float(np.abs(W - W.T).max())
+        if asymmetry > self.atol:
+            self.violate(
+                "weight-stochasticity",
+                f"W is not symmetric (max |W - W^T| = {asymmetry:.3e})",
+            )
+        row_err = float(np.abs(W.sum(axis=1) - 1.0).max())
+        if row_err > self.atol:
+            worst = int(np.abs(W.sum(axis=1) - 1.0).argmax())
+            self.violate(
+                "weight-stochasticity",
+                f"row {worst} of W sums to {W.sum(axis=1)[worst]:.12f}, "
+                f"not 1 (problems (22)/(23) require W 1 = 1)",
+            )
+        col_err = float(np.abs(W.sum(axis=0) - 1.0).max())
+        if col_err > self.atol:
+            self.violate(
+                "weight-stochasticity",
+                f"columns of W do not sum to 1 (max error {col_err:.3e})",
+            )
+        allowed = np.eye(n, dtype=bool)
+        for u, v in self.trainer.topology.edges:
+            allowed[u, v] = allowed[v, u] = True
+        off_support = np.abs(np.where(allowed, 0.0, W))
+        if off_support.size and float(off_support.max()) > self.atol:
+            u, v = np.unravel_index(int(off_support.argmax()), W.shape)
+            self.violate(
+                "weight-stochasticity",
+                f"W[{u}, {v}] = {W[u, v]:.3e} but ({u}, {v}) is not an edge "
+                "(weights must be supported on the neighbor sets)",
+            )
+
+    def _check_weight_spectrum(self) -> None:
+        self.checks["weight-spectrum"] += 1
+        W = np.asarray(self.trainer.weight_matrix, dtype=float)
+        eigenvalues = np.sort(np.linalg.eigvalsh(0.5 * (W + W.T)))
+        lam_min, lam_max = float(eigenvalues[0]), float(eigenvalues[-1])
+        if abs(lam_max - 1.0) > 10 * self.atol:
+            self.violate(
+                "weight-spectrum",
+                f"λ_max(W) = {lam_max:.12f}; a doubly stochastic W must have "
+                "λ_max = 1 (the consensus eigenvector)",
+            )
+        if lam_min <= -1.0 + 10 * self.atol:
+            self.violate(
+                "weight-spectrum",
+                f"λ_min(W) = {lam_min:.12f} ≤ -1; EXTRA needs "
+                "W̃ = (I + W)/2 ≻ 0",
+            )
+        if len(eigenvalues) > 1:
+            second = float(eigenvalues[-2])
+            if second >= 1.0 - 10 * self.atol:
+                self.violate(
+                    "weight-spectrum",
+                    f"second-largest eigenvalue {second:.12f} touches 1: no "
+                    "spectral gap, so consensus cannot contract "
+                    "(disconnected or degenerate mixing)",
+                )
+
+    # -- per-round checks --------------------------------------------------------
+
+    def on_round(self, record, down: frozenset = frozenset()) -> None:
+        """Run every per-round invariant after one completed round.
+
+        The caller must have synced engine state back onto the server
+        objects (``SNAPTrainer.run`` does this before invoking the monitor).
+        """
+        self._check_ape_budget(record)
+        self._check_byte_ledger(record)
+        self._check_error_feedback(record, down)
+        self._check_consensus_envelope(record)
+        for name, check in self._extra_checks:
+            self.checks[name] += 1
+            check(self, record, down)
+
+    def _check_ape_budget(self, record) -> None:
+        schedules = self.trainer._schedules
+        if not schedules:
+            return
+        self.checks["ape-budget"] += 1
+        if self._threshold_watermarks is None:
+            self._threshold_watermarks = [
+                schedule.state_dict()["threshold"] for schedule in schedules
+            ]
+        for node, schedule in enumerate(schedules):
+            state = schedule.state_dict()
+            threshold = state["threshold"]
+            accumulated = state["accumulated"]
+            if accumulated < 0:
+                self.violate(
+                    "ape-budget",
+                    f"server {node}: accumulated APE estimate is negative "
+                    f"({accumulated:.3e})",
+                    record.round_index,
+                )
+            if schedule.active and accumulated > threshold:
+                self.violate(
+                    "ape-budget",
+                    f"server {node}: accumulated APE estimate "
+                    f"{accumulated:.6e} exceeds the stage budget T_k = "
+                    f"{threshold:.6e} without a stage advance (Algorithm 1, "
+                    "lines 5-6)",
+                    record.round_index,
+                )
+            watermark = self._threshold_watermarks[node]
+            if threshold > watermark * (1.0 + 1e-12):
+                self.violate(
+                    "ape-budget",
+                    f"server {node}: stage budget grew from {watermark:.6e} "
+                    f"to {threshold:.6e}; T_k must decay monotonically",
+                    record.round_index,
+                )
+            self._threshold_watermarks[node] = threshold
+            expected_send = (
+                threshold / schedule._send_denominator if schedule.active else 0.0
+            )
+            if schedule.send_threshold != expected_send:
+                self.violate(
+                    "ape-budget",
+                    f"server {node}: send threshold {schedule.send_threshold!r}"
+                    f" != T_k / (I_k (1+αG)^I_k) = {expected_send!r} "
+                    "(Algorithm 1, line 4)",
+                    record.round_index,
+                )
+
+    def _check_byte_ledger(self, record) -> None:
+        self.checks["byte-ledger"] += 1
+        tracker = self.trainer.tracker
+        round_index = record.round_index
+        tracked_bytes = tracker.round_bytes(round_index)
+        if record.bytes_sent != tracked_bytes:
+            self.violate(
+                "byte-ledger",
+                f"round record reports {record.bytes_sent} bytes but the "
+                f"tracker aggregated {tracked_bytes}",
+                round_index,
+            )
+        tracked_cost = tracker.round_cost(round_index)
+        if record.cost != tracked_cost:
+            self.violate(
+                "byte-ledger",
+                f"round record reports cost {record.cost} but the tracker "
+                f"aggregated {tracked_cost}",
+                round_index,
+            )
+        if not tracker.retain_records:
+            return
+        flows = tracker.records()[self._flow_cursor :]
+        self._flow_cursor = len(tracker.records())
+        if self._feasible_sizes is None:
+            self._feasible_sizes = feasible_frame_sizes(
+                self.trainer.model.n_params,
+                quantization_bits(self.trainer.compressor_spec),
+            )
+        flow_bytes = 0
+        flow_cost = 0
+        for flow in flows:
+            if flow.round_index != round_index:
+                self.violate(
+                    "byte-ledger",
+                    f"flow {flow} recorded under round {flow.round_index} "
+                    f"during round {round_index}",
+                    round_index,
+                )
+            if flow.hops != 1:
+                self.violate(
+                    "byte-ledger",
+                    f"mesh flow {flow.source}->{flow.destination} claims "
+                    f"{flow.hops} hops; neighbor traffic is single-hop",
+                    round_index,
+                )
+            if flow.size_bytes not in self._feasible_sizes:
+                d = self.trainer.model.n_params
+                self.violate(
+                    "byte-ledger",
+                    f"flow {flow.source}->{flow.destination} carries "
+                    f"{flow.size_bytes} bytes, which is not an analytic frame "
+                    f"size for d = {d} parameters (Fig. 3: 4 + 8N - 4M, "
+                    "12 (N - M), or the QUANTIZED size)",
+                    round_index,
+                )
+            flow_bytes += flow.size_bytes
+            flow_cost += flow.cost
+        if flow_bytes != record.bytes_sent:
+            self.violate(
+                "byte-ledger",
+                f"the round's flows sum to {flow_bytes} bytes but the round "
+                f"record reports {record.bytes_sent}",
+                round_index,
+            )
+        if flow_cost != record.cost:
+            self.violate(
+                "byte-ledger",
+                f"the round's flows sum to cost {flow_cost} but the round "
+                f"record reports {record.cost}",
+                round_index,
+            )
+
+    def _check_error_feedback(self, record, down: frozenset) -> None:
+        self.checks["error-feedback"] += 1
+        servers = self.trainer.servers
+        for server in servers:
+            for neighbor in server.neighbors:
+                if not np.array_equal(
+                    server.last_sent[neighbor], servers[neighbor].views[server.node_id]
+                ):
+                    self.violate(
+                        "error-feedback",
+                        f"last_sent[{server.node_id}->{neighbor}] != "
+                        f"views held by {neighbor}: the confirmed-delivery "
+                        "reference-tracking identity broke",
+                        record.round_index,
+                    )
+        for (source, destination), state in self.trainer._edge_states.items():
+            if state.residual is None:
+                continue
+            if source in down or destination in down:
+                continue  # the edge skipped this round; its residual is stale
+            if not np.all(np.isfinite(state.residual)):
+                self.violate(
+                    "error-feedback",
+                    f"edge {source}->{destination} holds a non-finite "
+                    "error-feedback residual",
+                    record.round_index,
+                )
+            expected = servers[source].params - servers[source].last_sent[destination]
+            if not np.array_equal(state.residual, expected):
+                gap = float(np.abs(state.residual - expected).max())
+                self.violate(
+                    "error-feedback",
+                    f"edge {source}->{destination}: materialized residual != "
+                    f"params - last_sent (max gap {gap:.3e}); the EF "
+                    "accumulator drifted from the reference-tracking truth",
+                    record.round_index,
+                )
+
+    def _check_consensus_envelope(self, record) -> None:
+        self.checks["consensus-envelope"] += 1
+        consensus = record.consensus_error
+        if not np.isfinite(record.mean_loss):
+            self.violate(
+                "consensus-envelope",
+                f"mean loss is non-finite ({record.mean_loss!r}): the "
+                "trajectory diverged",
+                record.round_index,
+            )
+        if not np.isfinite(consensus) or consensus < 0:
+            self.violate(
+                "consensus-envelope",
+                f"consensus residual is invalid ({consensus!r})",
+                record.round_index,
+            )
+        self._envelope_rounds_seen += 1
+        if self._envelope_rounds_seen <= _ENVELOPE_WARMUP_ROUNDS:
+            opening = max(consensus, _CONSENSUS_FLOOR)
+            if self._consensus_envelope is None:
+                self._consensus_envelope = opening
+            else:
+                self._consensus_envelope = max(self._consensus_envelope, opening)
+            return
+        ceiling = self.consensus_slack * self._consensus_envelope
+        if consensus > ceiling:
+            self.violate(
+                "consensus-envelope",
+                f"consensus residual {consensus:.6e} left its monotone "
+                f"envelope (opening level {self._consensus_envelope:.6e} × "
+                f"slack {self.consensus_slack:g} = {ceiling:.6e}): EXTRA is "
+                "diverging instead of contracting",
+                record.round_index,
+            )

@@ -1,0 +1,265 @@
+"""Seeded scenario generation for differential testing.
+
+A :class:`Scenario` is a fully self-contained description of one training
+run — topology, model, data shards, compression scheme, straggler strategy,
+fault plan, round budget — every field derived deterministically from
+``(master_seed, index)``. The same pair always rebuilds the identical
+scenario on any machine, so a failing differential case is reproduced from
+two integers (see ``docs/TESTING.md``).
+
+:class:`ScenarioGen` samples scenarios across the whole configuration
+lattice the engines must agree on:
+
+* topology: ring of 4–8 servers plus 0–3 random chords (always connected);
+* model: logistic regression or linear SVM on synthetic shards;
+* compression: the three paper presets (``ape`` / ``changed_only`` /
+  ``dense``) plus top-k, random-k, uniform quantization, and TernGrad —
+  with and without the explicit error-feedback wrapper;
+* stragglers: the paper's stale rule or the reweight-to-self ablation;
+* faults: clean, or a Gilbert–Elliott + Markov-node + corruption plan;
+* weights: Metropolis (fast default) or the Section IV-B optimizer.
+
+``Scenario.build_trainer`` always constructs *fresh* objects — fault models
+and per-edge RNG streams hold state, so a trainer must never be reused
+between the reference and vectorized runs of one comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.core.config import SelectionPolicy, SNAPConfig, StragglerStrategy
+from repro.core.trainer import SNAPTrainer
+from repro.data.dataset import Dataset
+from repro.faults.models import (
+    GilbertElliottLinkFailures,
+    IndependentCorruption,
+    MarkovNodeFailures,
+)
+from repro.faults.plan import FaultPlan
+from repro.models.logistic import LogisticRegression
+from repro.models.svm import LinearSVM
+from repro.topology.graph import Topology
+
+#: The compression schemes a generated scenario may draw. ``None`` entries
+#: mean "use the selection preset"; strings go through the spec grammar.
+_COMPRESSOR_MENU = (
+    None,  # selection preset (ape / changed_only / dense below)
+    "topk:k={k}",
+    "randomk:k={k}",
+    "uniform:bits={bits}",
+    "terngrad",
+    "ef:topk:k={k}",
+    "ef:randomk:k={k}",
+    "ef:uniform:bits={bits}",
+    "ef:terngrad",
+)
+
+_SELECTIONS = (
+    SelectionPolicy.APE,
+    SelectionPolicy.CHANGED_ONLY,
+    SelectionPolicy.DENSE,
+)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One deterministic training configuration for differential testing.
+
+    Every field is a plain value (no live objects), so scenarios are
+    hashable, printable, and trivially reconstructable from their seed.
+    """
+
+    master_seed: int
+    index: int
+    n_nodes: int
+    chords: tuple  # extra (u, v) edges on top of the ring
+    model_kind: str  # "logistic" | "svm"
+    n_features: int
+    n_samples: int
+    data_seed: int
+    selection: str  # SelectionPolicy value
+    compressor: str | None  # spec string, or None for the selection preset
+    straggler: str  # StragglerStrategy value
+    optimize_weights: bool
+    faulty: bool
+    fault_seed: int
+    link_p_fail: float
+    link_p_recover: float
+    node_p_fail: float
+    node_p_recover: float
+    corruption_rate: float
+    max_rounds: int
+    run_seed: int
+
+    @classmethod
+    def from_index(cls, master_seed: int, index: int) -> "Scenario":
+        """Rebuild scenario ``index`` of the ``master_seed`` stream."""
+        return ScenarioGen(master_seed).scenario(index)
+
+    # -- construction ------------------------------------------------------------
+
+    def topology(self) -> Topology:
+        ring = [(i, (i + 1) % self.n_nodes) for i in range(self.n_nodes)]
+        return Topology(self.n_nodes, ring + [tuple(c) for c in self.chords])
+
+    def model(self):
+        if self.model_kind == "logistic":
+            return LogisticRegression(self.n_features)
+        if self.model_kind == "svm":
+            return LinearSVM(self.n_features)
+        raise ValueError(f"unknown model kind {self.model_kind!r}")
+
+    def shards(self) -> list[Dataset]:
+        """Synthetic linearly-separable-ish binary shards, one per server."""
+        rng = np.random.default_rng([self.data_seed, self.n_nodes])
+        out = []
+        for _ in range(self.n_nodes):
+            X = rng.normal(size=(self.n_samples, self.n_features))
+            w = rng.normal(size=self.n_features)
+            noise = 0.3 * rng.normal(size=self.n_samples)
+            y = (X @ w + noise > 0).astype(float)
+            out.append(Dataset(X, y))
+        return out
+
+    def fault_plan(self) -> FaultPlan | None:
+        """A fresh fault plan (fault models hold RNG state — never share)."""
+        if not self.faulty:
+            return None
+        return FaultPlan(
+            links=GilbertElliottLinkFailures(
+                self.link_p_fail, self.link_p_recover, seed=self.fault_seed
+            ),
+            nodes=MarkovNodeFailures(
+                self.node_p_fail, self.node_p_recover, seed=self.fault_seed + 1
+            ),
+            corruption=(
+                IndependentCorruption(
+                    self.corruption_rate, seed=self.fault_seed + 2
+                )
+                if self.corruption_rate > 0
+                else None
+            ),
+        )
+
+    def config(self, engine: str, invariants: str = "off") -> SNAPConfig:
+        return SNAPConfig(
+            engine=engine,
+            invariants=invariants,
+            seed=self.run_seed,
+            selection=SelectionPolicy(self.selection),
+            compressor=self.compressor,
+            straggler_strategy=StragglerStrategy(self.straggler),
+            optimize_weights=self.optimize_weights,
+            weight_iterations=30 if self.optimize_weights else 150,
+            max_rounds=self.max_rounds,
+        )
+
+    def build_trainer(self, engine: str, invariants: str = "off") -> SNAPTrainer:
+        """A fresh trainer for this scenario on the requested engine."""
+        return SNAPTrainer(
+            self.model(),
+            self.shards(),
+            self.topology(),
+            self.config(engine, invariants),
+            fault_plan=self.fault_plan(),
+        )
+
+    def with_overrides(self, **changes) -> "Scenario":
+        """A copy with some fields replaced (for shrinking / probing)."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        """One-line label for logs and failure reports."""
+        scheme = self.compressor if self.compressor else f"preset:{self.selection}"
+        faults = "faulty" if self.faulty else "clean"
+        weights = "optW" if self.optimize_weights else "metropolis"
+        return (
+            f"scenario[{self.master_seed}/{self.index}] "
+            f"N={self.n_nodes}+{len(self.chords)}ch {self.model_kind} "
+            f"d={self.n_features} {scheme} {self.straggler} {weights} "
+            f"{faults} rounds={self.max_rounds}"
+        )
+
+
+class ScenarioGen:
+    """Deterministic scenario stream: ``scenario(i)`` is a pure function.
+
+    Sampling uses ``np.random.default_rng([master_seed, index])`` — the
+    SeedSequence spawn convention used throughout the repo — so scenario
+    ``i`` never depends on whether scenarios ``0..i-1`` were generated.
+    """
+
+    def __init__(self, master_seed: int = 0):
+        self.master_seed = int(master_seed)
+
+    def scenario(self, index: int) -> Scenario:
+        rng = np.random.default_rng([self.master_seed, int(index)])
+        n_nodes = int(rng.integers(4, 9))
+
+        # Chords over the ring: sample from the non-ring pairs.
+        non_ring = [
+            (u, v)
+            for u in range(n_nodes)
+            for v in range(u + 1, n_nodes)
+            if not (v - u == 1 or (u == 0 and v == n_nodes - 1))
+        ]
+        n_chords = int(rng.integers(0, min(3, len(non_ring)) + 1))
+        chord_idx = rng.choice(len(non_ring), size=n_chords, replace=False)
+        chords = tuple(sorted(non_ring[int(i)] for i in chord_idx))
+
+        model_kind = "svm" if rng.random() < 0.3 else "logistic"
+        n_features = int(rng.integers(3, 9))
+        n_samples = int(rng.integers(20, 46))
+
+        compressor_template = _COMPRESSOR_MENU[
+            int(rng.integers(0, len(_COMPRESSOR_MENU)))
+        ]
+        n_params = n_features + 1  # both model kinds fit an intercept
+        if compressor_template is None:
+            compressor = None
+            selection = _SELECTIONS[int(rng.integers(0, len(_SELECTIONS)))]
+        else:
+            compressor = compressor_template.format(
+                k=int(rng.integers(1, n_params + 1)),
+                bits=int(rng.integers(2, 9)),
+            )
+            selection = SelectionPolicy.APE  # ignored: compressor wins
+
+        straggler = (
+            StragglerStrategy.REWEIGHT
+            if rng.random() < 0.3
+            else StragglerStrategy.STALE
+        )
+        optimize_weights = rng.random() < 0.2
+        faulty = rng.random() < 0.5
+
+        return Scenario(
+            master_seed=self.master_seed,
+            index=int(index),
+            n_nodes=n_nodes,
+            chords=chords,
+            model_kind=model_kind,
+            n_features=n_features,
+            n_samples=n_samples,
+            data_seed=int(rng.integers(0, 2**31)),
+            selection=selection.value,
+            compressor=compressor,
+            straggler=straggler.value,
+            optimize_weights=optimize_weights,
+            faulty=faulty,
+            fault_seed=int(rng.integers(0, 2**31)),
+            link_p_fail=float(rng.uniform(0.05, 0.3)),
+            link_p_recover=float(rng.uniform(0.3, 0.7)),
+            node_p_fail=float(rng.uniform(0.02, 0.15)),
+            node_p_recover=float(rng.uniform(0.4, 0.8)),
+            corruption_rate=float(rng.uniform(0.0, 0.1)),
+            max_rounds=int(rng.integers(6, 15)),
+            run_seed=int(rng.integers(0, 2**31)),
+        )
+
+    def scenarios(self, count: int, start: int = 0) -> list[Scenario]:
+        """The first ``count`` scenarios from ``start`` (pure per index)."""
+        return [self.scenario(index) for index in range(start, start + count)]

@@ -1,0 +1,140 @@
+"""Monitor self-test: deliberately broken runs the monitors must catch.
+
+A monitoring layer that never fires is indistinguishable from one that
+works, so this module injects known contract violations into otherwise
+healthy trainers and asserts each one is caught with a diagnostic naming
+the violated invariant:
+
+``weight``
+    One off-diagonal entry of the validated mixing matrix is perturbed
+    after construction (bypassing the constructor's
+    :func:`~repro.weights.validation.check_weight_matrix`), breaking
+    symmetry and double stochasticity → ``weight-stochasticity``.
+``ledger``
+    The cost tracker's ``record`` is wrapped to inflate every flow by one
+    byte, pushing sizes off the analytic Fig. 3 frame-size lattice →
+    ``byte-ledger``.
+``ape``
+    One server's APE schedule is patched to accumulate past its stage
+    budget without ever advancing the stage (Algorithm 1 lines 5-6 skipped)
+    → ``ape-budget``.
+
+``make verify-invariants`` runs this after the differential sweep: the
+sweep proves zero false positives on healthy runs, the self-test proves
+non-zero true positives on broken ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import InvariantViolation
+from repro.testing.scenarios import Scenario
+
+
+def _base_scenario(master_seed: int = 0) -> Scenario:
+    """A small, clean, APE-preset scenario the injections build on."""
+    return Scenario(
+        master_seed=master_seed,
+        index=-1,  # not part of any generated stream
+        n_nodes=5,
+        chords=((0, 2),),
+        model_kind="logistic",
+        n_features=4,
+        n_samples=30,
+        data_seed=101,
+        selection="ape",
+        compressor=None,
+        straggler="stale",
+        optimize_weights=False,
+        faulty=False,
+        fault_seed=0,
+        link_p_fail=0.0,
+        link_p_recover=1.0,
+        node_p_fail=0.0,
+        node_p_recover=1.0,
+        corruption_rate=0.0,
+        max_rounds=8,
+        run_seed=17,
+    )
+
+
+def _inject_weight(trainer) -> None:
+    # Past the constructor's validation gate: break symmetry and both
+    # stochasticity sums in one entry.
+    trainer.weight_matrix[0, 1] += 0.05
+
+
+def _inject_ledger(trainer) -> None:
+    tracker = trainer.tracker
+    true_record = tracker.record
+
+    def inflated_record(round_index, source, destination, size_bytes, **kwargs):
+        return true_record(round_index, source, destination, size_bytes + 1, **kwargs)
+
+    tracker.record = inflated_record
+
+
+def _inject_ape(trainer) -> None:
+    schedule = trainer._schedules[0]
+
+    def stuck_record_round(suppressed_max: float) -> bool:
+        # Accumulate far past the budget but never advance the stage —
+        # exactly the Algorithm 1 bookkeeping bug the monitor exists for.
+        schedule._accumulated = schedule.state_dict()["threshold"] * 2.0 + 1.0
+        return False
+
+    schedule.record_round = stuck_record_round
+
+
+#: name -> (injector, invariant the monitor must report)
+INJECTIONS = {
+    "weight": (_inject_weight, "weight-stochasticity"),
+    "ledger": (_inject_ledger, "byte-ledger"),
+    "ape": (_inject_ape, "ape-budget"),
+}
+
+
+@dataclass(frozen=True)
+class SelfTestResult:
+    """Outcome of one injection: what was expected vs. what fired."""
+
+    injection: str
+    expected_invariant: str
+    caught: bool
+    diagnostic: str
+
+    def __str__(self) -> str:
+        status = "caught" if self.caught else "MISSED"
+        return f"[{status}] {self.injection}: {self.diagnostic}"
+
+
+def run_injection(name: str, master_seed: int = 0) -> SelfTestResult:
+    """Run one named injection against a fresh monitored trainer."""
+    injector, expected = INJECTIONS[name]
+    trainer = _base_scenario(master_seed).build_trainer(
+        "reference", invariants="strict"
+    )
+    injector(trainer)
+    try:
+        trainer.run(stop_on_convergence=False)
+    except InvariantViolation as violation:
+        return SelfTestResult(
+            injection=name,
+            expected_invariant=expected,
+            caught=violation.invariant == expected,
+            diagnostic=str(violation),
+        )
+    return SelfTestResult(
+        injection=name,
+        expected_invariant=expected,
+        caught=False,
+        diagnostic=(
+            f"run completed cleanly; expected the {expected!r} monitor to fire"
+        ),
+    )
+
+
+def run_selftest(master_seed: int = 0) -> list[SelfTestResult]:
+    """Run every injection; each must be caught by its named invariant."""
+    return [run_injection(name, master_seed) for name in INJECTIONS]

@@ -9,8 +9,6 @@ and down-peer skips all fire.
 
 from __future__ import annotations
 
-import hashlib
-
 import numpy as np
 import pytest
 
@@ -24,6 +22,7 @@ from repro.faults.models import (
 )
 from repro.faults.plan import FaultPlan
 from repro.models.logistic import LogisticRegression
+from repro.testing import capture_run
 from repro.topology.graph import Topology
 
 N_NODES = 6
@@ -67,64 +66,23 @@ def make_trainer(engine: str, faulty: bool = False, **config_kwargs) -> SNAPTrai
 
 
 def run_digest(trainer: SNAPTrainer) -> dict:
-    """The exact digest recipe the golden values were captured with."""
-    result = trainer.run(stop_on_convergence=False)
-    rounds = hashlib.sha256()
-    for r in result.rounds:
-        rounds.update(
-            repr(
-                (
-                    r.round_index,
-                    r.mean_loss.hex(),
-                    r.consensus_error.hex(),
-                    r.bytes_sent,
-                    r.cost,
-                    r.params_sent,
-                    r.stale_links,
-                    r.max_staleness,
-                    r.connected,
-                )
-            ).encode()
-        )
-    ledger = hashlib.sha256()
-    for f in trainer.tracker.records():
-        ledger.update(
-            repr(
-                (f.round_index, f.source, f.destination, f.size_bytes, f.hops)
-            ).encode()
-        )
-    return {
-        "rounds_sha": rounds.hexdigest(),
-        "ledger_sha": ledger.hexdigest(),
-        "final_params_sha": hashlib.sha256(result.final_params.tobytes()).hexdigest(),
-        "total_bytes": trainer.tracker.total_bytes,
-        "total_cost": trainer.tracker.total_cost,
-        "final_loss": result.rounds[-1].mean_loss.hex(),
-    }
+    """Legacy golden-pin dict, now via :class:`repro.testing.RunDigest`.
+
+    The digest's hashing recipe is byte-identical to the one the golden
+    values were captured with (the duplicated code that used to live here).
+    """
+    return capture_run(trainer).pinned()
 
 
 def run_trace(trainer: SNAPTrainer) -> tuple:
-    """Full comparable trace: per-round records, flow ledger, final params."""
-    result = trainer.run(stop_on_convergence=False)
-    rounds = tuple(
-        (
-            r.round_index,
-            r.mean_loss.hex(),
-            r.consensus_error.hex(),
-            r.bytes_sent,
-            r.cost,
-            r.params_sent,
-            r.stale_links,
-            r.max_staleness,
-            r.connected,
-        )
-        for r in result.rounds
-    )
-    ledger = tuple(
-        (f.round_index, f.source, f.destination, f.size_bytes, f.hops)
-        for f in trainer.tracker.records()
-    )
-    return rounds, ledger, result.final_params.tobytes()
+    """Full comparable trace: per-round records, flow ledger, final params.
+
+    Deliberately excludes the digest's ``server_state_sha``: the trace is
+    also used to assert the error-feedback wrapper is *transparent*, and
+    the wrapper's materialized residuals live exactly in that hash.
+    """
+    digest = capture_run(trainer)
+    return digest.rounds_trace, digest.ledger_trace, digest.final_params_sha
 
 
 @pytest.fixture(scope="module")

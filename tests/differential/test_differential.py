@@ -1,0 +1,53 @@
+"""The generated-scenario oracle sweep (ISSUE acceptance criterion).
+
+Marked ``differential`` — excluded from tier-1 and run by
+``make verify-invariants`` / CI's bounded smoke. Every generated scenario
+must agree bit-for-bit across the reference and vectorized engines with the
+invariant monitors armed, and every deliberate fault injection must be
+caught with a diagnostic naming the violated invariant.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.testing import (
+    run_injection,
+    run_scenario,
+    run_suite,
+    summarize,
+)
+from repro.testing.scenarios import ScenarioGen
+from repro.testing.selftest import INJECTIONS
+
+pytestmark = pytest.mark.differential
+
+#: The acceptance floor: at least this many seeded scenarios must pass.
+SWEEP_COUNT = 25
+MASTER_SEED = 0
+
+
+class TestOracleSweep:
+    def test_reference_and_vectorized_agree_on_generated_scenarios(self):
+        reports = run_suite(SWEEP_COUNT, MASTER_SEED)
+        failures = [report for report in reports if not report.ok]
+        assert not failures, summarize(reports)
+        # The monitors actually ran: both engines, every scenario.
+        for report in reports:
+            assert set(report.monitor_checks) == {"reference", "vectorized"}
+            for checks in report.monitor_checks.values():
+                assert checks.get("byte-ledger", 0) >= 1
+
+    def test_single_scenario_report_shape(self):
+        report = run_scenario(ScenarioGen(MASTER_SEED).scenario(0))
+        assert report.ok, report.detail
+        assert report.digests["reference"] == report.digests["vectorized"]
+        assert str(report).startswith("[ok] scenario[0/0]")
+
+
+class TestSelfTest:
+    @pytest.mark.parametrize("name", sorted(INJECTIONS))
+    def test_injected_faults_are_caught(self, name):
+        outcome = run_injection(name)
+        assert outcome.caught, outcome.diagnostic
+        assert outcome.expected_invariant in outcome.diagnostic

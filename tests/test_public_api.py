@@ -38,6 +38,7 @@ SUBPACKAGES = [
     "repro.network",
     "repro.runtime",
     "repro.simulation",
+    "repro.testing",
     "repro.topology",
     "repro.utils",
     "repro.weights",

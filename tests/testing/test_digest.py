@@ -1,0 +1,97 @@
+"""RunDigest: determinism, legacy-pin compatibility, serialization, diffing."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.testing import (
+    DIGEST_VERSION,
+    LEGACY_PIN_KEYS,
+    RunDigest,
+    Scenario,
+    capture_run,
+)
+
+pytestmark = []
+
+
+def _scenario(**overrides) -> Scenario:
+    base = Scenario.from_index(master_seed=1234, index=0)
+    return base.with_overrides(max_rounds=5, faulty=False, **overrides)
+
+
+@pytest.fixture(scope="module")
+def digest() -> RunDigest:
+    return capture_run(_scenario().build_trainer("reference"))
+
+
+class TestDeterminism:
+    def test_same_run_same_digest(self, digest):
+        again = capture_run(_scenario().build_trainer("reference"))
+        assert again == digest
+        assert again.diff(digest) == ""
+
+    def test_different_seed_different_digest(self, digest):
+        other = capture_run(
+            _scenario(data_seed=999).build_trainer("reference")
+        )
+        assert other != digest
+
+    def test_traces_do_not_affect_equality(self, digest):
+        stripped = dataclasses.replace(
+            digest, rounds_trace=(), ledger_trace=()
+        )
+        assert stripped == digest  # compare=False fields
+
+
+class TestLegacyPins:
+    def test_pinned_emits_exactly_the_legacy_keys(self, digest):
+        pin = digest.pinned()
+        assert tuple(pin) == LEGACY_PIN_KEYS
+
+    def test_matches_pin(self, digest):
+        assert digest.matches_pin(digest.pinned())
+        broken = dict(digest.pinned(), total_bytes=digest.total_bytes + 1)
+        assert not digest.matches_pin(broken)
+
+
+class TestSerialization:
+    def test_json_round_trip(self, digest):
+        loaded = RunDigest.from_json(digest.to_json())
+        assert loaded == digest
+        assert loaded.version == DIGEST_VERSION
+
+    def test_version_mismatch_refuses_to_load(self, digest):
+        text = digest.to_json().replace(
+            f'"version": {DIGEST_VERSION}', '"version": 999'
+        )
+        with pytest.raises(ConfigurationError) as excinfo:
+            RunDigest.from_json(text)
+        assert "version" in str(excinfo.value)
+
+
+class TestDiff:
+    def test_diff_names_totals(self, digest):
+        other = dataclasses.replace(digest, total_bytes=digest.total_bytes + 7)
+        assert "total_bytes" in digest.diff(other)
+
+    def test_diff_points_at_first_diverging_round(self, digest):
+        other = capture_run(
+            _scenario(run_seed=digest.total_bytes + 1).build_trainer("reference")
+        )
+        if other == digest:  # pragma: no cover - seeds collide only by luck
+            pytest.skip("seed change produced an identical run")
+        report = digest.diff(other)
+        assert "rounds_sha differs" in report or "total" in report
+        if "rounds_sha differs" in report:
+            assert "first diverging round" in report
+
+    def test_diff_flags_server_state_only_divergence(self, digest):
+        other = dataclasses.replace(digest, server_state_sha="0" * 64)
+        assert "server_state_sha" in digest.diff(other)
+
+    def test_diff_against_non_digest(self, digest):
+        assert "not a RunDigest" in digest.diff("nope")
