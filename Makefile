@@ -5,7 +5,7 @@ PYTHON ?= python
 PYTEST := PYTHONPATH=src $(PYTHON) -m pytest
 
 .PHONY: test chaos perf differential verify-invariants coverage test-all \
-	bench bench-compression bench-figures
+	bench bench-async bench-compression bench-figures
 
 ## The default (tier-1) suite: the addopts in pyproject.toml deselect the
 ## chaos, perf, and differential markers, so a bare pytest run is tier-1.
@@ -44,6 +44,12 @@ test-all:
 ## N x model; writes the committed BENCH_engine.json baseline.
 bench:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_engine_scaling.py --out BENCH_engine.json
+
+## Straggler tolerance: semi-sync vs synchronous virtual makespan under a
+## 10x straggler at N=32; writes the committed BENCH_async.json baseline
+## and exits non-zero if the >=3x / 2-point acceptance bar is missed.
+bench-async:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_async.py --out BENCH_async.json
 
 ## Compression frontier: total bytes vs final loss/accuracy for every
 ## compressor spec; writes the committed BENCH_compression.json baseline.

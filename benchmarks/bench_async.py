@@ -1,0 +1,162 @@
+"""Straggler-tolerance benchmark: semi-sync vs synchronous virtual makespan.
+
+Runs the N=32 credit-SVM workload with one 10x-slow server under the
+semi-synchronous engine and compares the *virtual* wall-clock (the
+``LinkTimingModel``-derived makespan — simulated time, so the benchmark
+itself runs in seconds) across staleness bounds:
+
+* ``tau=0`` without patience is the synchronous barrier under the same
+  skewed clocks (bit-for-bit equal to the ReferenceEngine digest) — the
+  baseline wall-clock a lockstep fleet would pay;
+* ``tau>0`` with a patience degrades the straggler to reweighted mixing
+  and decouples the fleet from it.
+
+Writes ``BENCH_async.json`` — the committed baseline pinning the ISSUE
+acceptance bar: >= 3x fleet-makespan speedup at tau=2 with final accuracy
+within 2 points of the synchronous run.
+
+Usage::
+
+    make bench-async
+    python benchmarks/bench_async.py --out BENCH_async.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+N_SERVERS = 32
+STRAGGLER = N_SERVERS - 1
+STRAGGLER_FACTOR = 10.0
+ROUNDS = 60
+COMPUTE_S = 1.0
+PATIENCE_S = 4.0
+TAUS = (0, 2, 8)
+
+
+def run_cell(tau: int, patience: float | None) -> dict:
+    from repro.core.config import SNAPConfig
+    from repro.core.trainer import SNAPTrainer
+    from repro.faults.models import ScheduledStragglers
+    from repro.faults.plan import FaultPlan
+    from repro.network.timing import LinkTimingModel
+    from repro.simulation.experiments import credit_svm_workload
+
+    workload = credit_svm_workload(
+        n_servers=N_SERVERS, n_train=1_600, n_test=400, seed=3
+    )
+    config = SNAPConfig(
+        engine="semisync",
+        max_rounds=ROUNDS,
+        seed=7,
+        optimize_weights=False,
+        staleness_bound=tau,
+        straggler_patience_s=patience,
+        timing=LinkTimingModel(compute_s_per_round=COMPUTE_S),
+    )
+    trainer = SNAPTrainer(
+        workload.model,
+        workload.shards,
+        workload.topology,
+        config,
+        fault_plan=FaultPlan(
+            clocks=ScheduledStragglers({STRAGGLER: STRAGGLER_FACTOR})
+        ),
+    )
+    start = time.perf_counter()
+    result = trainer.run(stop_on_convergence=False, test_set=workload.test_set)
+    elapsed = time.perf_counter() - start
+    semi = result.info["semi_sync"]
+    return {
+        "tau": tau,
+        "patience_s": patience,
+        "fleet_makespan_s": semi["fleet_makespan_s"],
+        "makespan_s": semi["makespan_s"],
+        "blocked_time_s": semi["blocked_time_s"],
+        "degraded_events": semi["degraded_events"],
+        "left_behind": semi["left_behind"],
+        "max_progress_staleness": semi["max_progress_staleness"],
+        "final_accuracy": result.final_accuracy,
+        "final_loss": result.rounds[-1].mean_loss,
+        "bench_seconds": elapsed,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "BENCH_async.json"),
+        help="output JSON path (default: repo-root BENCH_async.json)",
+    )
+    args = parser.parse_args(argv)
+
+    cells = []
+    for tau in TAUS:
+        patience = None if tau == 0 else PATIENCE_S
+        label = "synchronous baseline" if tau == 0 else "semi-sync"
+        print(
+            f"[bench] tau={tau} patience={patience} ({label}) ...", flush=True
+        )
+        cell = run_cell(tau, patience)
+        print(
+            f"        fleet makespan {cell['fleet_makespan_s']:8.1f} s  "
+            f"accuracy {cell['final_accuracy']:.4f}  "
+            f"({cell['bench_seconds']:.1f} s real)",
+            flush=True,
+        )
+        cells.append(cell)
+
+    baseline = cells[0]
+    speedups = {
+        f"tau{cell['tau']}": (
+            baseline["fleet_makespan_s"] / cell["fleet_makespan_s"]
+        )
+        for cell in cells[1:]
+    }
+    accuracy_deltas = {
+        f"tau{cell['tau']}": (
+            cell["final_accuracy"] - baseline["final_accuracy"]
+        )
+        for cell in cells[1:]
+    }
+
+    report = {
+        "benchmark": "async_straggler_tolerance",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workload": "credit_svm(n_servers=32, n_train=1600, n_test=400, seed=3)",
+        "rounds": ROUNDS,
+        "straggler": {"node": STRAGGLER, "factor": STRAGGLER_FACTOR},
+        "compute_s_per_round": COMPUTE_S,
+        "cells": cells,
+        "speedup_vs_synchronous": speedups,
+        "accuracy_delta_vs_synchronous": accuracy_deltas,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\n[bench] wrote {out}")
+    for key, value in speedups.items():
+        print(
+            f"        {key:<6} {value:6.1f}x fleet-makespan speedup, "
+            f"accuracy {accuracy_deltas[key]:+.4f}"
+        )
+    acceptance = speedups.get("tau2", 0.0)
+    delta = abs(accuracy_deltas.get("tau2", 1.0))
+    print(
+        f"[bench] acceptance (tau=2): speedup >= 3x: "
+        f"{'PASS' if acceptance >= 3.0 else 'FAIL'} ({acceptance:.1f}x); "
+        f"accuracy within 2 points: "
+        f"{'PASS' if delta <= 0.02 else 'FAIL'} ({delta:.4f})"
+    )
+    return 0 if acceptance >= 3.0 and delta <= 0.02 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

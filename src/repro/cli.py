@@ -139,6 +139,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip the deliberate fault injections that prove the monitors fire",
     )
+    verify.add_argument(
+        "--semi-sync-smoke",
+        type=int,
+        default=0,
+        metavar="N",
+        help="additionally chaos-sweep N scenarios on the semi-synchronous "
+        "engine across staleness bounds tau in {0, 2, 8} with a 10x "
+        "straggler clock (strict invariants)",
+    )
 
     return parser
 
@@ -329,7 +338,12 @@ def _command_plan(args: argparse.Namespace) -> int:
 def _command_verify(args: argparse.Namespace) -> int:
     # Local import: repro.testing pulls in the trainer stack, which the
     # lighter subcommands should not pay for.
-    from repro.testing import run_selftest, run_suite, summarize
+    from repro.testing import (
+        run_selftest,
+        run_semisync_smoke,
+        run_suite,
+        summarize,
+    )
 
     reports = run_suite(
         args.scenarios,
@@ -342,6 +356,18 @@ def _command_verify(args: argparse.Namespace) -> int:
     )
     print(summarize(reports))
     failed = any(not report.ok for report in reports)
+    if args.semi_sync_smoke > 0:
+        print("semi-sync chaos smoke (tau in {0, 2, 8}, 10x straggler):")
+        smoke = run_semisync_smoke(
+            args.semi_sync_smoke,
+            master_seed=args.master_seed,
+            progress=lambda report: print(
+                f"[{'ok' if report.ok else 'FAIL'}] "
+                f"{report.scenario.describe()} {report.detail}".rstrip()
+            ),
+        )
+        print(summarize(smoke))
+        failed = failed or any(not report.ok for report in smoke)
     if not args.skip_selftest:
         print("monitor self-test (deliberate fault injections):")
         for outcome in run_selftest(args.master_seed):

@@ -114,9 +114,30 @@ class SNAPConfig:
         Which simulation engine executes the round loop. ``"reference"``
         (the default) is the per-object oracle; ``"vectorized"`` stacks all
         servers into dense matrices and runs the same algorithm through
-        batched numpy / scipy.sparse kernels. The two are bit-for-bit
+        batched numpy / scipy.sparse kernels; ``"semisync"`` is the
+        event-driven bounded-staleness engine of
+        :mod:`repro.core.async_engine`, where each server advances on its
+        own local clock. ``reference`` and ``vectorized`` are bit-for-bit
         equivalent on every seeded configuration (see
-        ``docs/PERFORMANCE.md``).
+        ``docs/PERFORMANCE.md``); ``semisync`` joins that equivalence class
+        at ``staleness_bound=0`` with uniform clocks (see
+        ``docs/ASYNC.md``).
+    staleness_bound:
+        Semi-synchronous staleness bound τ (``engine="semisync"`` only): a
+        server may start local round ``k`` while a neighbor's last observed
+        round is as old as ``k - 1 - τ``; beyond that it blocks (or, with
+        ``straggler_patience_s``, degrades the laggard). ``0`` reproduces
+        the synchronous barrier exactly.
+    straggler_patience_s:
+        How long (simulated seconds) a blocked server waits at the staleness
+        barrier before writing the lagging neighbors off as stragglers and
+        continuing with reweighted mixing. ``None`` (the default) waits
+        forever — correct, but a crashed neighbor then stalls the fleet.
+    timing:
+        Optional :class:`~repro.network.timing.LinkTimingModel` supplying
+        the per-node compute times and per-link transfer times that drive
+        the semi-synchronous engine's event clock. ``None`` uses the model's
+        defaults (1 Gbps links, 1 ms latency, zero compute).
     retain_flow_records:
         Keep a :class:`~repro.network.cost.FlowRecord` per delivered frame
         on the trainer's cost tracker. Required by analyses that inspect
@@ -165,6 +186,9 @@ class SNAPConfig:
     straggler_strategy: StragglerStrategy = StragglerStrategy.STALE
     shard_weighting: ShardWeighting = ShardWeighting.UNIFORM
     engine: str = "reference"
+    staleness_bound: int = 0
+    straggler_patience_s: float | None = None
+    timing: object | None = None
     retain_flow_records: bool = True
     invariants: str = "off"
     max_rounds: int = 500
@@ -202,10 +226,25 @@ class SNAPConfig:
                 f"shard_weighting must be a ShardWeighting, got "
                 f"{self.shard_weighting!r}"
             )
-        if self.engine not in ("reference", "vectorized"):
+        if self.engine not in ("reference", "vectorized", "semisync"):
             raise ConfigurationError(
-                f"engine must be 'reference' or 'vectorized', got {self.engine!r}"
+                f"engine must be 'reference', 'vectorized', or 'semisync', "
+                f"got {self.engine!r}"
             )
+        if not isinstance(self.staleness_bound, int) or self.staleness_bound < 0:
+            raise ConfigurationError(
+                f"staleness_bound must be a non-negative int, got "
+                f"{self.staleness_bound!r}"
+            )
+        if self.straggler_patience_s is not None:
+            check_non_negative("straggler_patience_s", self.straggler_patience_s)
+        if self.timing is not None:
+            from repro.network.timing import LinkTimingModel
+
+            if not isinstance(self.timing, LinkTimingModel):
+                raise ConfigurationError(
+                    f"timing must be a LinkTimingModel, got {self.timing!r}"
+                )
         if self.invariants not in ("off", "strict"):
             raise ConfigurationError(
                 f"invariants must be 'off' or 'strict', got {self.invariants!r}"

@@ -47,6 +47,11 @@ def build_engine(trainer: "SNAPTrainer"):
     """Instantiate the engine selected by ``trainer.config.engine``."""
     if trainer.config.engine == "vectorized":
         return VectorizedEngine(trainer)
+    if trainer.config.engine == "semisync":
+        # Local import: async_engine imports trainer-adjacent modules.
+        from repro.core.async_engine import SemiSyncEngine
+
+        return SemiSyncEngine(trainer)
     return ReferenceEngine(trainer)
 
 

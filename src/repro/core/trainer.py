@@ -436,6 +436,12 @@ class SNAPTrainer:
             "compressor": self.compressor_spec.label,
             **self._weight_info,
         }
+        timing_summary = getattr(engine, "timing_summary", None)
+        if timing_summary is not None:
+            # Virtual-clock report of the semi-synchronous engine. Lives in
+            # ``info`` only — the RunDigest does not hash it, so the τ=0
+            # equivalence with the synchronous engines is unaffected.
+            info["semi_sync"] = timing_summary()
         return TrainingResult(
             scheme=self._scheme_name(),
             rounds=records,

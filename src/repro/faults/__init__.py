@@ -13,14 +13,18 @@ See ``docs/FAULTS.md`` for the fault taxonomy and the degradation policy.
 """
 
 from repro.faults.models import (
+    ClockSkewModel,
     CorruptionModel,
     CrashRestartSchedule,
     GilbertElliottLinkFailures,
     IndependentCorruption,
     MarkovNodeFailures,
+    NoClockSkew,
     NoCorruption,
     PartitionSchedule,
+    RandomClockSkew,
     ScheduledCorruption,
+    ScheduledStragglers,
 )
 from repro.faults.plan import FaultPlan
 
@@ -34,4 +38,8 @@ __all__ = [
     "MarkovNodeFailures",
     "CrashRestartSchedule",
     "PartitionSchedule",
+    "ClockSkewModel",
+    "NoClockSkew",
+    "ScheduledStragglers",
+    "RandomClockSkew",
 ]

@@ -360,3 +360,122 @@ class ScheduledCorruption(CorruptionModel):
 
     def __repr__(self) -> str:
         return f"ScheduledCorruption(rounds={sorted(self._schedule)})"
+
+
+class ClockSkewModel(abc.ABC):
+    """Interface: per-node, per-round local-clock perturbation.
+
+    The semi-synchronous engine (:mod:`repro.core.async_engine`) derives
+    each server's local clock from the timing model's per-node compute time;
+    a clock-skew model multiplies that time round by round. A multiplier of
+    1 is a healthy clock, 10 is a 10x straggler (Fig. 9's study subject),
+    and values below 1 model a server briefly running ahead. Multipliers
+    never gate *whether* work happens — only when it finishes — so they
+    compose freely with the link/node failure models above.
+    """
+
+    @abc.abstractmethod
+    def compute_multiplier(
+        self, topology: Topology, node: int, round_index: int
+    ) -> float:
+        """Factor applied to ``node``'s compute time during its local round."""
+
+
+class NoClockSkew(ClockSkewModel):
+    """Every clock runs true (the default)."""
+
+    def compute_multiplier(
+        self, topology: Topology, node: int, round_index: int
+    ) -> float:
+        return 1.0
+
+    def __repr__(self) -> str:
+        return "NoClockSkew()"
+
+
+class ScheduledStragglers(ClockSkewModel):
+    """Explicit straggler spans: node ``i`` runs ``factor``x slow for windows.
+
+    Parameters
+    ----------
+    spans:
+        Mapping ``node_id -> [(start_round, end_round, factor), ...]``; the
+        node's compute time is multiplied by ``factor`` for every local
+        round in each inclusive span. A mapping value may also be a single
+        number, shorthand for "slowed for the whole run".
+    """
+
+    def __init__(self, spans: dict[int, object]):
+        self._spans: dict[int, tuple[tuple[int, int, float], ...]] = {}
+        for node, windows in spans.items():
+            if isinstance(windows, (int, float)):
+                windows = [(0, 2**62, float(windows))]
+            normalized = []
+            for start, end, factor in windows:
+                start, end, factor = int(start), int(end), float(factor)
+                if start < 0 or end < start:
+                    raise ConfigurationError(
+                        f"straggler span ({start}, {end}) for node {node} is "
+                        "not a valid inclusive round range"
+                    )
+                if factor <= 0:
+                    raise ConfigurationError(
+                        f"straggler factor must be > 0, got {factor} for "
+                        f"node {node}"
+                    )
+                normalized.append((start, end, factor))
+            self._spans[int(node)] = tuple(sorted(normalized))
+        self._validated_for: int | None = None
+
+    def _validate(self, topology: Topology) -> None:
+        if self._validated_for == id(topology):
+            return
+        bad = [n for n in self._spans if not 0 <= n < topology.n_nodes]
+        if bad:
+            raise ConfigurationError(
+                f"straggler schedule names nodes {sorted(bad)} outside the "
+                f"topology's 0..{topology.n_nodes - 1}"
+            )
+        self._validated_for = id(topology)
+
+    def compute_multiplier(
+        self, topology: Topology, node: int, round_index: int
+    ) -> float:
+        round_index = _check_round(round_index)
+        self._validate(topology)
+        multiplier = 1.0
+        for start, end, factor in self._spans.get(int(node), ()):
+            if start <= round_index <= end:
+                multiplier *= factor
+        return multiplier
+
+    def __repr__(self) -> str:
+        return f"ScheduledStragglers(nodes={sorted(self._spans)})"
+
+
+class RandomClockSkew(ClockSkewModel):
+    """Log-normal per-(node, round) clock jitter, deterministic per seed.
+
+    Each local round's compute time is multiplied by
+    ``exp(sigma * z)`` with ``z ~ N(0, 1)`` drawn from a stream keyed by
+    ``(seed, node, round)`` — the same node/round always jitters the same
+    way, so semi-synchronous runs stay replayable.
+    """
+
+    def __init__(self, sigma: float, seed: SeedLike = None):
+        if sigma < 0:
+            raise ConfigurationError(f"sigma must be >= 0, got {sigma}")
+        self.sigma = float(sigma)
+        self._root_seed = int(make_rng(seed).integers(0, 2**63 - 1))
+
+    def compute_multiplier(
+        self, topology: Topology, node: int, round_index: int
+    ) -> float:
+        round_index = _check_round(round_index)
+        if self.sigma == 0.0:
+            return 1.0
+        rng = make_rng((self._root_seed, int(node), round_index))
+        return float(np.exp(self.sigma * rng.standard_normal()))
+
+    def __repr__(self) -> str:
+        return f"RandomClockSkew(sigma={self.sigma})"

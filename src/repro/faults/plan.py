@@ -21,13 +21,14 @@ from __future__ import annotations
 
 from typing import FrozenSet, Sequence, Union
 
-from repro.faults.models import CorruptionModel, NoCorruption
+from repro.faults.models import ClockSkewModel, CorruptionModel, NoCorruption
 from repro.topology.failures import LinkFailureModel, NodeFailureModel
 from repro.topology.graph import Topology
 from repro.types import Edge
 
 _LinkArg = Union[LinkFailureModel, Sequence[LinkFailureModel], None]
 _NodeArg = Union[NodeFailureModel, Sequence[NodeFailureModel], None]
+_ClockArg = Union[ClockSkewModel, Sequence[ClockSkewModel], None]
 
 
 def _as_tuple(value, base_type, label):
@@ -63,6 +64,11 @@ class FaultPlan(LinkFailureModel, NodeFailureModel):
         *any* constituent says so.
     corruption:
         Which in-flight frames are damaged (default: none).
+    clocks:
+        One clock-skew model or a sequence of them; a node's compute-time
+        multiplier is the *product* of the constituents' multipliers. Only
+        the semi-synchronous engine consumes clocks — synchronous runtimes
+        (whose barrier already absorbs any skew) ignore them.
     """
 
     def __init__(
@@ -70,6 +76,7 @@ class FaultPlan(LinkFailureModel, NodeFailureModel):
         links: _LinkArg = None,
         nodes: _NodeArg = None,
         corruption: CorruptionModel | None = None,
+        clocks: _ClockArg = None,
     ):
         self.link_models: tuple[LinkFailureModel, ...] = _as_tuple(
             links, LinkFailureModel, "links"
@@ -83,6 +90,9 @@ class FaultPlan(LinkFailureModel, NodeFailureModel):
             )
         self.corruption: CorruptionModel = (
             corruption if corruption is not None else NoCorruption()
+        )
+        self.clock_models: tuple[ClockSkewModel, ...] = _as_tuple(
+            clocks, ClockSkewModel, "clocks"
         )
 
     # -- LinkFailureModel / NodeFailureModel ------------------------------------
@@ -114,6 +124,15 @@ class FaultPlan(LinkFailureModel, NodeFailureModel):
         """Whether the directed frame is damaged in flight during ``round_index``."""
         return self.corruption.corrupted(topology, source, destination, round_index)
 
+    def compute_multiplier(
+        self, topology: Topology, node: int, round_index: int
+    ) -> float:
+        """Clock-skew factor on ``node``'s compute time (1.0 when unskewed)."""
+        multiplier = 1.0
+        for model in self.clock_models:
+            multiplier *= model.compute_multiplier(topology, node, round_index)
+        return multiplier
+
     def merged_with(
         self,
         link_model: LinkFailureModel | None = None,
@@ -122,10 +141,16 @@ class FaultPlan(LinkFailureModel, NodeFailureModel):
         """A new plan adding standalone models (trainer back-compat path)."""
         links = self.link_models + ((link_model,) if link_model else ())
         nodes = self.node_models + ((node_model,) if node_model else ())
-        return FaultPlan(links=links, nodes=nodes, corruption=self.corruption)
+        return FaultPlan(
+            links=links,
+            nodes=nodes,
+            corruption=self.corruption,
+            clocks=self.clock_models,
+        )
 
     def __repr__(self) -> str:
         return (
             f"FaultPlan(links={list(self.link_models)}, "
-            f"nodes={list(self.node_models)}, corruption={self.corruption})"
+            f"nodes={list(self.node_models)}, corruption={self.corruption}, "
+            f"clocks={list(self.clock_models)})"
         )

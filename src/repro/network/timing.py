@@ -10,13 +10,25 @@ Synchronous-round semantics: within one round, flows that share a (directed)
 link serialize; flows on different links run in parallel; the round's
 communication makespan is the busiest link's transfer time plus one
 propagation latency. Computation is modeled as a fixed per-round cost.
+
+Heterogeneous fleets are expressed through per-node and per-link overrides:
+``node_compute_s`` assigns individual servers a different gradient-evaluation
+time (a synchronous round always waits for the slowest one) and
+``link_bandwidth`` assigns individual directed or undirected links a
+different capacity. With both left empty the model is exactly the historical
+uniform one. The same model doubles as the event source of the
+semi-synchronous engine (:mod:`repro.core.async_engine`): per-node compute
+times drive each server's local clock and :meth:`transfer_s` prices every
+frame's flight time.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
+from typing import Mapping
 
+from repro.exceptions import ConfigurationError
 from repro.network.cost import CommunicationCostTracker, FlowRecord
 from repro.results import TrainingResult
 from repro.utils.validation import check_non_negative, check_positive
@@ -37,16 +49,78 @@ class LinkTimingModel:
         One-way propagation delay added once per round with traffic.
     compute_s_per_round:
         Fixed local-computation time per round (gradient evaluation etc.).
+    node_compute_s:
+        Optional per-node override of ``compute_s_per_round``, keyed by node
+        id. Nodes absent from the dict keep the uniform default. A
+        synchronous round's compute term is the *maximum* over all compute
+        times (the shared barrier waits for the slowest server).
+    link_bandwidth:
+        Optional per-link override of ``bandwidth_bytes_per_s``. Keys may be
+        directed ``(source, destination)`` pairs or canonical undirected
+        ``(min, max)`` pairs; a directed key wins over the undirected one.
     """
 
     bandwidth_bytes_per_s: float = GIGABIT_PER_SECOND
     latency_s: float = 1e-3
     compute_s_per_round: float = 0.0
+    node_compute_s: Mapping[int, float] | None = None
+    link_bandwidth: Mapping[tuple[int, int], float] | None = None
 
     def __post_init__(self) -> None:
         check_positive("bandwidth_bytes_per_s", self.bandwidth_bytes_per_s)
         check_non_negative("latency_s", self.latency_s)
         check_non_negative("compute_s_per_round", self.compute_s_per_round)
+        object.__setattr__(
+            self, "node_compute_s", dict(self.node_compute_s or {})
+        )
+        object.__setattr__(
+            self,
+            "link_bandwidth",
+            {tuple(k): v for k, v in (self.link_bandwidth or {}).items()},
+        )
+        for node, seconds in self.node_compute_s.items():
+            if not isinstance(node, int):
+                raise ConfigurationError(
+                    f"node_compute_s keys must be node ids, got {node!r}"
+                )
+            check_non_negative(f"node_compute_s[{node}]", seconds)
+        for edge, bandwidth in self.link_bandwidth.items():
+            if len(edge) != 2:
+                raise ConfigurationError(
+                    f"link_bandwidth keys must be (source, destination) "
+                    f"pairs, got {edge!r}"
+                )
+            check_positive(f"link_bandwidth[{edge}]", bandwidth)
+
+    # -- heterogeneous lookups --------------------------------------------------
+
+    def compute_time(self, node: int) -> float:
+        """Local computation time of one round on ``node``."""
+        return self.node_compute_s.get(int(node), self.compute_s_per_round)
+
+    def max_compute_s(self) -> float:
+        """The slowest server's compute time — a synchronous round's term."""
+        if not self.node_compute_s:
+            return self.compute_s_per_round
+        return max(self.compute_s_per_round, max(self.node_compute_s.values()))
+
+    def bandwidth(self, source: int, destination: int) -> float:
+        """Capacity of one directed link (directed override > undirected > default)."""
+        key = (int(source), int(destination))
+        if key in self.link_bandwidth:
+            return self.link_bandwidth[key]
+        canonical = (min(key), max(key))
+        return self.link_bandwidth.get(canonical, self.bandwidth_bytes_per_s)
+
+    def transfer_s(
+        self, source: int, destination: int, size_bytes: int, hops: int = 1
+    ) -> float:
+        """Flight time of one frame: propagation latency plus serialization."""
+        return self.latency_s + (
+            size_bytes * hops / self.bandwidth(source, destination)
+        )
+
+    # -- synchronous-round aggregates -------------------------------------------
 
     def round_makespan(self, flows: list[FlowRecord]) -> float:
         """Communication+compute time of one synchronous round.
@@ -57,13 +131,14 @@ class LinkTimingModel:
         serialize, distinct links run in parallel.
         """
         if not flows:
-            return self.compute_s_per_round
+            return self.max_compute_s()
         per_link: dict[tuple[int, int], float] = defaultdict(float)
         for flow in flows:
-            per_link[(flow.source, flow.destination)] += (
-                flow.size_bytes * flow.hops / self.bandwidth_bytes_per_s
+            link = (flow.source, flow.destination)
+            per_link[link] += (
+                flow.size_bytes * flow.hops / self.bandwidth(*link)
             )
-        return self.compute_s_per_round + self.latency_s + max(per_link.values())
+        return self.max_compute_s() + self.latency_s + max(per_link.values())
 
     def total_time(self, tracker: CommunicationCostTracker, n_rounds: int) -> float:
         """Wall-clock estimate of a whole run from its recorded flows.
@@ -91,7 +166,7 @@ class LinkTimingModel:
         """
         total = 0.0
         for record in result.rounds:
-            total += self.compute_s_per_round
+            total += self.max_compute_s()
             if record.bytes_sent > 0:
                 total += self.latency_s + (
                     record.bytes_sent / self.bandwidth_bytes_per_s

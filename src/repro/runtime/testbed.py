@@ -164,7 +164,16 @@ class TestbedResult:
         Rounds executed.
     link_staleness:
         Final per-directed-link staleness: rounds since the destination
-        last applied a fresh update from the source.
+        last applied a fresh update from the source (reset to 0 on every
+        application — the trainer's ``link_staleness`` semantics, kept
+        bit-for-bit comparable with simulated runs).
+    stale_view_rounds:
+        Per directed link, how many rounds the destination *started* with
+        a view of the source older than the previous round (judged by the
+        sender round of the newest applied frame, not by delivery). This
+        is the straggler ledger the semi-synchronous simulator engine
+        keeps — directly comparable with ``stale_view_rounds`` in
+        :meth:`repro.core.async_engine.SemiSyncEngine.timing_summary`.
     dead_nodes:
         Servers that hard-crashed during the run.
     corrupt_frames_total:
@@ -180,6 +189,7 @@ class TestbedResult:
     header_bytes_total: int
     n_rounds: int
     link_staleness: dict = field(default_factory=dict)
+    stale_view_rounds: dict = field(default_factory=dict)
     dead_nodes: frozenset = frozenset()
     corrupt_frames_total: int = 0
 
@@ -208,6 +218,16 @@ class _Node:
         self.wired = threading.Event()
         #: Rounds since each in-neighbor's update was last applied here.
         self.staleness: dict[int, int] = {n: 0 for n in server.neighbors}
+        #: Sender round of the newest frame applied from each in-neighbor.
+        self.last_applied_round: dict[int, int] = {
+            n: 0 for n in server.neighbors
+        }
+        #: Rounds this node *started* with a stale view of each in-neighbor
+        #: (view version older than the previous round) — the semi-sync
+        #: engine's straggler ledger, mirrored for testbed runs.
+        self.stale_view_rounds: dict[int, int] = {
+            n: 0 for n in server.neighbors
+        }
         #: Consecutive rounds each in-neighbor missed the round deadline.
         self.miss_streak: dict[int, int] = {n: 0 for n in server.neighbors}
         #: Peers believed gone (EOF seen or too many missed deadlines).
@@ -324,6 +344,15 @@ class _Node:
                 self.staleness[neighbor] += 1
             self.runtime.barrier_wait()
             return
+
+        # Ledger how old each usable in-edge view is as this round starts
+        # (same rule as the semi-sync engine's _note_staleness: peers we
+        # have written off are excluded, like its degraded edges).
+        for neighbor in self.stale_view_rounds:
+            if neighbor in self.dead_peers:
+                continue
+            if (round_index - 1) - self.last_applied_round[neighbor] > 0:
+                self.stale_view_rounds[neighbor] += 1
 
         server.step()
         self.loss_trace.append(server.local_loss())
@@ -449,6 +478,9 @@ class _Node:
             # still the newest information from that peer — apply it, per
             # the paper's reuse-the-latest-received rule.
             server.receive_update(update)
+            self.last_applied_round[update.sender] = max(
+                self.last_applied_round[update.sender], update.round_index
+            )
             applied.add(update.sender)
             pending.discard(update.sender)
             self.dead_peers.discard(update.sender)
@@ -683,6 +715,11 @@ class TestbedRuntime:
             for node in self.nodes
             for source, rounds in node.staleness.items()
         }
+        stale_view_rounds = {
+            (source, node.server.node_id): rounds
+            for node in self.nodes
+            for source, rounds in node.stale_view_rounds.items()
+        }
         return TestbedResult(
             final_params=np.stack([node.server.params for node in self.nodes]),
             mean_loss_trace=mean_loss,
@@ -691,6 +728,7 @@ class TestbedRuntime:
             header_bytes_total=n_frames * HEADER_BYTES,
             n_rounds=n_rounds,
             link_staleness=link_staleness,
+            stale_view_rounds=stale_view_rounds,
             dead_nodes=frozenset(self.dead_nodes),
             corrupt_frames_total=sum(node.corrupt_frames for node in self.nodes),
         )

@@ -34,6 +34,7 @@ from repro.testing.scenarios import Scenario, ScenarioGen
 from repro.testing.differential import (
     DifferentialReport,
     run_scenario,
+    run_semisync_smoke,
     run_suite,
     summarize,
 )
@@ -62,6 +63,7 @@ __all__ = [
     "run_injection",
     "run_scenario",
     "run_selftest",
+    "run_semisync_smoke",
     "run_suite",
     "server_state_sha",
     "summarize",

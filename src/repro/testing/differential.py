@@ -17,17 +17,24 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
+from repro.core.trainer import SNAPTrainer
 from repro.exceptions import InvariantViolation
+from repro.faults.plan import FaultPlan
 from repro.testing.digest import RunDigest, capture_run
 from repro.testing.scenarios import Scenario, ScenarioGen
 
-#: Engines every scenario must agree across.
-ENGINES = ("reference", "vectorized")
+#: Engines every scenario must agree across. The semi-synchronous engine
+#: joins the equivalence class because generated scenarios leave
+#: ``staleness_bound`` at 0 with uniform clocks — its synchronous anchor
+#: (see ``docs/ASYNC.md``); run_semisync_smoke covers the τ > 0 regime.
+ENGINES = ("reference", "vectorized", "semisync")
 
 
 @dataclass
 class DifferentialReport:
-    """Outcome of one scenario's reference-vs-vectorized comparison."""
+    """Outcome of one scenario's cross-engine comparison."""
 
     scenario: Scenario
     ok: bool
@@ -42,18 +49,19 @@ class DifferentialReport:
 
 
 def run_scenario(
-    scenario: Scenario, *, invariants: str = "strict"
+    scenario: Scenario, *, invariants: str = "strict", engines=ENGINES
 ) -> DifferentialReport:
-    """Run one scenario on both engines; compare digests and monitors.
+    """Run one scenario on every engine; compare digests and monitors.
 
     Each engine gets a freshly built trainer (fault models and edge RNG
-    streams are stateful). An :class:`InvariantViolation` on either engine
+    streams are stateful). An :class:`InvariantViolation` on any engine
     fails the scenario with a diagnostic naming the invariant and round; a
-    digest mismatch fails it with the first diverging trace entry.
+    digest mismatch against the first engine (the per-object reference
+    oracle) fails it with the first diverging trace entry.
     """
     digests: dict[str, RunDigest] = {}
     checks: dict[str, dict] = {}
-    for engine in ENGINES:
+    for engine in engines:
         trainer = scenario.build_trainer(engine, invariants=invariants)
         try:
             digests[engine] = capture_run(trainer)
@@ -69,18 +77,19 @@ def run_scenario(
             )
         if trainer.monitor is not None:
             checks[engine] = trainer.monitor.summary()
-    reference, vectorized = digests["reference"], digests["vectorized"]
-    if reference != vectorized:
-        return DifferentialReport(
-            scenario=scenario,
-            ok=False,
-            detail=(
-                "reference and vectorized digests differ:\n"
-                + reference.diff(vectorized)
-            ),
-            digests=digests,
-            monitor_checks=checks,
-        )
+    oracle = digests[engines[0]]
+    for engine in engines[1:]:
+        if oracle != digests[engine]:
+            return DifferentialReport(
+                scenario=scenario,
+                ok=False,
+                detail=(
+                    f"{engines[0]} and {engine} digests differ:\n"
+                    + oracle.diff(digests[engine])
+                ),
+                digests=digests,
+                monitor_checks=checks,
+            )
     return DifferentialReport(
         scenario=scenario, ok=True, digests=digests, monitor_checks=checks
     )
@@ -112,6 +121,97 @@ def run_suite(
     return reports
 
 
+def run_semisync_smoke(
+    count: int,
+    master_seed: int = 0,
+    *,
+    taus=(0, 2, 8),
+    straggler_factor: float = 10.0,
+    progress=None,
+) -> list[DifferentialReport]:
+    """Chaos sweep of the semi-synchronous engine across staleness regimes.
+
+    Each generated scenario (keeping its own fault plan: GE link bursts,
+    Markov node crashes, corruption on the faulty ones) is re-run on the
+    ``semisync`` engine with a heterogeneous clock — the highest-numbered
+    server slowed by ``straggler_factor`` — once per τ in ``taus``, with
+    strict invariant monitors armed. τ = 0 runs without patience (the pure
+    synchronous barrier under skewed clocks); τ > 0 runs add a patience so
+    the degradation path is exercised. A run passes when no invariant
+    trips, the observed progress staleness stays within τ, and the
+    trajectory stays finite.
+    """
+    import dataclasses
+
+    from repro.faults.models import ScheduledStragglers
+    from repro.network.timing import LinkTimingModel
+
+    timing = LinkTimingModel(compute_s_per_round=1.0)
+    reports = []
+    for scenario in ScenarioGen(master_seed).scenarios(count):
+        straggler = scenario.n_nodes - 1
+        for tau in taus:
+            tau = int(tau)
+            config = dataclasses.replace(
+                scenario.config("semisync", invariants="strict"),
+                staleness_bound=tau,
+                straggler_patience_s=None if tau == 0 else 4.0,
+                timing=timing,
+            )
+            base = scenario.fault_plan()
+            plan = FaultPlan(
+                links=base.link_models if base is not None else None,
+                nodes=base.node_models if base is not None else None,
+                corruption=base.corruption if base is not None else None,
+                clocks=ScheduledStragglers({straggler: float(straggler_factor)}),
+            )
+            trainer = SNAPTrainer(
+                scenario.model(),
+                scenario.shards(),
+                scenario.topology(),
+                config,
+                fault_plan=plan,
+            )
+            label = f"tau={tau} straggler={straggler}@{straggler_factor:g}x"
+            try:
+                result = trainer.run()
+            except InvariantViolation as violation:
+                report = DifferentialReport(
+                    scenario=scenario,
+                    ok=False,
+                    detail=(
+                        f"[{label}] semisync engine violated invariant "
+                        f"{violation.invariant!r}: {violation}"
+                    ),
+                )
+            else:
+                semi = result.info["semi_sync"]
+                problems = []
+                if semi["max_progress_staleness"] > tau:
+                    problems.append(
+                        f"progress staleness {semi['max_progress_staleness']} "
+                        f"exceeds tau={tau}"
+                    )
+                if not all(
+                    np.isfinite(record.mean_loss) for record in result.rounds
+                ):
+                    problems.append("trajectory diverged (non-finite loss)")
+                report = DifferentialReport(
+                    scenario=scenario,
+                    ok=not problems,
+                    detail=f"[{label}] " + "; ".join(problems) if problems else "",
+                    monitor_checks=(
+                        {label: trainer.monitor.summary()}
+                        if trainer.monitor is not None
+                        else {}
+                    ),
+                )
+            reports.append(report)
+            if progress is not None:
+                progress(report)
+    return reports
+
+
 def summarize(reports: list[DifferentialReport]) -> str:
     """Human-readable sweep summary (failures first, then the tally)."""
     failures = [report for report in reports if not report.ok]
@@ -123,7 +223,7 @@ def summarize(reports: list[DifferentialReport]) -> str:
     )
     lines.append(
         f"{len(reports) - len(failures)}/{len(reports)} scenarios passed "
-        f"({checked} invariant checks across both engines)"
+        f"({checked} invariant checks across all engines)"
     )
     if failures:
         seeds = ", ".join(

@@ -27,6 +27,14 @@ them *during* a run instead of post-hoc:
     bitwise on every directed edge (both advance only on confirmed
     delivery), and any materialized error-feedback residual must equal
     ``params - last_sent`` exactly.
+``semi-sync``
+    Only when the semi-synchronous engine runs: per-edge progress
+    staleness observed at any step start must stay within the configured
+    bound τ, applied view versions must be strictly monotone per directed
+    edge, and the deferred-delivery ledger must conserve — every frame
+    (and its bytes) put on the wire is accounted as applied, corrupted,
+    or in flight, and the in-flight count equals the frames actually
+    sitting in the engine's reorder buffers at the round boundary.
 ``consensus-envelope``
     The EXTRA consensus residual may oscillate under suppression and
     faults but must stay finite and inside a constant multiple of its
@@ -238,6 +246,7 @@ class InvariantMonitor:
         self._check_byte_ledger(record)
         self._check_error_feedback(record, down)
         self._check_consensus_envelope(record)
+        self._check_semi_sync(record)
         for name, check in self._extra_checks:
             self.checks[name] += 1
             check(self, record, down)
@@ -321,10 +330,19 @@ class InvariantMonitor:
                 self.trainer.model.n_params,
                 quantization_bits(self.trainer.compressor_spec),
             )
+        # Under the semi-synchronous engine a server left behind the fleet
+        # still executes old rounds on its own clock, so its flows flush
+        # late, tagged with the *earlier* round they belong to. Those late
+        # flows are legal in deferred mode; flows tagged with a future round
+        # never are (run-ahead past the trainer's target is forbidden).
+        deferred = (
+            getattr(self.trainer.engine, "semi_sync_invariants", None) is not None
+        )
         flow_bytes = 0
         flow_cost = 0
         for flow in flows:
-            if flow.round_index != round_index:
+            late = deferred and flow.round_index < round_index
+            if flow.round_index != round_index and not late:
                 self.violate(
                     "byte-ledger",
                     f"flow {flow} recorded under round {flow.round_index} "
@@ -348,8 +366,9 @@ class InvariantMonitor:
                     "12 (N - M), or the QUANTIZED size)",
                     round_index,
                 )
-            flow_bytes += flow.size_bytes
-            flow_cost += flow.cost
+            if not late:
+                flow_bytes += flow.size_bytes
+                flow_cost += flow.cost
         if flow_bytes != record.bytes_sent:
             self.violate(
                 "byte-ledger",
@@ -368,8 +387,20 @@ class InvariantMonitor:
     def _check_error_feedback(self, record, down: frozenset) -> None:
         self.checks["error-feedback"] += 1
         servers = self.trainer.servers
+        engine = self.trainer.engine
+        # Semi-synchronous runs legitimately defer the identity on edges
+        # whose delivered frames are still in the reorder buffers of a
+        # receiver running behind the fleet: ``last_sent`` advanced at send
+        # time, the receiver's view catches up when it reaches the sender's
+        # round. Conservation of those frames is asserted by ``semi-sync``.
+        in_flight_edges = getattr(engine, "in_flight_edges", None)
+        in_flight = in_flight_edges() if in_flight_edges is not None else frozenset()
+        lagging_nodes = getattr(engine, "lagging_nodes", None)
+        lagging = lagging_nodes() if lagging_nodes is not None else frozenset()
         for server in servers:
             for neighbor in server.neighbors:
+                if (server.node_id, neighbor) in in_flight:
+                    continue
                 if not np.array_equal(
                     server.last_sent[neighbor], servers[neighbor].views[server.node_id]
                 ):
@@ -385,6 +416,11 @@ class InvariantMonitor:
                 continue
             if source in down or destination in down:
                 continue  # the edge skipped this round; its residual is stale
+            if source in lagging or destination in lagging:
+                # A server behind the fleet last compressed in an older
+                # round under that round's own outage pattern; its residual
+                # is checked against the fleet's round here, so skip it.
+                continue
             if not np.all(np.isfinite(state.residual)):
                 self.violate(
                     "error-feedback",
@@ -402,6 +438,60 @@ class InvariantMonitor:
                     "accumulator drifted from the reference-tracking truth",
                     record.round_index,
                 )
+
+    def _check_semi_sync(self, record) -> None:
+        probe = getattr(self.trainer.engine, "semi_sync_invariants", None)
+        if probe is None:
+            return
+        self.checks["semi-sync"] += 1
+        inv = probe()
+        if inv["max_progress_staleness"] > inv["tau"]:
+            self.violate(
+                "semi-sync",
+                f"a server started a round with a neighbor "
+                f"{inv['max_progress_staleness']} rounds behind, beyond the "
+                f"staleness bound tau = {inv['tau']}",
+                record.round_index,
+            )
+        if not inv["monotonic_views"]:
+            self.violate(
+                "semi-sync",
+                "a neighbor view was applied out of order: per-edge view "
+                "versions must be strictly monotone (FIFO links + one frame "
+                "per round make regressions impossible)",
+                record.round_index,
+            )
+        frames, byte_ledger = inv["frames"], inv["bytes"]
+        in_flight = frames["wire"] - frames["applied"] - frames["corrupted"]
+        if in_flight < 0 or in_flight != frames["outstanding"]:
+            self.violate(
+                "semi-sync",
+                f"frame conservation broke: {frames['wire']} on the wire != "
+                f"{frames['applied']} applied + {frames['corrupted']} "
+                f"corrupted + {frames['outstanding']} outstanding",
+                record.round_index,
+            )
+        if in_flight != frames["buffered"]:
+            self.violate(
+                "semi-sync",
+                f"deferred-delivery conservation broke at the round "
+                f"boundary: {in_flight} frames unaccounted but "
+                f"{frames['buffered']} sitting in reorder buffers (every "
+                "scheduled arrival must be settled or buffered)",
+                record.round_index,
+            )
+        bytes_in_flight = (
+            byte_ledger["wire"] - byte_ledger["applied"] - byte_ledger["corrupted"]
+        )
+        if bytes_in_flight < 0 or bytes_in_flight != byte_ledger["buffered"]:
+            self.violate(
+                "semi-sync",
+                f"byte conservation broke under deferred delivery: "
+                f"{byte_ledger['wire']} sent != {byte_ledger['applied']} "
+                f"applied + {byte_ledger['corrupted']} corrupted + "
+                f"{byte_ledger['buffered']} buffered",
+                record.round_index,
+            )
 
     def _check_consensus_envelope(self, record) -> None:
         self.checks["consensus-envelope"] += 1

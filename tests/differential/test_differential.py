@@ -14,6 +14,7 @@ import pytest
 from repro.testing import (
     run_injection,
     run_scenario,
+    run_semisync_smoke,
     run_suite,
     summarize,
 )
@@ -28,21 +29,38 @@ MASTER_SEED = 0
 
 
 class TestOracleSweep:
-    def test_reference_and_vectorized_agree_on_generated_scenarios(self):
+    def test_all_engines_agree_on_generated_scenarios(self):
         reports = run_suite(SWEEP_COUNT, MASTER_SEED)
         failures = [report for report in reports if not report.ok]
         assert not failures, summarize(reports)
-        # The monitors actually ran: both engines, every scenario.
+        # The monitors actually ran: every engine, every scenario. This is
+        # also the semi-sync τ=0 synchronous-anchor acceptance sweep: the
+        # event-driven engine must match the reference digest bit-for-bit
+        # on all SWEEP_COUNT scenarios.
         for report in reports:
-            assert set(report.monitor_checks) == {"reference", "vectorized"}
+            assert set(report.monitor_checks) == {
+                "reference",
+                "vectorized",
+                "semisync",
+            }
             for checks in report.monitor_checks.values():
                 assert checks.get("byte-ledger", 0) >= 1
+            assert checks.get("semi-sync", 0) >= 1  # semisync ran last
 
     def test_single_scenario_report_shape(self):
         report = run_scenario(ScenarioGen(MASTER_SEED).scenario(0))
         assert report.ok, report.detail
         assert report.digests["reference"] == report.digests["vectorized"]
+        assert report.digests["reference"] == report.digests["semisync"]
         assert str(report).startswith("[ok] scenario[0/0]")
+
+    def test_semisync_chaos_smoke(self):
+        """τ ∈ {0, 2, 8} × the scenarios' own fault plans × a 10× straggler
+        clock: strict monitors stay clean and progress staleness obeys τ."""
+        reports = run_semisync_smoke(4, MASTER_SEED)
+        failures = [report for report in reports if not report.ok]
+        assert not failures, summarize(reports)
+        assert len(reports) == 12  # 4 scenarios × 3 taus
 
 
 class TestSelfTest:

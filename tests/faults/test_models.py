@@ -189,3 +189,74 @@ class TestCorruptionModels:
         model = ScheduledCorruption({1: [(0, 3)]})  # not a ring edge
         with pytest.raises(ConfigurationError):
             model.corrupted(ring6, 0, 1, 1)
+
+
+class TestClockSkew:
+    def test_no_skew_is_identity(self, ring6):
+        from repro.faults import NoClockSkew
+
+        model = NoClockSkew()
+        assert model.compute_multiplier(ring6, 0, 1) == 1.0
+
+    def test_scheduled_straggler_spans_are_inclusive(self, ring6):
+        from repro.faults import ScheduledStragglers
+
+        model = ScheduledStragglers({2: [(3, 5, 10.0)]})
+        assert model.compute_multiplier(ring6, 2, 2) == 1.0
+        assert model.compute_multiplier(ring6, 2, 3) == 10.0
+        assert model.compute_multiplier(ring6, 2, 5) == 10.0
+        assert model.compute_multiplier(ring6, 2, 6) == 1.0
+        assert model.compute_multiplier(ring6, 1, 4) == 1.0  # other nodes true
+
+    def test_scalar_shorthand_slows_the_whole_run(self, ring6):
+        from repro.faults import ScheduledStragglers
+
+        model = ScheduledStragglers({0: 10.0})
+        assert model.compute_multiplier(ring6, 0, 0) == 10.0
+        assert model.compute_multiplier(ring6, 0, 10_000) == 10.0
+
+    def test_overlapping_spans_multiply(self, ring6):
+        from repro.faults import ScheduledStragglers
+
+        model = ScheduledStragglers({1: [(1, 4, 2.0), (3, 6, 3.0)]})
+        assert model.compute_multiplier(ring6, 1, 2) == 2.0
+        assert model.compute_multiplier(ring6, 1, 3) == 6.0
+        assert model.compute_multiplier(ring6, 1, 5) == 3.0
+
+    def test_straggler_validation(self, ring6):
+        from repro.faults import ScheduledStragglers
+
+        with pytest.raises(ConfigurationError):
+            ScheduledStragglers({0: [(5, 3, 2.0)]})  # end < start
+        with pytest.raises(ConfigurationError):
+            ScheduledStragglers({0: [(0, 2, 0.0)]})  # non-positive factor
+        model = ScheduledStragglers({99: [(0, 1, 2.0)]})  # node not in topology
+        with pytest.raises(ConfigurationError):
+            model.compute_multiplier(ring6, 0, 1)
+
+    def test_random_skew_is_deterministic_and_positive(self, ring6):
+        from repro.faults import RandomClockSkew
+
+        a = RandomClockSkew(0.5, seed=7)
+        b = RandomClockSkew(0.5, seed=7)
+        samples = [
+            a.compute_multiplier(ring6, n, r)
+            for n in range(6)
+            for r in range(1, 10)
+        ]
+        again = [
+            b.compute_multiplier(ring6, n, r)
+            for n in range(6)
+            for r in range(1, 10)
+        ]
+        assert samples == again
+        assert all(s > 0 for s in samples)
+        assert len(set(samples)) > 1
+        quiet = RandomClockSkew(0.0, seed=7)
+        assert quiet.compute_multiplier(ring6, 0, 1) == 1.0
+
+    def test_sigma_validation(self):
+        from repro.faults import RandomClockSkew
+
+        with pytest.raises(ConfigurationError):
+            RandomClockSkew(-0.1)

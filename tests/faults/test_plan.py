@@ -82,3 +82,32 @@ class TestFaultPlan:
             for r in range(1, 10)
             for u, v in ring6.edges
         )
+
+
+class TestPlanClocks:
+    def test_default_plan_has_true_clocks(self, ring6):
+        assert FaultPlan().compute_multiplier(ring6, 0, 1) == 1.0
+
+    def test_clock_models_compose_by_product(self, ring6):
+        from repro.faults import ScheduledStragglers
+
+        plan = FaultPlan(
+            clocks=[
+                ScheduledStragglers({0: [(1, 3, 2.0)]}),
+                ScheduledStragglers({0: [(2, 4, 5.0)]}),
+            ]
+        )
+        assert plan.compute_multiplier(ring6, 0, 1) == 2.0
+        assert plan.compute_multiplier(ring6, 0, 2) == 10.0
+        assert plan.compute_multiplier(ring6, 0, 4) == 5.0
+
+    def test_merged_with_preserves_clocks(self, ring6):
+        from repro.faults import ScheduledStragglers
+
+        plan = FaultPlan(clocks=ScheduledStragglers({1: 4.0}))
+        merged = plan.merged_with(node_model=ScheduledNodeFailures({1: [2]}))
+        assert merged.compute_multiplier(ring6, 1, 7) == 4.0
+
+    def test_wrong_clock_type_rejected(self):
+        with pytest.raises(TypeError):
+            FaultPlan(clocks=ScheduledFailures({1: [(0, 1)]}))

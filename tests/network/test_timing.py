@@ -106,6 +106,91 @@ class TestEstimateResultTime:
         assert exact <= estimate
 
 
+class TestHeterogeneousOverrides:
+    """Per-node compute and per-link bandwidth dicts (heterogeneous fleets)."""
+
+    def test_uniform_defaults_pin_legacy_makespans(self):
+        """Empty override dicts reproduce the historical uniform outputs
+        exactly — the backward-compatibility regression pin."""
+        legacy = LinkTimingModel(bandwidth_bytes_per_s=100.0, latency_s=0.5)
+        explicit = LinkTimingModel(
+            bandwidth_bytes_per_s=100.0,
+            latency_s=0.5,
+            node_compute_s={},
+            link_bandwidth={},
+        )
+        cases = [
+            [flow(0, 1, 200)],
+            [flow(0, 1, 100), flow(2, 3, 300)],
+            [flow(0, 1, 100), flow(0, 1, 100)],
+            [flow(0, 5, 100, hops=3)],
+            [],
+        ]
+        for flows in cases:
+            assert explicit.round_makespan(flows) == legacy.round_makespan(flows)
+        assert legacy.round_makespan([flow(0, 1, 200)]) == pytest.approx(2.5)
+        assert legacy.round_makespan([]) == 0.0
+
+    def test_per_node_compute_takes_the_max(self):
+        """A synchronous round waits for the slowest server's gradient."""
+        model = LinkTimingModel(
+            bandwidth_bytes_per_s=100.0,
+            latency_s=0.0,
+            compute_s_per_round=0.1,
+            node_compute_s={3: 1.0},
+        )
+        assert model.compute_time(3) == 1.0
+        assert model.compute_time(0) == 0.1
+        assert model.max_compute_s() == 1.0
+        assert model.round_makespan([flow(0, 1, 100)]) == pytest.approx(2.0)
+        assert model.round_makespan([]) == pytest.approx(1.0)
+
+    def test_per_link_bandwidth_override(self):
+        model = LinkTimingModel(
+            bandwidth_bytes_per_s=100.0,
+            latency_s=0.0,
+            link_bandwidth={(0, 1): 10.0},
+        )
+        # The slow link dominates; the untouched link keeps the default.
+        flows = [flow(0, 1, 100), flow(2, 3, 100)]
+        assert model.round_makespan(flows) == pytest.approx(10.0)
+        assert model.round_makespan([flow(2, 3, 100)]) == pytest.approx(1.0)
+
+    def test_undirected_key_covers_both_directions(self):
+        model = LinkTimingModel(
+            bandwidth_bytes_per_s=100.0, link_bandwidth={(1, 4): 50.0}
+        )
+        assert model.bandwidth(1, 4) == 50.0
+        assert model.bandwidth(4, 1) == 50.0
+        directed = LinkTimingModel(
+            bandwidth_bytes_per_s=100.0,
+            link_bandwidth={(1, 4): 50.0, (4, 1): 25.0},
+        )
+        # A directed key wins over the canonical undirected one.
+        assert directed.bandwidth(4, 1) == 25.0
+        assert directed.bandwidth(1, 4) == 50.0
+
+    def test_transfer_s_prices_one_frame(self):
+        model = LinkTimingModel(
+            bandwidth_bytes_per_s=100.0,
+            latency_s=0.5,
+            link_bandwidth={(0, 1): 10.0},
+        )
+        assert model.transfer_s(0, 1, 20) == pytest.approx(0.5 + 2.0)
+        assert model.transfer_s(2, 3, 20) == pytest.approx(0.5 + 0.2)
+        assert model.transfer_s(2, 3, 20, hops=2) == pytest.approx(0.5 + 0.4)
+
+    def test_override_validation(self):
+        with pytest.raises(ConfigurationError):
+            LinkTimingModel(node_compute_s={0: -1.0})
+        with pytest.raises(ConfigurationError):
+            LinkTimingModel(node_compute_s={"a": 1.0})
+        with pytest.raises(ConfigurationError):
+            LinkTimingModel(link_bandwidth={(0, 1): 0.0})
+        with pytest.raises(ConfigurationError):
+            LinkTimingModel(link_bandwidth={(0, 1, 2): 10.0})
+
+
 class TestDefaults:
     def test_paper_link_speed(self):
         assert GIGABIT_PER_SECOND == 125_000_000.0

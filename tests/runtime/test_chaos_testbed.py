@@ -84,6 +84,57 @@ def test_faulty_testbed_matches_faulty_simulation_bit_for_bit(ridge_setup):
     assert net_result.link_staleness == simulated.link_staleness
 
 
+def test_testbed_stale_view_ledger_matches_semisync_engine(ridge_setup):
+    """The testbed's ``stale_view_rounds`` ledger counts exactly what the
+    semi-synchronous simulator engine counts: rounds a node started with a
+    neighbor view older than the previous round. Same fault plan, two
+    runtimes, identical straggler ledgers (and zero on a clean run)."""
+    model, shards, topo, weights, init = ridge_setup
+    rounds = 12
+
+    def plan():
+        return FaultPlan(
+            links=ScheduledFailures({3: [(0, 1)], 4: [(0, 1)]}),
+            nodes=CrashRestartSchedule({1: [(6, 7)]}),
+            corruption=ScheduledCorruption({9: [(0, 2)]}),
+        )
+
+    def config(engine):
+        return SNAPConfig(
+            selection=SelectionPolicy.CHANGED_ONLY,
+            alpha=0.05,
+            seed=0,
+            engine=engine,
+        )
+
+    simulated = SNAPTrainer(
+        model, shards, topo, config=config("semisync"), weight_matrix=weights,
+        initial_params=init, fault_plan=plan(),
+    )
+    simulated.run(max_rounds=rounds, stop_on_convergence=False)
+
+    testbed = TestbedRuntime(
+        model, shards, topo, config=config("reference"),
+        weight_matrix=weights, initial_params=init, fault_plan=plan(),
+        round_deadline_s=5.0,
+    )
+    net_result = testbed.run(rounds)
+
+    engine_ledger = dict(simulated.engine.stale_view_rounds)
+    testbed_ledger = {
+        edge: count
+        for edge, count in net_result.stale_view_rounds.items()
+        if count  # the engine's Counter only holds incremented edges
+    }
+    assert testbed_ledger == engine_ledger
+    # The faults actually left someone working from an old view.
+    assert sum(testbed_ledger.values()) > 0
+    # Every directed edge appears in the testbed ledger, stale or not.
+    assert set(net_result.stale_view_rounds) == {
+        (u, v) for u in topo for v in topo.neighbors(u)
+    }
+
+
 def test_kill_one_server_mid_run_degrades_without_deadlock(rng):
     """Hard-crash a server mid-run: sockets die abruptly, survivors fall
     back to cached views and finish every round."""

@@ -1,7 +1,9 @@
 """Tests for repro.runtime.transport over real localhost sockets."""
 
 import socket
+import struct
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -136,6 +138,45 @@ class TestDeadlinesAndErrors:
         _, server = socket_pair
         assert server.recv_update(idle_timeout_s=0.05) is None
 
+    def test_frame_timeout_is_absolute_not_per_chunk(self):
+        """A sender that trickles bytes slowly cannot keep a frame alive
+        forever: the deadline starts at the frame's first byte and is never
+        reset by partial progress."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        client = socket.create_connection(("127.0.0.1", listener.getsockname()[1]))
+        server_sock, _ = listener.accept()
+        listener.close()
+        connection = FrameConnection(
+            server_sock, peer="server 4", frame_timeout_s=0.25
+        )
+        # A well-formed header announcing a 64-byte INDEX_VALUE payload...
+        header = struct.pack(">IIBIII", 1, 2, 1, 30, 64, 0)
+        stop = threading.Event()
+
+        def trickle():
+            client.sendall(header)
+            for _ in range(64):
+                if stop.is_set():
+                    return
+                try:
+                    client.sendall(b"\x00")  # ...that arrives one byte at a time
+                except OSError:
+                    return
+                time.sleep(0.05)
+
+        sender = threading.Thread(target=trickle, daemon=True)
+        sender.start()
+        started = time.monotonic()
+        with pytest.raises(ProtocolError, match=r"server 4.*timed out mid-frame"):
+            connection.recv_update()
+        # The deadline fired on schedule, not after 64 * 0.05s of trickle.
+        assert time.monotonic() - started < 2.0
+        stop.set()
+        connection.close()
+        client.close()
+
     def test_frame_timeout_aborts_a_stalled_frame(self):
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         listener.bind(("127.0.0.1", 0))
@@ -225,6 +266,136 @@ class TestRetryAndReconnect:
         with pytest.raises(ProtocolError, match="server 9"):
             for _ in range(200):  # the OS buffer absorbs the first few
                 sender.send_update(update)
+        sender.close()
+
+    def test_reconnect_storm_after_peer_restart(self):
+        """A peer that restarts (all connections reset, then the listener
+        comes back on the same port) triggers simultaneous re-dials from
+        every sender; all of them must land their frames on the new
+        incarnation without a single ProtocolError escaping."""
+        n_senders = 4
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(n_senders * 2)
+        port = listener.getsockname()[1]
+
+        old_accepted = []
+        senders = []
+        for i in range(n_senders):
+            client = socket.create_connection(("127.0.0.1", port))
+            sock, _ = listener.accept()
+            old_accepted.append(sock)
+            senders.append(
+                FrameConnection(
+                    client,
+                    peer=f"server {i}",
+                    reconnect=lambda: socket.create_connection(
+                        ("127.0.0.1", port)
+                    ),
+                    retry_policy=RetryPolicy(
+                        max_attempts=8, backoff_base_s=0.01, backoff_max_s=0.05
+                    ),
+                )
+            )
+
+        # Restart the peer: reset every established connection, drop the
+        # listener, then come back on the same port.
+        listener.close()
+        for sock in old_accepted:
+            sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+            )
+            sock.close()
+        restarted = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        restarted.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        restarted.bind(("127.0.0.1", port))
+        restarted.listen(n_senders * 2)
+
+        new_accepted = []
+
+        def accept_loop():
+            restarted.settimeout(0.2)
+            while len(new_accepted) < n_senders:
+                try:
+                    sock, _ = restarted.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    return
+                new_accepted.append(sock)
+
+        acceptor = threading.Thread(target=accept_loop, daemon=True)
+        acceptor.start()
+
+        errors = []
+
+        def pump(index):
+            # The first sends may vanish into the dead socket's buffer;
+            # keep pushing until the reconnect path has demonstrably fired.
+            try:
+                for round_index in range(100):
+                    senders[index].send_update(
+                        make_update(sender=index, round_index=round_index)
+                    )
+                    if len(new_accepted) >= n_senders:
+                        return
+            except ProtocolError as error:
+                errors.append(error)
+
+        pumps = [
+            threading.Thread(target=pump, args=(i,)) for i in range(n_senders)
+        ]
+        for thread in pumps:
+            thread.start()
+        for thread in pumps:
+            thread.join(timeout=10.0)
+
+        assert not errors  # every send either landed or retried internally
+        assert len(new_accepted) >= n_senders
+        seen = set()
+        for sock in new_accepted:
+            receiver = FrameConnection(sock)
+            update = receiver.recv_update(idle_timeout_s=1.0)
+            if update is not None:
+                seen.add(update.sender)
+            receiver.close()
+        assert seen == set(range(n_senders))
+        for sender in senders:
+            sender.close()
+        restarted.close()
+
+    def test_exhaustion_with_failing_reconnect_names_peer_and_attempts(self):
+        """When the peer never comes back (reconnect factory keeps failing),
+        the send gives up after exactly ``max_attempts`` tries with an error
+        naming the peer and chaining the underlying socket failure."""
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        client = socket.create_connection(("127.0.0.1", listener.getsockname()[1]))
+        server_sock, _ = listener.accept()
+        listener.close()
+
+        def dial_the_void():
+            raise OSError("connection refused")
+
+        sender = FrameConnection(
+            client,
+            peer="server 5",
+            reconnect=dial_the_void,
+            retry_policy=RetryPolicy(max_attempts=3, backoff_base_s=0.01),
+        )
+        server_sock.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+        server_sock.close()
+        update = make_update(total=4000, n_sent=2000)
+        with pytest.raises(
+            ProtocolError, match=r"server 5.*after 3 attempt"
+        ) as excinfo:
+            for _ in range(200):  # the OS buffer absorbs the first few
+                sender.send_update(update)
+        assert isinstance(excinfo.value.__cause__, OSError)
         sender.close()
 
     def test_retry_policy_backoff_grows_and_caps(self):
