@@ -5,7 +5,7 @@ PYTHON ?= python
 PYTEST := PYTHONPATH=src $(PYTHON) -m pytest
 
 .PHONY: test chaos perf differential verify-invariants coverage test-all \
-	bench bench-async bench-compression bench-figures
+	bench bench-async bench-compression bench-figures bench-scale bench-scale-check
 
 ## The default (tier-1) suite: the addopts in pyproject.toml deselect the
 ## chaos, perf, and differential markers, so a bare pytest run is tier-1.
@@ -59,3 +59,16 @@ bench-compression:
 ## The pytest-benchmark figure-reproduction suite (previous `make bench`).
 bench-figures:
 	$(PYTEST) benchmarks --benchmark-only
+
+## Large-N scaling sweep: vectorized engine with sparse weights, retention
+## off, and columnar telemetry at N in {512, 1024, 4096} (+ reference at 512);
+## writes the committed BENCH_scale.json baseline and enforces the >=30x /
+## <2 GiB / sub-linear-per-node acceptance bars.
+bench-scale:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_scale.py --out BENCH_scale.json
+
+## CI smoke gate: re-measure the N=512 vectorized cell and fail on a >20%
+## throughput regression against the committed BENCH_scale.json, an RSS
+## ceiling breach, or a wall-clock budget overrun.
+bench-scale-check:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_scale.py --check

@@ -1,0 +1,279 @@
+"""Large-N scaling benchmark: the memory-bounded fast path at N up to 4096.
+
+Runs the vectorized engine on its large-scale configuration — CSR weights
+(``sparse_weights=True``), per-flow retention off, columnar telemetry — at
+N in {512, 1024, 4096}, plus the reference engine at N=512 for the speedup
+ratio, and writes ``BENCH_scale.json``. Acceptance bars (ISSUE 7):
+
+* vectorized >= 30x over reference at N=512;
+* peak RSS at N=4096 under 2 GiB;
+* per-node incremental memory shrinking (or flat) as N grows — the
+  footprint must scale sub-linearly per node, i.e. no O(N^2) or
+  O(rounds x edges) state.
+
+Each cell runs in its own subprocess (fresh RSS watermark). ``--check``
+re-measures the N=512 vectorized cell and gates it against the committed
+baseline: >20% throughput regression, an RSS ceiling, or a wall-clock
+budget overrun fails the run — this is the CI smoke job.
+
+Usage::
+
+    make bench-scale                              # full sweep -> BENCH_scale.json
+    python benchmarks/bench_scale.py --check      # CI smoke gate vs committed JSON
+    python benchmarks/bench_scale.py --cell 512 vectorized 40
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import resource
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+NODE_COUNTS = (512, 1024, 4096)
+N_FEATURES = 10
+SAMPLES_PER_SHARD = 10
+DEGREE = 4
+WARMUP_ROUNDS = 2
+VECTORIZED_ROUNDS = 40
+REFERENCE_ROUNDS = 4  # reference at N=512 only, and it is slow by design
+
+#: Acceptance bars.
+MIN_SPEEDUP_N512 = 30.0
+MAX_RSS_N4096_MB = 2048.0
+
+#: CI smoke gate (--check): tolerated fraction of the committed baseline's
+#: throughput, RSS ceiling, and wall-clock budget for the single N=512 cell.
+CHECK_REGRESSION = 0.20
+CHECK_RSS_CEILING_MB = 1024.0
+CHECK_WALL_CLOCK_BUDGET_S = 300.0
+
+
+def build_trainer(n_nodes: int, engine: str):
+    import numpy as np
+
+    from repro.core.config import SNAPConfig
+    from repro.core.trainer import SNAPTrainer
+    from repro.data.dataset import Dataset
+    from repro.models.logistic import LogisticRegression
+    from repro.topology.generators import random_regular_topology
+
+    rng = np.random.default_rng(42)
+    shards = []
+    for _ in range(n_nodes):
+        X = rng.normal(size=(SAMPLES_PER_SHARD, N_FEATURES))
+        w = rng.normal(size=N_FEATURES)
+        shards.append(Dataset(X, (X @ w > 0).astype(float)))
+    topology = random_regular_topology(n_nodes, degree=DEGREE, seed=3)
+    config = SNAPConfig(
+        engine=engine,
+        max_rounds=10_000,
+        seed=7,
+        optimize_weights=False,
+        sparse_weights=(engine == "vectorized"),
+        retain_flow_records=False,
+    )
+    return SNAPTrainer(LogisticRegression(N_FEATURES), shards, topology, config)
+
+
+def run_cell(n_nodes: int, engine: str, rounds: int) -> dict:
+    """One (N, engine) measurement — executed in a fresh process."""
+    build_start = time.perf_counter()
+    trainer = build_trainer(n_nodes, engine)
+    build_seconds = time.perf_counter() - build_start
+    trainer.run(max_rounds=WARMUP_ROUNDS, stop_on_convergence=False)
+    start = time.perf_counter()
+    trainer.run(max_rounds=rounds, stop_on_convergence=False)
+    elapsed = time.perf_counter() - start
+    ru_maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    peak_rss_mb = ru_maxrss / 1024 if sys.platform != "darwin" else ru_maxrss / 2**20
+    return {
+        "n_nodes": n_nodes,
+        "engine": engine,
+        "rounds": rounds,
+        "build_seconds": build_seconds,
+        "seconds": elapsed,
+        "rounds_per_sec": rounds / elapsed,
+        "peak_rss_mb": peak_rss_mb,
+        "peak_rss_kib_per_node": peak_rss_mb * 1024 / n_nodes,
+    }
+
+
+def run_cell_subprocess(n_nodes: int, engine: str, rounds: int) -> dict:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    output = subprocess.run(
+        [
+            sys.executable,
+            str(Path(__file__).resolve()),
+            "--cell",
+            str(n_nodes),
+            engine,
+            str(rounds),
+        ],
+        env=env,
+        check=True,
+        capture_output=True,
+        text=True,
+    )
+    return json.loads(output.stdout)
+
+
+def run_check(baseline_path: Path) -> int:
+    """CI smoke gate: one fresh N=512 vectorized cell vs the committed baseline."""
+    baseline = json.loads(baseline_path.read_text())
+    reference_cell = next(
+        c
+        for c in baseline["cells"]
+        if c["n_nodes"] == 512 and c["engine"] == "vectorized"
+    )
+    start = time.perf_counter()
+    cell = run_cell_subprocess(512, "vectorized", VECTORIZED_ROUNDS)
+    wall = time.perf_counter() - start
+    floor = reference_cell["rounds_per_sec"] * (1.0 - CHECK_REGRESSION)
+    print(
+        f"[check] N=512 vectorized: {cell['rounds_per_sec']:.1f} rounds/s "
+        f"(baseline {reference_cell['rounds_per_sec']:.1f}, floor {floor:.1f}), "
+        f"{cell['peak_rss_mb']:.1f} MB peak RSS "
+        f"(ceiling {CHECK_RSS_CEILING_MB:.0f}), wall {wall:.1f}s "
+        f"(budget {CHECK_WALL_CLOCK_BUDGET_S:.0f}s)"
+    )
+    failures = []
+    if cell["rounds_per_sec"] < floor:
+        failures.append(
+            f"throughput regressed >20%: {cell['rounds_per_sec']:.1f} < "
+            f"{floor:.1f} rounds/s"
+        )
+    if cell["peak_rss_mb"] > CHECK_RSS_CEILING_MB:
+        failures.append(
+            f"peak RSS {cell['peak_rss_mb']:.1f} MB exceeds the "
+            f"{CHECK_RSS_CEILING_MB:.0f} MB ceiling"
+        )
+    if wall > CHECK_WALL_CLOCK_BUDGET_S:
+        failures.append(
+            f"wall clock {wall:.1f}s exceeds the "
+            f"{CHECK_WALL_CLOCK_BUDGET_S:.0f}s budget"
+        )
+    for failure in failures:
+        print(f"[check] FAIL: {failure}")
+    if not failures:
+        print("[check] ok")
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--out",
+        default=str(REPO_ROOT / "BENCH_scale.json"),
+        help="output JSON path (default: repo-root BENCH_scale.json)",
+    )
+    parser.add_argument(
+        "--cell",
+        nargs=3,
+        metavar=("N", "ENGINE", "ROUNDS"),
+        help="internal: run one measurement in-process and print JSON",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="CI smoke gate: re-measure N=512 and compare to the committed JSON",
+    )
+    args = parser.parse_args(argv)
+
+    if args.cell:
+        n_nodes, engine, rounds = args.cell
+        json.dump(run_cell(int(n_nodes), engine, int(rounds)), sys.stdout)
+        return 0
+
+    if args.check:
+        return run_check(Path(args.out))
+
+    cells = []
+    plan = [(512, "reference", REFERENCE_ROUNDS)] + [
+        (n, "vectorized", VECTORIZED_ROUNDS) for n in NODE_COUNTS
+    ]
+    for n_nodes, engine, rounds in plan:
+        print(
+            f"[bench] N={n_nodes:<5} engine={engine:<10} rounds={rounds} ...",
+            flush=True,
+        )
+        cell = run_cell_subprocess(n_nodes, engine, rounds)
+        print(
+            f"        {cell['rounds_per_sec']:8.1f} rounds/s, "
+            f"{cell['peak_rss_mb']:7.1f} MB peak RSS "
+            f"({cell['peak_rss_kib_per_node']:6.1f} KiB/node)",
+            flush=True,
+        )
+        cells.append(cell)
+
+    by_key = {(c["n_nodes"], c["engine"]): c for c in cells}
+    speedup_512 = (
+        by_key[(512, "vectorized")]["rounds_per_sec"]
+        / by_key[(512, "reference")]["rounds_per_sec"]
+    )
+    rss_4096 = by_key[(4096, "vectorized")]["peak_rss_mb"]
+    per_node = {
+        n: by_key[(n, "vectorized")]["peak_rss_kib_per_node"] for n in NODE_COUNTS
+    }
+
+    failures = []
+    if speedup_512 < MIN_SPEEDUP_N512:
+        failures.append(
+            f"speedup at N=512 is {speedup_512:.1f}x, below the "
+            f"{MIN_SPEEDUP_N512:.0f}x bar"
+        )
+    if rss_4096 > MAX_RSS_N4096_MB:
+        failures.append(
+            f"peak RSS at N=4096 is {rss_4096:.1f} MB, above the "
+            f"{MAX_RSS_N4096_MB:.0f} MB bar"
+        )
+    if per_node[4096] > per_node[512]:
+        failures.append(
+            f"per-node memory grew with N ({per_node[512]:.1f} KiB/node at "
+            f"512 -> {per_node[4096]:.1f} at 4096): footprint is not "
+            "sub-linear per node"
+        )
+
+    report = {
+        "benchmark": "scale",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "node_counts": list(NODE_COUNTS),
+        "model": "logistic",
+        "samples_per_shard": SAMPLES_PER_SHARD,
+        "n_features": N_FEATURES,
+        "topology": f"random_regular(degree={DEGREE}, seed=3)",
+        "configuration": {
+            "sparse_weights": True,
+            "retain_flow_records": False,
+            "optimize_weights": False,
+        },
+        "cells": cells,
+        "speedup_n512": speedup_512,
+        "peak_rss_n4096_mb": rss_4096,
+        "peak_rss_kib_per_node": {str(n): per_node[n] for n in NODE_COUNTS},
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\n[bench] wrote {out}")
+    print(f"[bench] speedup at N=512: {speedup_512:.1f}x")
+    print(f"[bench] peak RSS at N=4096: {rss_4096:.1f} MB")
+    for failure in failures:
+        print(f"[bench] FAIL: {failure}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,10 +9,11 @@ the local gradients, and back a conservative default off it.
 from __future__ import annotations
 
 import numpy as np
+from scipy.sparse import identity, issparse
 
 from repro.exceptions import ConfigurationError
 from repro.types import WeightMatrix
-from repro.utils.linalg import smallest_eigenvalue
+from repro.utils.linalg import smallest_eigenvalue, smallest_eigenvalue_sparse
 from repro.utils.validation import check_fraction, check_positive
 
 
@@ -24,10 +25,15 @@ def extra_max_step_size(weight_matrix: WeightMatrix, lipschitz: float) -> float:
     practice it flags a malformed matrix.
     """
     check_positive("lipschitz", lipschitz)
-    weight_matrix = np.asarray(weight_matrix, dtype=float)
-    n = weight_matrix.shape[0]
-    w_tilde = (weight_matrix + np.eye(n)) / 2.0
-    lam_min = smallest_eigenvalue(w_tilde)
+    if issparse(weight_matrix):
+        n = weight_matrix.shape[0]
+        w_tilde = (weight_matrix + identity(n, format="csr")) / 2.0
+        lam_min = smallest_eigenvalue_sparse(w_tilde)
+    else:
+        weight_matrix = np.asarray(weight_matrix, dtype=float)
+        n = weight_matrix.shape[0]
+        w_tilde = (weight_matrix + np.eye(n)) / 2.0
+        lam_min = smallest_eigenvalue(w_tilde)
     if lam_min <= 0.0:
         raise ConfigurationError(
             f"λ_min(W̃) = {lam_min:.3e} <= 0; the weight matrix is not a valid "

@@ -138,6 +138,22 @@ class SNAPConfig:
         the per-node compute times and per-link transfer times that drive
         the semi-synchronous engine's event clock. ``None`` uses the model's
         defaults (1 Gbps links, 1 ms latency, zero compute).
+    workers:
+        Process count for the vectorized engine's gradient/loss batch step
+        (``engine="vectorized"`` only). ``1`` (the default) computes in
+        process; ``k > 1`` shards the ``(N, d)`` parameter stack across
+        ``k`` forked workers over shared memory — bit-identical results
+        (every batch kernel is row-independent), joined before the mixing
+        matmul. Worth it only when the per-round model work dominates.
+    sparse_weights:
+        Build the Metropolis mixing matrix in CSR form instead of a dense
+        ``(N, N)`` array (``optimize_weights=False`` only — the Section
+        IV-B optimizer is inherently dense). The sparse matrix is entrywise
+        bit-identical to the dense construction; only λ_min(W̃) for the
+        automatic step size switches to a sparse eigensolver, so pin
+        ``alpha`` explicitly when comparing digests against a dense run.
+        This is what keeps N≥4096 runs' memory proportional to edges, not
+        N².
     retain_flow_records:
         Keep a :class:`~repro.network.cost.FlowRecord` per delivered frame
         on the trainer's cost tracker. Required by analyses that inspect
@@ -189,6 +205,8 @@ class SNAPConfig:
     staleness_bound: int = 0
     straggler_patience_s: float | None = None
     timing: object | None = None
+    workers: int = 1
+    sparse_weights: bool = False
     retain_flow_records: bool = True
     invariants: str = "off"
     max_rounds: int = 500
@@ -245,6 +263,18 @@ class SNAPConfig:
                 raise ConfigurationError(
                     f"timing must be a LinkTimingModel, got {self.timing!r}"
                 )
+        check_positive_int("workers", self.workers)
+        if self.workers > 1 and self.engine != "vectorized":
+            raise ConfigurationError(
+                f"workers={self.workers} requires engine='vectorized' (the "
+                f"sharded batch step only exists there), got engine="
+                f"{self.engine!r}"
+            )
+        if self.sparse_weights and self.optimize_weights:
+            raise ConfigurationError(
+                "sparse_weights requires optimize_weights=False: the Section "
+                "IV-B weight optimizer produces dense matrices"
+            )
         if self.invariants not in ("off", "strict"):
             raise ConfigurationError(
                 f"invariants must be 'off' or 'strict', got {self.invariants!r}"

@@ -43,6 +43,45 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (trainer imports us)
     from repro.core.trainer import SNAPTrainer
 
 
+class DeliveredEdges:
+    """Columnar set-like view of the directed edges delivered one round.
+
+    The vectorized engine returns this instead of a ``set`` of tuples so a
+    round at N=4096 (tens of thousands of delivered edges) hands the trainer
+    two int64 arrays rather than materializing per-pair Python objects. It
+    behaves like the historical set where consumed as one — ``len``,
+    iteration, membership, equality against a set — while the staleness and
+    connectivity bookkeeping read :attr:`sources` / :attr:`destinations`
+    directly.
+    """
+
+    __slots__ = ("sources", "destinations")
+
+    def __init__(self, sources: np.ndarray, destinations: np.ndarray):
+        self.sources = sources
+        self.destinations = destinations
+
+    def __len__(self) -> int:
+        return int(self.sources.size)
+
+    def __iter__(self):
+        return iter(zip(self.sources.tolist(), self.destinations.tolist()))
+
+    def __contains__(self, pair) -> bool:
+        source, destination = pair
+        return bool(
+            np.any((self.sources == source) & (self.destinations == destination))
+        )
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (DeliveredEdges, set, frozenset)):
+            return set(self) == set(other)
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"DeliveredEdges(n={len(self)})"
+
+
 def build_engine(trainer: "SNAPTrainer"):
     """Instantiate the engine selected by ``trainer.config.engine``."""
     if trainer.config.engine == "vectorized":
@@ -133,9 +172,25 @@ class VectorizedEngine:
         self._mix_previous = self._build_mixing(edge_id, w_tilde=True)
 
         self.scales = np.asarray(trainer._objective_scales, dtype=float)
-        self.prepared = model.prepare_shards(
-            [(shard.X, shard.y) for shard in trainer.shards]
-        )
+        if trainer.config.workers > 1:
+            # Sharded gradient/loss pool: the (N, d) stack splits across
+            # forked workers over shared memory; every batch kernel is
+            # row-independent, so the joined result is bit-identical to the
+            # in-process call. Local import keeps multiprocessing machinery
+            # out of single-worker runs entirely.
+            from repro.core.parallel import ShardedModelPool
+
+            self._pool: "ShardedModelPool | None" = ShardedModelPool(
+                model,
+                [(shard.X, shard.y) for shard in trainer.shards],
+                trainer.config.workers,
+            )
+            self.prepared = None
+        else:
+            self._pool = None
+            self.prepared = model.prepare_shards(
+                [(shard.X, shard.y) for shard in trainer.shards]
+            )
 
         d = self.n_params
         self._stack_current = np.zeros((self.n_nodes + self.n_edges, d))
@@ -152,6 +207,28 @@ class VectorizedEngine:
         #: run since the last recursion restart) — only affects writeback.
         self.previous_views_valid = np.zeros(self.n_nodes, dtype=bool)
         self.iterations = np.zeros(self.n_nodes, dtype=np.int64)
+        # Persistent per-round scratch (lazily allocated): the preset
+        # communication kernel runs in place on these instead of allocating
+        # fresh (E, d) temporaries every round.
+        self._delta_scratch: np.ndarray | None = None
+        self._mask_scratch: np.ndarray | None = None
+        self._subst_scratch: np.ndarray | None = None
+
+    def close(self) -> None:
+        """Release engine resources (the worker pool, when sharded)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def _batch_gradients(self) -> np.ndarray:
+        if self._pool is not None:
+            return self._pool.batch_gradients(self.params)
+        return self.trainer.model.batch_gradients(self.params, self.prepared)
+
+    def _batch_losses(self) -> np.ndarray:
+        if self._pool is not None:
+            return self._pool.batch_losses(self.params)
+        return self.trainer.model.batch_losses(self.params, self.prepared)
 
     def _build_mixing(self, edge_id: dict, w_tilde: bool) -> csr_matrix:
         """CSR mixing operator over the ``(N + E, d)`` state stack.
@@ -238,15 +315,22 @@ class VectorizedEngine:
     def _substituted(
         self, stack: np.ndarray, fresh: np.ndarray, own: np.ndarray
     ) -> np.ndarray:
-        """REWEIGHT straggler rule: non-fresh views mix the *receiver's* own row."""
+        """REWEIGHT straggler rule: non-fresh views mix the *receiver's* own row.
+
+        Reuses one persistent ``(N + E, d)`` scratch buffer (safe because the
+        two calls per round are consumed sequentially by their matmuls)
+        instead of copying the stack every round.
+        """
         if self.trainer.config.straggler_strategy is not StragglerStrategy.REWEIGHT:
             return stack
         stale = np.flatnonzero(~fresh)
         if not stale.size:
             return stack
-        substituted = stack.copy()
-        substituted[self.n_nodes + stale] = own[self.edge_dst[stale]]
-        return substituted
+        if self._subst_scratch is None:
+            self._subst_scratch = np.empty_like(stack)
+        np.copyto(self._subst_scratch, stack)
+        self._subst_scratch[self.n_nodes + stale] = own[self.edge_dst[stale]]
+        return self._subst_scratch
 
     def step_round(self, round_index: int, down: frozenset) -> None:
         active = np.ones(self.n_nodes, dtype=bool)
@@ -254,9 +338,7 @@ class VectorizedEngine:
             if 0 <= node < self.n_nodes:
                 active[node] = False
 
-        gradients = self.scales[:, None] * self.trainer.model.batch_gradients(
-            self.params, self.prepared
-        )
+        gradients = self.scales[:, None] * self._batch_gradients()
         mixed_current = self._mix_current @ self._substituted(
             self._stack_current, self.fresh, self.params
         )
@@ -283,7 +365,7 @@ class VectorizedEngine:
 
     def communicate(
         self, round_index: int, down: frozenset
-    ) -> tuple[int, set[tuple[int, int]]]:
+    ) -> "tuple[int, DeliveredEdges]":
         """Dispatch on the compression scheme.
 
         The three preset policies run through the historical fully-batched
@@ -338,7 +420,7 @@ class VectorizedEngine:
 
     def _communicate_preset(
         self, round_index: int, down: frozenset
-    ) -> tuple[int, set[tuple[int, int]]]:
+    ) -> "tuple[int, DeliveredEdges]":
         trainer = self.trainer
         active = self._active_mask(down)
         self._advance_views(active)
@@ -361,13 +443,29 @@ class VectorizedEngine:
             send_mask = None
             n_sent = np.full(self.n_edges, d, dtype=np.int64)
         else:
-            deltas = np.abs(self.params[self.edge_src] - self.views)
-            send_mask = deltas > threshold[self.edge_src][:, None]
+            # In-place delta/mask kernel on persistent (E, d) scratch: no
+            # fresh full-size temporaries per round. Bitwise identical to
+            # abs(params[src] - views) > threshold.
+            if self._delta_scratch is None:
+                self._delta_scratch = np.empty((self.n_edges, d))
+                self._mask_scratch = np.empty((self.n_edges, d), dtype=bool)
+            deltas = self._delta_scratch
+            np.take(self.params, self.edge_src, axis=0, out=deltas)
+            np.subtract(deltas, self.views, out=deltas)
+            np.abs(deltas, out=deltas)
+            send_mask = np.greater(
+                deltas, threshold[self.edge_src][:, None], out=self._mask_scratch
+            )
             n_sent = send_mask.sum(axis=1)
 
         suppressed_node = None
         if trainer._schedules is not None:
-            suppressed_edge = np.where(send_mask, 0.0, deltas).max(axis=1)
+            # Masked suppressed-max without a where() copy: zeroing the sent
+            # coordinates in place and reducing is bitwise equal to
+            # np.where(send_mask, 0.0, deltas).max(axis=1) — and deltas is
+            # scratch, dead after this.
+            deltas[send_mask] = 0.0
+            suppressed_edge = deltas.max(axis=1)
             suppressed_node = np.zeros(self.n_nodes)
             idx = np.flatnonzero(eligible)
             np.maximum.at(suppressed_node, self.edge_src[idx], suppressed_edge[idx])
@@ -396,20 +494,21 @@ class VectorizedEngine:
 
         delivered_idx = np.flatnonzero(delivered_mask)
         if delivered_idx.size:
-            sent_rows = self.params[self.edge_src[delivered_idx]]
             if dense:
-                self.views[delivered_idx] = sent_rows
+                self.views[delivered_idx] = self.params[self.edge_src[delivered_idx]]
             else:
-                self.views[delivered_idx] = np.where(
-                    send_mask[delivered_idx], sent_rows, self.views[delivered_idx]
-                )
+                # Scatter only the transmitted coordinates instead of
+                # materializing (K, d) sent-row and where() copies: writes
+                # exactly the masked entries with the same values.
+                rows, cols = np.nonzero(send_mask[delivered_idx])
+                edge_rows = delivered_idx[rows]
+                self.views[edge_rows, cols] = self.params[
+                    self.edge_src[edge_rows], cols
+                ]
             self.fresh[delivered_idx] = True
         params_sent = int(n_sent[delivered_idx].sum())
-        delivered = set(
-            zip(
-                self.edge_src[delivered_idx].tolist(),
-                self.edge_dst[delivered_idx].tolist(),
-            )
+        delivered = DeliveredEdges(
+            self.edge_src[delivered_idx], self.edge_dst[delivered_idx]
         )
 
         if trainer._schedules is not None:
@@ -425,7 +524,7 @@ class VectorizedEngine:
 
     def _communicate_generic(
         self, round_index: int, down: frozenset
-    ) -> tuple[int, set[tuple[int, int]]]:
+    ) -> "tuple[int, DeliveredEdges]":
         """The compressor-protocol round for non-preset schemes.
 
         Mirrors the reference trainer's ``_communicate`` exactly — same
@@ -505,11 +604,8 @@ class VectorizedEngine:
                 self.views[e][payload.indices] = payload.values
             self.fresh[e] = True
         params_sent = int(n_sent[delivered_idx].sum())
-        delivered = set(
-            zip(
-                self.edge_src[delivered_idx].tolist(),
-                self.edge_dst[delivered_idx].tolist(),
-            )
+        delivered = DeliveredEdges(
+            self.edge_src[delivered_idx], self.edge_dst[delivered_idx]
         )
 
         # Outcome hooks observe the post-round reference (the live view row,
@@ -538,5 +634,5 @@ class VectorizedEngine:
         return self.params.copy()
 
     def mean_local_loss(self) -> float:
-        losses = self.trainer.model.batch_losses(self.params, self.prepared)
+        losses = self._batch_losses()
         return float(np.mean(self.scales * losses))

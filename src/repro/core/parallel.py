@@ -1,0 +1,208 @@
+"""Process-sharded batch kernels for the vectorized engine.
+
+``SNAPConfig(workers=k)`` splits the embarrassingly-parallel per-node model
+work — ``batch_gradients`` / ``batch_losses`` over the ``(N, d)`` parameter
+stack — across ``k`` forked worker processes. The stack and the result
+buffers live in POSIX shared memory, so a round trip is: parent writes the
+current stack, workers each run the model kernel on their contiguous node
+range, parent reads the joined result and proceeds to the (inherently
+serial) mixing matmul.
+
+Bit-identity with ``workers=1`` is structural, not numerical luck: every
+:class:`~repro.models.base.Model` batch kernel is row-independent (each
+node's gradient/loss depends only on that node's parameter row and shard),
+so computing rows in k processes and joining produces exactly the floats the
+single-process call produces.
+
+Workers are forked, so each prepares its own shard slice after the fork —
+nothing is pickled, and the parent never materializes per-worker copies.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import weakref
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+_STOP = "stop"
+_GRAD = "grad"
+_LOSS = "loss"
+
+
+def _worker_loop(model, shards, lo, hi, d, params_name, grads_name, losses_name,
+                 command_queue, done_queue, worker_id):
+    """Worker body: prepare the local shard slice, then serve batch commands."""
+    params_shm = grads_shm = losses_shm = None
+    try:
+        params_shm = shared_memory.SharedMemory(name=params_name)
+        grads_shm = shared_memory.SharedMemory(name=grads_name)
+        losses_shm = shared_memory.SharedMemory(name=losses_name)
+        n = hi - lo
+        full = (losses_shm.size // 8,)
+        params = np.ndarray((full[0], d), dtype=np.float64, buffer=params_shm.buf)
+        grads = np.ndarray((full[0], d), dtype=np.float64, buffer=grads_shm.buf)
+        losses = np.ndarray(full, dtype=np.float64, buffer=losses_shm.buf)
+        prepared = model.prepare_shards(shards)
+        while True:
+            command = command_queue.get()
+            if command == _STOP:
+                done_queue.put((worker_id, None))
+                return
+            try:
+                if command == _GRAD:
+                    grads[lo:hi] = model.batch_gradients(params[lo:hi], prepared)
+                else:
+                    losses[lo:hi] = model.batch_losses(params[lo:hi], prepared)
+                done_queue.put((worker_id, None))
+            except Exception as error:  # surfaced in the parent
+                done_queue.put((worker_id, f"{type(error).__name__}: {error}"))
+    finally:
+        for shm in (params_shm, grads_shm, losses_shm):
+            if shm is not None:
+                shm.close()
+
+
+class ShardedModelPool:
+    """k forked workers serving sharded batch_gradients / batch_losses.
+
+    Parameters
+    ----------
+    model:
+        The shared stateless model.
+    shard_data:
+        One ``(X, y)`` tuple per node, in node order.
+    workers:
+        Process count; clamped to the node count (an empty shard range would
+        be pure overhead).
+    """
+
+    def __init__(self, model, shard_data, workers: int):
+        if workers < 2:
+            raise ConfigurationError(f"ShardedModelPool needs workers >= 2, got {workers}")
+        n = len(shard_data)
+        d = model.n_params
+        workers = min(workers, n)
+        self.n_nodes = n
+        self.n_params = d
+        self.workers = workers
+
+        self._params_shm = shared_memory.SharedMemory(create=True, size=max(n * d * 8, 8))
+        self._grads_shm = shared_memory.SharedMemory(create=True, size=max(n * d * 8, 8))
+        self._losses_shm = shared_memory.SharedMemory(create=True, size=max(n * 8, 8))
+        self.params = np.ndarray((n, d), dtype=np.float64, buffer=self._params_shm.buf)
+        self.grads = np.ndarray((n, d), dtype=np.float64, buffer=self._grads_shm.buf)
+        self.losses = np.ndarray((n,), dtype=np.float64, buffer=self._losses_shm.buf)
+
+        context = multiprocessing.get_context("fork")
+        bounds = np.linspace(0, n, workers + 1).astype(int)
+        self._command_queues = []
+        self._done_queue = context.SimpleQueue()
+        self._processes = []
+        for w in range(workers):
+            lo, hi = int(bounds[w]), int(bounds[w + 1])
+            queue = context.SimpleQueue()
+            process = context.Process(
+                target=_worker_loop,
+                args=(
+                    model,
+                    shard_data[lo:hi],
+                    lo,
+                    hi,
+                    d,
+                    self._params_shm.name,
+                    self._grads_shm.name,
+                    self._losses_shm.name,
+                    queue,
+                    self._done_queue,
+                    w,
+                ),
+                daemon=True,
+            )
+            process.start()
+            self._command_queues.append(queue)
+            self._processes.append(process)
+        self._closed = False
+        self._finalizer = weakref.finalize(
+            self,
+            _cleanup,
+            self._processes,
+            self._command_queues,
+            (self._params_shm, self._grads_shm, self._losses_shm),
+        )
+
+    def _dispatch(self, command: str) -> None:
+        for queue in self._command_queues:
+            queue.put(command)
+        errors = []
+        for _ in range(self.workers):
+            worker_id, error = self._done_queue.get()
+            if error is not None:
+                errors.append(f"worker {worker_id}: {error}")
+        if errors:
+            raise RuntimeError(
+                "sharded batch step failed in "
+                + "; ".join(sorted(errors))
+            )
+
+    def batch_gradients(self, params: np.ndarray) -> np.ndarray:
+        """All-node gradients, sharded across the pool.
+
+        Returns a view into the shared result buffer — consume (or copy) it
+        before the next pool call overwrites it. The engine immediately
+        multiplies it into a fresh array, so the view never escapes.
+        """
+        if self._closed:
+            raise RuntimeError("ShardedModelPool is closed")
+        self.params[:] = params
+        self._dispatch(_GRAD)
+        return self.grads
+
+    def batch_losses(self, params: np.ndarray) -> np.ndarray:
+        """All-node local losses, sharded across the pool (shared-buffer view)."""
+        if self._closed:
+            raise RuntimeError("ShardedModelPool is closed")
+        self.params[:] = params
+        self._dispatch(_LOSS)
+        return self.losses
+
+    def close(self) -> None:
+        """Stop the workers and release the shared-memory segments."""
+        if self._closed:
+            return
+        self._closed = True
+        self._finalizer.detach()
+        _cleanup(
+            self._processes,
+            self._command_queues,
+            (self._params_shm, self._grads_shm, self._losses_shm),
+        )
+
+
+def _cleanup(processes, command_queues, segments) -> None:
+    for queue in command_queues:
+        try:
+            queue.put(_STOP)
+        except (OSError, ValueError):
+            pass
+    for process in processes:
+        process.join(timeout=5.0)
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=5.0)
+    for segment in segments:
+        try:
+            segment.close()
+            segment.unlink()
+        except FileNotFoundError:
+            pass
+
+
+# Forked children inherit the parent's atexit-registered resource tracker;
+# nothing extra to do here, but keep the module import-light so single-worker
+# runs never pay for multiprocessing setup.
+_ = os

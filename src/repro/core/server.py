@@ -80,7 +80,13 @@ class EdgeServer:
         self.X = np.asarray(X, dtype=float)
         self.y = np.asarray(y)
         self.neighbors = tuple(int(n) for n in neighbors)
-        self.weight_row = np.asarray(weight_row, dtype=float)
+        if hasattr(weight_row, "nonzero_indices"):
+            # A sparse-matrix row view (repro.weights.WeightRowView): scalar
+            # w[j] lookups work as on a dense row without materializing N
+            # floats per server.
+            self.weight_row = weight_row
+        else:
+            self.weight_row = np.asarray(weight_row, dtype=float)
         if alpha <= 0:
             raise ConfigurationError(f"alpha must be > 0, got {alpha}")
         self.alpha = float(alpha)
@@ -91,7 +97,16 @@ class EdgeServer:
         self.objective_scale = float(objective_scale)
 
         allowed = set(self.neighbors) | {self.node_id}
-        nonzero = set(np.flatnonzero(np.abs(self.weight_row) > 1e-12).tolist())
+        if hasattr(self.weight_row, "nonzero_indices"):
+            nonzero = {
+                int(j)
+                for j in self.weight_row.nonzero_indices()
+                if abs(self.weight_row[j]) > 1e-12
+            }
+        else:
+            nonzero = set(
+                np.flatnonzero(np.abs(self.weight_row) > 1e-12).tolist()
+            )
         if not nonzero <= allowed:
             raise ConfigurationError(
                 f"weight row of server {self.node_id} has mass outside its "

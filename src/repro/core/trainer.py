@@ -23,6 +23,8 @@ from __future__ import annotations
 import warnings
 
 import numpy as np
+from scipy.sparse import coo_matrix, issparse
+from scipy.sparse.csgraph import connected_components
 
 from repro.compression import EdgeState, build_compressor, payload_to_update
 from repro.consensus.convergence import ConvergenceDetector, consensus_error
@@ -38,7 +40,7 @@ from repro.models.metrics import accuracy_score
 from repro.network.channel import Channel
 from repro.network.cost import CommunicationCostTracker
 from repro.core.ape import APESchedule
-from repro.results import RoundRecord, TrainingResult
+from repro.results import RoundRecord, RoundTrace, TrainingResult
 from repro.topology.failures import (
     LinkFailureModel,
     NodeFailureModel,
@@ -46,7 +48,7 @@ from repro.topology.failures import (
 )
 from repro.topology.graph import Topology
 from repro.types import Params, WeightMatrix
-from repro.weights.construction import metropolis_weights
+from repro.weights.construction import WeightRowView, metropolis_weights
 from repro.weights.optimizer import optimize_weight_matrix
 from repro.weights.validation import check_weight_matrix
 
@@ -57,33 +59,44 @@ PARTITION_WARN_ROUNDS = 10
 
 def _delivered_graph_connected(
     n_nodes: int,
-    delivered: set[tuple[int, int]],
+    delivered,
     down: frozenset = frozenset(),
 ) -> bool:
-    """Whether the round's delivered updates span all *up* servers (union-find).
+    """Whether the round's delivered updates span all *up* servers.
 
     Servers in ``down`` are excluded: a crashed server is the straggler
     rule's business (it resumes from cached state), not a partition. What
     this flags is live servers split into islands that exchanged nothing.
+
+    ``delivered`` is either a set of directed pairs (reference/semisync
+    engines) or the vectorized engine's columnar
+    :class:`~repro.core.engine.DeliveredEdges`. Components are counted with
+    ``scipy.sparse.csgraph`` over the delivered-edge graph; down servers
+    never appear in ``delivered``, so they are exactly the singleton
+    components subtracted off.
     """
     active = n_nodes - len(down)
     if active <= 1:
         return True
-    parent = list(range(n_nodes))
-
-    def find(x: int) -> int:
-        while parent[x] != x:
-            parent[x] = parent[parent[x]]
-            x = parent[x]
-        return x
-
-    components = active
-    for u, v in delivered:
-        ru, rv = find(u), find(v)
-        if ru != rv:
-            parent[ru] = rv
-            components -= 1
-    return components == 1
+    sources = getattr(delivered, "sources", None)
+    if sources is None:
+        pairs = list(delivered)
+        sources = np.fromiter(
+            (u for u, _ in pairs), dtype=np.int64, count=len(pairs)
+        )
+        destinations = np.fromiter(
+            (v for _, v in pairs), dtype=np.int64, count=len(pairs)
+        )
+    else:
+        destinations = delivered.destinations
+    if sources.size == 0:
+        return False
+    graph = coo_matrix(
+        (np.ones(sources.size, dtype=np.int8), (sources, destinations)),
+        shape=(n_nodes, n_nodes),
+    )
+    n_components, _ = connected_components(graph, directed=False)
+    return n_components - len(down) == 1
 
 
 class SNAPTrainer:
@@ -156,8 +169,16 @@ class SNAPTrainer:
                     "rate_score": optimization.report.rate_score,
                 }
             else:
-                weight_matrix = metropolis_weights(topology)
-                self._weight_info = {"weight_problem": "metropolis"}
+                weight_matrix = metropolis_weights(
+                    topology, sparse=self.config.sparse_weights
+                )
+                self._weight_info = {
+                    "weight_problem": (
+                        "metropolis-sparse"
+                        if self.config.sparse_weights
+                        else "metropolis"
+                    )
+                }
         else:
             self._weight_info = {"weight_problem": "explicit"}
         self.weight_matrix = check_weight_matrix(weight_matrix, topology)
@@ -192,7 +213,11 @@ class SNAPTrainer:
                 X=shards[node].X,
                 y=shards[node].y,
                 neighbors=topology.neighbors(node),
-                weight_row=self.weight_matrix[node],
+                weight_row=(
+                    WeightRowView(self.weight_matrix, node)
+                    if issparse(self.weight_matrix)
+                    else self.weight_matrix[node]
+                ),
                 alpha=self.alpha,
                 initial_params=self.initial_params,
                 straggler_strategy=self.config.straggler_strategy,
@@ -224,13 +249,26 @@ class SNAPTrainer:
                 if node_failure_model is not None
                 else NoNodeFailures()
             )
-        #: Per directed link ``(source, destination)``: rounds since the
-        #: destination last received a fresh update from the source (the
-        #: degradation signal behind Fig. 9 — how stale the cached views are).
-        self.link_staleness: dict[tuple[int, int], int] = {}
+        # Per directed link ``(source, destination)``: rounds since the
+        # destination last received a fresh update from the source (the
+        # degradation signal behind Fig. 9 — how stale the cached views are).
+        # Stored columnar (one int64 slot per directed link, legacy insertion
+        # order) so N=4096-scale rounds age/reset links with array ops; the
+        # ``link_staleness`` property materializes the historical dict view.
+        self._staleness_pairs: list[tuple[int, int]] = []
         for u, v in topology.edges:
-            self.link_staleness[(u, v)] = 0
-            self.link_staleness[(v, u)] = 0
+            self._staleness_pairs.append((u, v))
+            self._staleness_pairs.append((v, u))
+        self._staleness = np.zeros(len(self._staleness_pairs), dtype=np.int64)
+        self._staleness_index = {
+            pair: i for i, pair in enumerate(self._staleness_pairs)
+        }
+        keys = np.asarray(
+            [(u << 32) | v for u, v in self._staleness_pairs], dtype=np.int64
+        )
+        order = np.argsort(keys)
+        self._staleness_sorted_keys = keys[order]
+        self._staleness_sorted_slots = order
         self._partitioned_streak = 0
         self._partition_warned = False
         #: Global round counter across run() calls (and across checkpoint
@@ -251,6 +289,11 @@ class SNAPTrainer:
             )
             for i in range(len(self.servers))
         ]
+        #: Lightweight per-round observers (no server sync): each is called
+        #: with the fresh RoundRecord right after it is appended. This is the
+        #: streaming-digest hook — unlike ``run(on_round=...)`` it does not
+        #: force an engine writeback every round.
+        self._round_observers: list = []
         #: Lazily created per-directed-edge compressor state, shared with
         #: whichever engine (or testbed runtime) executes the round loop so
         #: seeded streams and residuals survive engine swaps.
@@ -300,6 +343,28 @@ class SNAPTrainer:
             )
             for _ in self.servers
         ]
+
+    @property
+    def link_staleness(self) -> dict[tuple[int, int], int]:
+        """Per directed link: rounds since the last fresh delivery (dict view).
+
+        Materialized on access from the columnar staleness array; mutate
+        nothing here — the array is the storage.
+        """
+        return {
+            pair: int(age)
+            for pair, age in zip(self._staleness_pairs, self._staleness)
+        }
+
+    def add_round_observer(self, observer) -> None:
+        """Subscribe a lightweight per-round observer.
+
+        ``observer(record)`` is called with each fresh
+        :class:`~repro.results.RoundRecord` immediately after it is recorded,
+        *without* syncing engine state back to the server objects (unlike the
+        ``run(on_round=...)`` callback). Streaming digests subscribe here.
+        """
+        self._round_observers.append(observer)
 
     @staticmethod
     def _parameter_scale(server: EdgeServer) -> float:
@@ -358,7 +423,7 @@ class SNAPTrainer:
             raise ConfigurationError(f"max_rounds must be > 0, got {cap}")
         if detector is None:
             detector = ConvergenceDetector()
-        records: list[RoundRecord] = []
+        records = RoundTrace()
 
         engine = self.engine
         engine.begin_run()
@@ -406,10 +471,14 @@ class SNAPTrainer:
                     params_sent=params_sent,
                     accuracy=accuracy,
                     stale_links=stale_links,
-                    max_staleness=max(self.link_staleness.values(), default=0),
+                    max_staleness=(
+                        int(self._staleness.max()) if self._staleness.size else 0
+                    ),
                     connected=connected,
                 )
                 records.append(record)
+                for observer in self._round_observers:
+                    observer(record)
                 if self.monitor is not None:
                     # The monitor inspects the server objects, so the
                     # engine's state must be written back first (a no-op on
@@ -527,16 +596,34 @@ class SNAPTrainer:
                 server.restart_recursion()
         return params_sent, delivered
 
-    def _advance_staleness(self, delivered: set[tuple[int, int]]) -> int:
-        """Age every directed link; reset the delivered ones. Returns #stale."""
-        stale = 0
-        for pair in self.link_staleness:
-            if pair in delivered:
-                self.link_staleness[pair] = 0
-            else:
-                self.link_staleness[pair] += 1
-                stale += 1
-        return stale
+    def _advance_staleness(self, delivered) -> int:
+        """Age every directed link; reset the delivered ones. Returns #stale.
+
+        ``delivered`` only ever contains directed topology links, so the
+        stale count is the link total minus the delivered count. The
+        vectorized engine's :class:`~repro.core.engine.DeliveredEdges`
+        resets its links with one sorted-key lookup instead of per-pair
+        Python iteration.
+        """
+        arr = self._staleness
+        if not arr.size:
+            return 0
+        arr += 1
+        sources = getattr(delivered, "sources", None)
+        if sources is None:
+            index = self._staleness_index
+            for pair in delivered:
+                arr[index[pair]] = 0
+            n_delivered = len(delivered)
+        else:
+            if sources.size:
+                keys = (sources << 32) | delivered.destinations
+                slots = self._staleness_sorted_slots[
+                    np.searchsorted(self._staleness_sorted_keys, keys)
+                ]
+                arr[slots] = 0
+            n_delivered = int(sources.size)
+        return arr.size - n_delivered
 
     def _observe_partition(self, connected: bool, round_index: int) -> None:
         """Track consecutive partitioned rounds; warn, then abort per config."""

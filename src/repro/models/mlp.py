@@ -22,6 +22,25 @@ from repro.utils.rng import make_rng
 from repro.utils.validation import check_non_negative
 
 
+class _PreparedMLPShards:
+    """Validated shards plus same-sample-count groups for the batched kernels."""
+
+    __slots__ = ("shards", "groups")
+
+    def __init__(self, shards, groups):
+        self.shards = shards
+        self.groups = groups
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+    def __iter__(self):
+        return iter(self.shards)
+
+    def __getitem__(self, index):
+        return self.shards[index]
+
+
 class MLPClassifier(Model):
     """Feed-forward classifier: tanh hidden layers, softmax cross-entropy output.
 
@@ -47,6 +66,14 @@ class MLPClassifier(Model):
         self._shapes: list[tuple[tuple[int, int], tuple[int]]] = [
             ((sizes[i], sizes[i + 1]), (sizes[i + 1],)) for i in range(len(sizes) - 1)
         ]
+        # Flat-vector layout per layer: (weight offset, rows, cols, bias
+        # offset, bias length) — lets the batched kernels slice weights and
+        # write gradients in place without unpack()/pack() per node.
+        self._layout: list[tuple[int, int, int, int, int]] = []
+        offset = 0
+        for (rows, cols), (bias_len,) in self._shapes:
+            self._layout.append((offset, rows, cols, offset + rows * cols, bias_len))
+            offset += rows * cols + bias_len
 
     @property
     def n_classes(self) -> int:
@@ -172,23 +199,130 @@ class MLPClassifier(Model):
 
     # -- batched multi-shard path (vectorized engine) ---------------------------
 
-    def prepare_shards(self, shards) -> tuple:
-        """Cache validated inputs and label vectors per shard."""
-        prepared = []
+    def prepare_shards(self, shards):
+        """Cache validated shards, grouped by sample count for batched kernels.
+
+        Shards with the same number of samples are stacked into contiguous
+        ``(group, samples, features)`` blocks so one forward/backward pass
+        serves the whole group: per-node 2-D matmuls are kept (3-D batched
+        GEMM may reassociate and break bit-identity with :meth:`gradient`),
+        but every elementwise op — tanh, softmax, the tanh' chain-rule factor
+        — runs once per group instead of once per node, and gradients are
+        written straight into their flat-layout slices without a per-node
+        ``pack``.
+        """
+        validated = []
         for X, y in shards:
             X, y = self.check_batch(X, y)
             X = self._check_inputs(X)
             labels = self._check_labels(y)
-            prepared.append((np.ascontiguousarray(X), labels))
-        return tuple(prepared)
+            validated.append((np.ascontiguousarray(X), labels))
+        by_count: dict[int, list[int]] = {}
+        for index, (X, _labels) in enumerate(validated):
+            by_count.setdefault(X.shape[0], []).append(index)
+        groups = []
+        for count in sorted(by_count):
+            indices = np.asarray(by_count[count], dtype=np.int64)
+            X_stack = np.stack([validated[i][0] for i in indices])
+            labels_stack = np.stack([validated[i][1] for i in indices])
+            groups.append((indices, X_stack, labels_stack))
+        return _PreparedMLPShards(tuple(validated), tuple(groups))
+
+    def _group_forward(self, params_group: np.ndarray, X_stack: np.ndarray):
+        """Batched forward over one same-sample-count group.
+
+        Returns (activations per layer as ``(g, m, width)`` stacks,
+        log-probabilities). Matmuls run per node; everything elementwise runs
+        on the stacked buffers, which is bitwise identical because those ops
+        have no cross-element interaction.
+        """
+        g, m, _ = X_stack.shape
+        activations = [X_stack]
+        hidden = X_stack
+        for offset, rows, cols, bias_offset, bias_len in self._layout[:-1]:
+            pre = np.empty((g, m, cols))
+            for n in range(g):
+                weight = params_group[n, offset : offset + rows * cols].reshape(
+                    rows, cols
+                )
+                np.matmul(hidden[n], weight, out=pre[n])
+            pre += params_group[:, None, bias_offset : bias_offset + bias_len]
+            hidden = np.tanh(pre)
+            activations.append(hidden)
+        offset, rows, cols, bias_offset, bias_len = self._layout[-1]
+        logits = np.empty((g, m, cols))
+        for n in range(g):
+            weight = params_group[n, offset : offset + rows * cols].reshape(rows, cols)
+            np.matmul(hidden[n], weight, out=logits[n])
+        logits += params_group[:, None, bias_offset : bias_offset + bias_len]
+        shifted = logits - logits.max(axis=2, keepdims=True)
+        log_probs = shifted - np.log(np.exp(shifted).sum(axis=2, keepdims=True))
+        return activations, log_probs
 
     def batch_losses(self, params_stack: np.ndarray, prepared) -> np.ndarray:
+        if not isinstance(prepared, _PreparedMLPShards):
+            return self._batch_losses_loop(params_stack, prepared)
+        losses = np.empty(len(prepared.shards))
+        for indices, X_stack, labels_stack in prepared.groups:
+            params_group = params_stack[indices]
+            _, log_probs = self._group_forward(params_group, X_stack)
+            m = X_stack.shape[1]
+            sample_index = np.arange(m)
+            for n, node in enumerate(indices):
+                data_term = -float(
+                    np.mean(log_probs[n, sample_index, labels_stack[n]])
+                )
+                losses[node] = data_term + 0.5 * self.regularization * float(
+                    params_stack[node] @ params_stack[node]
+                )
+        return losses
+
+    def batch_gradients(self, params_stack: np.ndarray, prepared) -> np.ndarray:
+        if not isinstance(prepared, _PreparedMLPShards):
+            return self._batch_gradients_loop(params_stack, prepared)
+        gradients = np.empty_like(params_stack)
+        for indices, X_stack, labels_stack in prepared.groups:
+            params_group = params_stack[indices]
+            activations, log_probs = self._group_forward(params_group, X_stack)
+            g, m, _ = X_stack.shape
+            delta = np.exp(log_probs)
+            delta[
+                np.arange(g)[:, None], np.arange(m)[None, :], labels_stack
+            ] -= 1.0
+            delta /= m
+            for layer_index in range(len(self._layout) - 1, -1, -1):
+                offset, rows, cols, bias_offset, bias_len = self._layout[layer_index]
+                upstream = activations[layer_index]
+                for n, node in enumerate(indices):
+                    np.matmul(
+                        upstream[n].T,
+                        delta[n],
+                        out=gradients[node, offset : offset + rows * cols].reshape(
+                            rows, cols
+                        ),
+                    )
+                    gradients[node, bias_offset : bias_offset + bias_len] = delta[
+                        n
+                    ].sum(axis=0)
+                if layer_index > 0:
+                    back = np.empty((g, m, rows))
+                    for n in range(g):
+                        weight = params_group[
+                            n, offset : offset + rows * cols
+                        ].reshape(rows, cols)
+                        np.matmul(delta[n], weight.T, out=back[n])
+                    back *= 1.0 - upstream**2
+                    delta = back
+            gradients[indices] += self.regularization * params_group
+        return gradients
+
+    def _batch_losses_loop(self, params_stack: np.ndarray, prepared) -> np.ndarray:
         losses = np.empty(len(prepared))
         for i, (X, labels) in enumerate(prepared):
             losses[i] = self._loss_impl(params_stack[i], X, labels)
         return losses
 
-    def batch_gradients(self, params_stack: np.ndarray, prepared) -> np.ndarray:
+    def _batch_gradients_loop(self, params_stack: np.ndarray, prepared) -> np.ndarray:
         gradients = np.empty_like(params_stack)
         for i, (X, labels) in enumerate(prepared):
             gradients[i] = self._gradient_impl(params_stack[i], X, labels)

@@ -5,17 +5,33 @@ the communication cost incurred by this flow would be h times of the flow
 size." The tracker records every flow with its hop count and answers the
 aggregates the figures need: total cost (Figs. 4c, 8) and per-round series
 (Fig. 4b).
+
+The per-round series are columnar: preallocated int64 arrays indexed by
+round (grown geometrically), plus a sorted per-directed-edge byte counter —
+O(rounds + edges) memory regardless of how many flows are recorded, so a
+N=4096 run over hundreds of rounds does not accumulate millions of
+``FlowRecord`` objects unless ``retain_records`` asks for them. Streaming
+consumers (incremental digests, invariant monitors) subscribe with
+:meth:`CommunicationCostTracker.add_observer` and see every validated flow
+batch in insertion order without the tracker retaining anything for them.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass
+from typing import Callable
 
 import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.types import NodeId
+
+#: Observer signature: ``fn(round_index, sources, destinations, sizes, hops)``
+#: with int64 numpy arrays (post-validation, insertion order).
+FlowObserver = Callable[[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray], None]
+
+_INITIAL_ROUNDS = 64
+_EDGE_KEY_SHIFT = 32
 
 
 @dataclass(frozen=True)
@@ -48,7 +64,8 @@ class CommunicationCostTracker:
         Keep a :class:`FlowRecord` per flow for :meth:`records`. Large
         sweeps (hundreds of nodes × hundreds of rounds) accumulate one
         object per directed edge per round; passing ``False`` keeps only
-        the per-round and total aggregates, which is all the figures need.
+        the columnar per-round / per-edge / total aggregates, which is all
+        the figures need.
     """
 
     def __init__(
@@ -58,12 +75,94 @@ class CommunicationCostTracker:
         self.retain_records = bool(retain_records)
         self._records: list[FlowRecord] = []
         self._n_flows = 0
-        self._per_round_cost: dict[int, int] = defaultdict(int)
-        self._per_round_bytes: dict[int, int] = defaultdict(int)
-        self._per_stage_bytes: dict[str, int] = defaultdict(int)
-        self._per_stage_cost: dict[str, int] = defaultdict(int)
+        # Columnar per-round series, indexed by round (grown geometrically).
+        # _round_touched distinguishes "no traffic recorded" from "a zero-byte
+        # round was recorded" so per_round_costs() keeps listing the latter.
+        self._round_cost = np.zeros(_INITIAL_ROUNDS, dtype=np.int64)
+        self._round_bytes = np.zeros(_INITIAL_ROUNDS, dtype=np.int64)
+        self._round_touched = np.zeros(_INITIAL_ROUNDS, dtype=bool)
+        self._max_round = -1
+        # Rounds are 1-based everywhere in the simulator; negative indices
+        # (never produced by the trainers) fall back to a plain dict.
+        self._negative_round_cost: dict[int, int] = {}
+        self._negative_round_bytes: dict[int, int] = {}
+        # Per-directed-edge byte counters: sorted key array (src<<32 | dst)
+        # with parallel byte counts, merged per batch.
+        self._edge_keys = np.empty(0, dtype=np.int64)
+        self._edge_bytes = np.empty(0, dtype=np.int64)
+        self._per_stage_bytes: dict[str, int] = {}
+        self._per_stage_cost: dict[str, int] = {}
         self._total_cost = 0
         self._total_bytes = 0
+        self._observers: list[FlowObserver] = []
+
+    # -- streaming ---------------------------------------------------------
+
+    def add_observer(self, observer: FlowObserver) -> None:
+        """Subscribe to every validated flow batch, in insertion order.
+
+        Observers are called as ``observer(round_index, sources,
+        destinations, sizes, hops)`` with parallel int64 arrays after
+        validation and aggregate updates — single :meth:`record` calls
+        arrive as length-1 batches. This is how streaming digests and
+        invariant monitors see the ledger without the tracker retaining
+        per-flow objects.
+        """
+        self._observers.append(observer)
+
+    def _notify(self, round_index, sources, destinations, sizes, hops) -> None:
+        for observer in self._observers:
+            observer(round_index, sources, destinations, sizes, hops)
+
+    # -- recording ---------------------------------------------------------
+
+    def _ensure_round(self, round_index: int) -> None:
+        if round_index >= self._round_cost.shape[0]:
+            new_size = max(self._round_cost.shape[0] * 2, round_index + 1)
+            for name in ("_round_cost", "_round_bytes", "_round_touched"):
+                old = getattr(self, name)
+                grown = np.zeros(new_size, dtype=old.dtype)
+                grown[: old.shape[0]] = old
+                setattr(self, name, grown)
+
+    def _accumulate_round(self, round_index: int, cost: int, n_bytes: int) -> None:
+        if round_index < 0:
+            self._negative_round_cost[round_index] = (
+                self._negative_round_cost.get(round_index, 0) + cost
+            )
+            self._negative_round_bytes[round_index] = (
+                self._negative_round_bytes.get(round_index, 0) + n_bytes
+            )
+            return
+        self._ensure_round(round_index)
+        self._round_cost[round_index] += cost
+        self._round_bytes[round_index] += n_bytes
+        self._round_touched[round_index] = True
+        if round_index > self._max_round:
+            self._max_round = round_index
+
+    def _accumulate_edges(self, keys: np.ndarray, sizes: np.ndarray) -> None:
+        unique_keys, inverse = np.unique(keys, return_inverse=True)
+        per_key = np.zeros(unique_keys.shape[0], dtype=np.int64)
+        np.add.at(per_key, inverse, sizes)
+        positions = np.searchsorted(self._edge_keys, unique_keys)
+        in_range = positions < self._edge_keys.shape[0]
+        known = np.zeros(unique_keys.shape[0], dtype=bool)
+        known[in_range] = (
+            self._edge_keys[positions[in_range]] == unique_keys[in_range]
+        )
+        if known.all():
+            np.add.at(self._edge_bytes, positions, per_key)
+            return
+        # New directed edges appeared: union-merge the sorted key arrays.
+        merged_keys = np.union1d(self._edge_keys, unique_keys)
+        merged_bytes = np.zeros(merged_keys.shape[0], dtype=np.int64)
+        merged_bytes[np.searchsorted(merged_keys, self._edge_keys)] = self._edge_bytes
+        np.add.at(
+            merged_bytes, np.searchsorted(merged_keys, unique_keys), per_key
+        )
+        self._edge_keys = merged_keys
+        self._edge_bytes = merged_bytes
 
     def record(
         self,
@@ -97,13 +196,31 @@ class CommunicationCostTracker:
         if self.retain_records:
             self._records.append(record)
         self._n_flows += 1
-        self._per_round_cost[round_index] += record.cost
-        self._per_round_bytes[round_index] += record.size_bytes
+        self._accumulate_round(round_index, record.cost, record.size_bytes)
+        self._accumulate_edges(
+            np.asarray(
+                [(int(source) << _EDGE_KEY_SHIFT) | int(destination)],
+                dtype=np.int64,
+            ),
+            np.asarray([record.size_bytes], dtype=np.int64),
+        )
         if stage is not None:
-            self._per_stage_bytes[stage] += record.size_bytes
-            self._per_stage_cost[stage] += record.cost
+            self._per_stage_bytes[stage] = (
+                self._per_stage_bytes.get(stage, 0) + record.size_bytes
+            )
+            self._per_stage_cost[stage] = (
+                self._per_stage_cost.get(stage, 0) + record.cost
+            )
         self._total_cost += record.cost
         self._total_bytes += record.size_bytes
+        if self._observers:
+            self._notify(
+                round_index,
+                np.asarray([int(source)], dtype=np.int64),
+                np.asarray([int(destination)], dtype=np.int64),
+                np.asarray([record.size_bytes], dtype=np.int64),
+                np.asarray([record.hops], dtype=np.int64),
+            )
         return record
 
     def record_many(
@@ -159,14 +276,25 @@ class CommunicationCostTracker:
                 for s, d, b, h in zip(sources, destinations, sizes, hops)
             )
         self._n_flows += int(sizes.size)
-        self._per_round_cost[round_index] += total_cost
-        self._per_round_bytes[round_index] += total_bytes
+        self._accumulate_round(round_index, total_cost, total_bytes)
+        if sizes.size:
+            self._accumulate_edges(
+                (sources << _EDGE_KEY_SHIFT) | destinations, sizes
+            )
         if stage is not None:
-            self._per_stage_bytes[stage] += total_bytes
-            self._per_stage_cost[stage] += total_cost
+            self._per_stage_bytes[stage] = (
+                self._per_stage_bytes.get(stage, 0) + total_bytes
+            )
+            self._per_stage_cost[stage] = (
+                self._per_stage_cost.get(stage, 0) + total_cost
+            )
         self._total_cost += total_cost
         self._total_bytes += total_bytes
+        if self._observers:
+            self._notify(round_index, sources, destinations, sizes, hops)
         return int(sizes.size)
+
+    # -- aggregates --------------------------------------------------------
 
     @property
     def total_cost(self) -> int:
@@ -185,19 +313,41 @@ class CommunicationCostTracker:
 
     def round_cost(self, round_index: int) -> int:
         """Hop-weighted cost of one round."""
-        return self._per_round_cost.get(round_index, 0)
+        if round_index < 0:
+            return self._negative_round_cost.get(round_index, 0)
+        if round_index > self._max_round:
+            return 0
+        return int(self._round_cost[round_index])
 
     def round_bytes(self, round_index: int) -> int:
         """Raw bytes of one round."""
-        return self._per_round_bytes.get(round_index, 0)
+        if round_index < 0:
+            return self._negative_round_bytes.get(round_index, 0)
+        if round_index > self._max_round:
+            return 0
+        return int(self._round_bytes[round_index])
+
+    def _per_round_series(self, column: np.ndarray, negatives: dict[int, int]):
+        touched = np.flatnonzero(self._round_touched[: self._max_round + 1])
+        pairs = [(int(r), int(column[r])) for r in touched]
+        if negatives:
+            pairs = sorted(negatives.items()) + pairs
+        return pairs
 
     def per_round_costs(self) -> list[tuple[int, int]]:
         """Sorted ``(round, cost)`` pairs for rounds with any traffic."""
-        return sorted(self._per_round_cost.items())
+        return self._per_round_series(self._round_cost, self._negative_round_cost)
 
     def per_round_bytes(self) -> list[tuple[int, int]]:
         """Sorted ``(round, bytes)`` pairs for rounds with any traffic."""
-        return sorted(self._per_round_bytes.items())
+        return self._per_round_series(self._round_bytes, self._negative_round_bytes)
+
+    def per_edge_bytes(self) -> dict[tuple[int, int], int]:
+        """Total bytes per directed edge, as ``{(source, destination): bytes}``."""
+        return {
+            (int(key >> _EDGE_KEY_SHIFT), int(key & 0xFFFFFFFF)): int(total)
+            for key, total in zip(self._edge_keys, self._edge_bytes)
+        }
 
     def stage_bytes(self) -> dict[str, int]:
         """Raw bytes per attributed pipeline stage (compressor label)."""

@@ -66,6 +66,130 @@ class RoundRecord:
     connected: bool = True
 
 
+class RoundTrace:
+    """Columnar sequence of :class:`RoundRecord`.
+
+    Stores the per-round trace as parallel numpy arrays (grown
+    geometrically) instead of one frozen dataclass per round, so a
+    N=4096 × hundreds-of-rounds run keeps O(rounds) flat array memory
+    rather than millions of Python objects. Reads materialize
+    :class:`RoundRecord` on demand, so the trace is a drop-in
+    ``Sequence[RoundRecord]`` — iteration, indexing (including negative
+    indices and slices), ``len`` and equality against a list of records
+    all behave like the list it replaces.
+    """
+
+    __slots__ = (
+        "_n",
+        "_round_index",
+        "_mean_loss",
+        "_consensus_error",
+        "_bytes_sent",
+        "_cost",
+        "_params_sent",
+        "_accuracy",
+        "_has_accuracy",
+        "_stale_links",
+        "_max_staleness",
+        "_connected",
+    )
+
+    _INITIAL = 64
+
+    def __init__(self, records=()):
+        self._n = 0
+        self._round_index = np.zeros(self._INITIAL, dtype=np.int64)
+        self._mean_loss = np.zeros(self._INITIAL, dtype=np.float64)
+        self._consensus_error = np.zeros(self._INITIAL, dtype=np.float64)
+        self._bytes_sent = np.zeros(self._INITIAL, dtype=np.int64)
+        self._cost = np.zeros(self._INITIAL, dtype=np.int64)
+        self._params_sent = np.zeros(self._INITIAL, dtype=np.int64)
+        self._accuracy = np.zeros(self._INITIAL, dtype=np.float64)
+        self._has_accuracy = np.zeros(self._INITIAL, dtype=bool)
+        self._stale_links = np.zeros(self._INITIAL, dtype=np.int64)
+        self._max_staleness = np.zeros(self._INITIAL, dtype=np.int64)
+        self._connected = np.zeros(self._INITIAL, dtype=bool)
+        for record in records:
+            self.append(record)
+
+    def _grow(self) -> None:
+        new_size = self._round_index.shape[0] * 2
+        for name in self.__slots__[1:]:
+            old = getattr(self, name)
+            grown = np.zeros(new_size, dtype=old.dtype)
+            grown[: old.shape[0]] = old
+            setattr(self, name, grown)
+
+    def append(self, record: RoundRecord) -> None:
+        """Append one record's fields to the columnar store."""
+        if self._n == self._round_index.shape[0]:
+            self._grow()
+        i = self._n
+        self._round_index[i] = record.round_index
+        self._mean_loss[i] = record.mean_loss
+        self._consensus_error[i] = record.consensus_error
+        self._bytes_sent[i] = record.bytes_sent
+        self._cost[i] = record.cost
+        self._params_sent[i] = record.params_sent
+        if record.accuracy is not None:
+            self._accuracy[i] = record.accuracy
+            self._has_accuracy[i] = True
+        self._stale_links[i] = record.stale_links
+        self._max_staleness[i] = record.max_staleness
+        self._connected[i] = record.connected
+        self._n += 1
+
+    def _materialize(self, i: int) -> RoundRecord:
+        return RoundRecord(
+            round_index=int(self._round_index[i]),
+            mean_loss=float(self._mean_loss[i]),
+            consensus_error=float(self._consensus_error[i]),
+            bytes_sent=int(self._bytes_sent[i]),
+            cost=int(self._cost[i]),
+            params_sent=int(self._params_sent[i]),
+            accuracy=float(self._accuracy[i]) if self._has_accuracy[i] else None,
+            stale_links=int(self._stale_links[i]),
+            max_staleness=int(self._max_staleness[i]),
+            connected=bool(self._connected[i]),
+        )
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._materialize(i) for i in range(*index.indices(self._n))]
+        if index < 0:
+            index += self._n
+        if not 0 <= index < self._n:
+            raise IndexError("RoundTrace index out of range")
+        return self._materialize(index)
+
+    def __iter__(self):
+        for i in range(self._n):
+            yield self._materialize(i)
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, (RoundTrace, list, tuple)):
+            return len(self) == len(other) and all(
+                mine == theirs for mine, theirs in zip(self, other)
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return f"RoundTrace(n_rounds={self._n})"
+
+    # Columnar views (no materialization) for streaming consumers.
+
+    def loss_array(self) -> np.ndarray:
+        """Per-round mean losses as a float64 array view."""
+        return self._mean_loss[: self._n]
+
+    def bytes_array(self) -> np.ndarray:
+        """Per-round raw bytes as an int64 array view."""
+        return self._bytes_sent[: self._n]
+
+
 @dataclass
 class TrainingResult:
     """Complete outcome of one training run.

@@ -58,13 +58,31 @@ def run_scenario(
     fails the scenario with a diagnostic naming the invariant and round; a
     digest mismatch against the first engine (the per-object reference
     oracle) fails it with the first diverging trace entry.
+
+    Runs execute on the streaming telemetry path — per-flow record
+    retention off, digests folded incrementally per round — so the sweep
+    certifies the same pipeline large-N runs use. The streamed hashes are
+    byte-identical to the retained-trace recipe (same ``DIGEST_VERSION``),
+    so golden pins predating the streaming layer hold unchanged.
     """
+    import dataclasses
+
     digests: dict[str, RunDigest] = {}
     checks: dict[str, dict] = {}
     for engine in engines:
-        trainer = scenario.build_trainer(engine, invariants=invariants)
+        config = dataclasses.replace(
+            scenario.config(engine, invariants=invariants),
+            retain_flow_records=False,
+        )
+        trainer = SNAPTrainer(
+            scenario.model(),
+            scenario.shards(),
+            scenario.topology(),
+            config,
+            fault_plan=scenario.fault_plan(),
+        )
         try:
-            digests[engine] = capture_run(trainer)
+            digests[engine] = capture_run(trainer, streaming=True)
         except InvariantViolation as violation:
             return DifferentialReport(
                 scenario=scenario,

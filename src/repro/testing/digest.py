@@ -264,12 +264,86 @@ def _first_trace_divergence(label: str, left: tuple, right: tuple) -> list[str]:
     return [f"  (identical {label} traces — hash recipe mismatch?)"]
 
 
-def capture_run(trainer, **run_kwargs) -> RunDigest:
+class DigestStream:
+    """Incremental :class:`RunDigest` accumulation during a live run.
+
+    Subscribes to the trainer's round observers and the cost tracker's flow
+    observers, folding every round record and every flow into the running
+    ``rounds_sha`` / ``ledger_sha`` digests **as they happen** — the exact
+    ``DIGEST_VERSION`` canonical bytes the retained-trace path hashes, so
+    :meth:`finalize` returns a digest equal to :meth:`RunDigest.capture` on
+    the same run, without the trainer retaining any per-round or per-flow
+    objects. This is what lets the differential harness certify N=4096-class
+    runs with ``retain_flow_records=False`` against golden pins captured
+    from fully-retained traces.
+    """
+
+    def __init__(self, trainer):
+        self._trainer = trainer
+        self._rounds_digest = hashlib.sha256()
+        self._ledger_digest = hashlib.sha256()
+        self._n_rounds = 0
+        self._n_flows = 0
+        trainer.tracker.add_observer(self._observe_flows)
+        trainer.add_round_observer(self.observe_round)
+
+    def _observe_flows(self, round_index, sources, destinations, sizes, hops):
+        # One canonical flow entry per flow, in insertion order — identical
+        # bytes to hashing flow_trace_entry over retained FlowRecords.
+        # .tolist() is load-bearing: numpy 2.x scalar reprs ("np.int64(5)")
+        # would corrupt the frozen recipe.
+        round_index = int(round_index)
+        update = self._ledger_digest.update
+        for entry in zip(
+            sources.tolist(), destinations.tolist(), sizes.tolist(), hops.tolist()
+        ):
+            update(repr((round_index, *entry)).encode())
+            self._n_flows += 1
+
+    def observe_round(self, record) -> None:
+        """Fold one fresh :class:`~repro.results.RoundRecord` into the digest."""
+        self._rounds_digest.update(repr(round_trace_entry(record)).encode())
+        self._n_rounds += 1
+
+    def finalize(self, result) -> "RunDigest":
+        """Seal the stream into a :class:`RunDigest` for the finished run.
+
+        ``result`` is the :class:`~repro.results.TrainingResult` the observed
+        ``trainer.run`` call returned (the run loop leaves the servers
+        synced, so the server-state hash is current). The raw traces are
+        empty — equality only compares the hashes and totals, and
+        :meth:`RunDigest.diff` falls back to naming the mismatching fields.
+        """
+        trainer = self._trainer
+        return RunDigest(
+            version=DIGEST_VERSION,
+            rounds_sha=self._rounds_digest.hexdigest(),
+            ledger_sha=self._ledger_digest.hexdigest(),
+            final_params_sha=hashlib.sha256(
+                np.ascontiguousarray(result.final_params).tobytes()
+            ).hexdigest(),
+            server_state_sha=server_state_sha(trainer),
+            total_bytes=trainer.tracker.total_bytes,
+            total_cost=trainer.tracker.total_cost,
+            final_loss=result.rounds[-1].mean_loss.hex() if result.rounds else "",
+        )
+
+
+def capture_run(trainer, streaming: bool = False, **run_kwargs) -> RunDigest:
     """Run a freshly-built trainer to completion and digest it.
 
     Convenience for regression pins: ``stop_on_convergence`` defaults to
     ``False`` so the digest always covers the configured round budget.
+
+    With ``streaming=True`` the digest is accumulated incrementally by a
+    :class:`DigestStream` during the run instead of from retained traces
+    afterwards — byte-identical hashes, and the only mode that works when
+    the trainer was built with ``retain_flow_records=False``.
     """
     run_kwargs.setdefault("stop_on_convergence", False)
+    if streaming:
+        stream = DigestStream(trainer)
+        result = trainer.run(**run_kwargs)
+        return stream.finalize(result)
     result = trainer.run(**run_kwargs)
     return RunDigest.capture(trainer, result)

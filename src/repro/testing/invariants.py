@@ -54,6 +54,7 @@ from collections import Counter
 from typing import Callable
 
 import numpy as np
+from scipy.sparse import issparse
 
 from repro.exceptions import InvariantViolation
 from repro.network.frames import encoded_update_bytes
@@ -125,8 +126,15 @@ class InvariantMonitor:
         #: How many times each named invariant was checked (for reports).
         self.checks: Counter = Counter()
         self._extra_checks: list[tuple[str, Callable]] = []
-        self._flow_cursor = 0
-        self._feasible_sizes: frozenset | None = None
+        #: Flow batches accumulated since the last byte-ledger check, fed by
+        #: the tracker's observer hook. This is how the ledger invariant sees
+        #: every flow without the tracker retaining per-flow records — it
+        #: works identically under ``retain_records=False``. The monitor is
+        #: constructed in ``SNAPTrainer.__init__`` before any flow can be
+        #: recorded, so no traffic predates the subscription.
+        self._pending_flows: list[tuple] = []
+        trainer.tracker.add_observer(self._observe_flows)
+        self._feasible_size_array: np.ndarray | None = None
         self._threshold_watermarks: list[float] | None = None
         self._consensus_envelope: float | None = None
         self._envelope_rounds_seen = 0
@@ -168,6 +176,8 @@ class InvariantMonitor:
 
     def _check_weight_stochasticity(self) -> None:
         self.checks["weight-stochasticity"] += 1
+        if issparse(self.trainer.weight_matrix):
+            return self._check_weight_stochasticity_sparse()
         W = np.asarray(self.trainer.weight_matrix, dtype=float)
         n = self.trainer.topology.n_nodes
         if W.shape != (n, n):
@@ -207,9 +217,59 @@ class InvariantMonitor:
                 "(weights must be supported on the neighbor sets)",
             )
 
+    def _check_weight_stochasticity_sparse(self) -> None:
+        """Sparse-W variant: same contracts, no dense (N, N) materialization."""
+        W = self.trainer.weight_matrix.tocsr()
+        n = self.trainer.topology.n_nodes
+        if W.shape != (n, n):
+            self.violate(
+                "weight-stochasticity",
+                f"W has shape {W.shape}, topology has {n} nodes",
+            )
+        gap = (W - W.T).tocoo()
+        asymmetry = float(np.abs(gap.data).max()) if gap.nnz else 0.0
+        if asymmetry > self.atol:
+            self.violate(
+                "weight-stochasticity",
+                f"W is not symmetric (max |W - W^T| = {asymmetry:.3e})",
+            )
+        ones = np.ones(n)
+        row_sums = W @ ones
+        row_err = float(np.abs(row_sums - 1.0).max())
+        if row_err > self.atol:
+            worst = int(np.abs(row_sums - 1.0).argmax())
+            self.violate(
+                "weight-stochasticity",
+                f"row {worst} of W sums to {row_sums[worst]:.12f}, "
+                f"not 1 (problems (22)/(23) require W 1 = 1)",
+            )
+        col_err = float(np.abs(W.T @ ones - 1.0).max())
+        if col_err > self.atol:
+            self.violate(
+                "weight-stochasticity",
+                f"columns of W do not sum to 1 (max error {col_err:.3e})",
+            )
+        allowed = {(u, v) for u, v in self.trainer.topology.edges}
+        allowed |= {(v, u) for u, v in self.trainer.topology.edges}
+        coo = W.tocoo()
+        for u, v, value in zip(coo.row, coo.col, coo.data):
+            u, v = int(u), int(v)
+            if u != v and (u, v) not in allowed and abs(value) > self.atol:
+                self.violate(
+                    "weight-stochasticity",
+                    f"W[{u}, {v}] = {value:.3e} but ({u}, {v}) is not an edge "
+                    "(weights must be supported on the neighbor sets)",
+                )
+
     def _check_weight_spectrum(self) -> None:
         self.checks["weight-spectrum"] += 1
-        W = np.asarray(self.trainer.weight_matrix, dtype=float)
+        W = self.trainer.weight_matrix
+        if issparse(W):
+            n = W.shape[0]
+            if n >= 3:
+                return self._check_weight_spectrum_sparse(W)
+            W = W.toarray()
+        W = np.asarray(W, dtype=float)
         eigenvalues = np.sort(np.linalg.eigvalsh(0.5 * (W + W.T)))
         lam_min, lam_max = float(eigenvalues[0]), float(eigenvalues[-1])
         if abs(lam_max - 1.0) > 10 * self.atol:
@@ -226,6 +286,48 @@ class InvariantMonitor:
             )
         if len(eigenvalues) > 1:
             second = float(eigenvalues[-2])
+            if second >= 1.0 - 10 * self.atol:
+                self.violate(
+                    "weight-spectrum",
+                    f"second-largest eigenvalue {second:.12f} touches 1: no "
+                    "spectral gap, so consensus cannot contract "
+                    "(disconnected or degenerate mixing)",
+                )
+
+    def _check_weight_spectrum_sparse(self, W) -> None:
+        """Spectrum endpoints via Lanczos instead of a dense O(N^3) eigvalsh."""
+        from scipy.sparse.linalg import eigsh
+
+        from repro.utils.linalg import smallest_eigenvalue_sparse
+
+        symmetric = ((W + W.T) * 0.5).astype(float)
+        n = symmetric.shape[0]
+        v0 = np.random.default_rng(0).standard_normal(n)
+        top = np.sort(
+            eigsh(
+                symmetric,
+                k=min(2, n - 1),
+                which="LA",
+                v0=v0,
+                return_eigenvectors=False,
+            )
+        )
+        lam_max = float(top[-1])
+        lam_min = smallest_eigenvalue_sparse(symmetric)
+        if abs(lam_max - 1.0) > 10 * self.atol:
+            self.violate(
+                "weight-spectrum",
+                f"λ_max(W) = {lam_max:.12f}; a doubly stochastic W must have "
+                "λ_max = 1 (the consensus eigenvector)",
+            )
+        if lam_min <= -1.0 + 10 * self.atol:
+            self.violate(
+                "weight-spectrum",
+                f"λ_min(W) = {lam_min:.12f} ≤ -1; EXTRA needs "
+                "W̃ = (I + W)/2 ≻ 0",
+            )
+        if top.size > 1:
+            second = float(top[0])
             if second >= 1.0 - 10 * self.atol:
                 self.violate(
                     "weight-spectrum",
@@ -301,6 +403,10 @@ class InvariantMonitor:
                     record.round_index,
                 )
 
+    def _observe_flows(self, round_index, sources, destinations, sizes, hops):
+        """Tracker observer: stash each validated flow batch until the round check."""
+        self._pending_flows.append((int(round_index), sources, destinations, sizes, hops))
+
     def _check_byte_ledger(self, record) -> None:
         self.checks["byte-ledger"] += 1
         tracker = self.trainer.tracker
@@ -321,14 +427,16 @@ class InvariantMonitor:
                 f"aggregated {tracked_cost}",
                 round_index,
             )
-        if not tracker.retain_records:
-            return
-        flows = tracker.records()[self._flow_cursor :]
-        self._flow_cursor = len(tracker.records())
-        if self._feasible_sizes is None:
-            self._feasible_sizes = feasible_frame_sizes(
-                self.trainer.model.n_params,
-                quantization_bits(self.trainer.compressor_spec),
+        batches, self._pending_flows = self._pending_flows, []
+        if self._feasible_size_array is None:
+            self._feasible_size_array = np.asarray(
+                sorted(
+                    feasible_frame_sizes(
+                        self.trainer.model.n_params,
+                        quantization_bits(self.trainer.compressor_spec),
+                    )
+                ),
+                dtype=np.int64,
             )
         # Under the semi-synchronous engine a server left behind the fleet
         # still executes old rounds on its own clock, so its flows flush
@@ -340,35 +448,42 @@ class InvariantMonitor:
         )
         flow_bytes = 0
         flow_cost = 0
-        for flow in flows:
-            late = deferred and flow.round_index < round_index
-            if flow.round_index != round_index and not late:
+        for flow_round, sources, destinations, sizes, hops in batches:
+            late = deferred and flow_round < round_index
+            if flow_round != round_index and not late:
                 self.violate(
                     "byte-ledger",
-                    f"flow {flow} recorded under round {flow.round_index} "
-                    f"during round {round_index}",
+                    f"flows {sources.tolist()}->{destinations.tolist()} "
+                    f"recorded under round {flow_round} during round "
+                    f"{round_index}",
                     round_index,
                 )
-            if flow.hops != 1:
+            if sizes.size == 0:
+                continue
+            if np.any(hops != 1):
+                bad = int(np.argmax(hops != 1))
                 self.violate(
                     "byte-ledger",
-                    f"mesh flow {flow.source}->{flow.destination} claims "
-                    f"{flow.hops} hops; neighbor traffic is single-hop",
+                    f"mesh flow {int(sources[bad])}->{int(destinations[bad])} "
+                    f"claims {int(hops[bad])} hops; neighbor traffic is "
+                    "single-hop",
                     round_index,
                 )
-            if flow.size_bytes not in self._feasible_sizes:
+            feasible = np.isin(sizes, self._feasible_size_array)
+            if not feasible.all():
+                bad = int(np.argmin(feasible))
                 d = self.trainer.model.n_params
                 self.violate(
                     "byte-ledger",
-                    f"flow {flow.source}->{flow.destination} carries "
-                    f"{flow.size_bytes} bytes, which is not an analytic frame "
-                    f"size for d = {d} parameters (Fig. 3: 4 + 8N - 4M, "
-                    "12 (N - M), or the QUANTIZED size)",
+                    f"flow {int(sources[bad])}->{int(destinations[bad])} "
+                    f"carries {int(sizes[bad])} bytes, which is not an "
+                    f"analytic frame size for d = {d} parameters (Fig. 3: "
+                    "4 + 8N - 4M, 12 (N - M), or the QUANTIZED size)",
                     round_index,
                 )
             if not late:
-                flow_bytes += flow.size_bytes
-                flow_cost += flow.cost
+                flow_bytes += int(sizes.sum())
+                flow_cost += int((sizes * hops).sum())
         if flow_bytes != record.bytes_sent:
             self.violate(
                 "byte-ledger",

@@ -76,6 +76,28 @@ def smallest_eigenvalue(matrix: np.ndarray) -> float:
     return float(sorted_eigenvalues(matrix)[-1])
 
 
+def smallest_eigenvalue_sparse(matrix) -> float:
+    """λ_min of a symmetric scipy.sparse matrix, without densifying it.
+
+    Uses a deterministically-seeded Lanczos (ARPACK ``which="SA"``) start
+    vector, so repeated calls on the same matrix return the same float.
+    The value agrees with :func:`smallest_eigenvalue` to solver tolerance —
+    not bitwise; pin the step size explicitly when digest-comparing sparse
+    against dense runs. Tiny matrices (n < 3, below ARPACK's minimum
+    problem size) fall back to the dense path.
+    """
+    n = matrix.shape[0]
+    if n < 3:
+        return smallest_eigenvalue(np.asarray(matrix.todense(), dtype=float))
+    from scipy.sparse.linalg import eigsh
+
+    v0 = np.random.default_rng(0).standard_normal(n)
+    values = eigsh(
+        matrix.astype(float), k=1, which="SA", v0=v0, return_eigenvectors=False
+    )
+    return float(values[0])
+
+
 def spectral_gap(matrix: np.ndarray) -> float:
     """Convergence-rate score ``min(1 - second_largest, 1 + smallest)``.
 

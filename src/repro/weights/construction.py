@@ -10,6 +10,7 @@ starting point for the interior-point (here: projected subgradient) solver.
 from __future__ import annotations
 
 import numpy as np
+from scipy.sparse import csr_matrix
 
 from repro.exceptions import TopologyError
 from repro.topology.graph import Topology
@@ -17,7 +18,40 @@ from repro.types import WeightMatrix
 from repro.utils.validation import check_non_negative
 
 
-def metropolis_weights(topology: Topology, epsilon: float = 0.01) -> WeightMatrix:
+class WeightRowView:
+    """Read-only mapping view of one row of a sparse weight matrix.
+
+    Quacks like the dense row the :class:`~repro.core.server.EdgeServer`
+    constructor historically received — scalar ``row[j]`` lookups (zero off
+    the support) and a known nonzero set — without materializing ``n`` dense
+    rows of ``n`` floats each (that is the O(N²) memory a sparse W exists to
+    avoid). Values are the exact floats stored in the matrix, so reference
+    mixing arithmetic is bit-identical to the dense construction.
+    """
+
+    __slots__ = ("node", "_width", "_lookup", "_indices")
+
+    def __init__(self, matrix, node: int):
+        row = matrix.getrow(node)
+        self.node = int(node)
+        self._width = int(matrix.shape[1])
+        self._indices = row.indices.astype(np.int64, copy=True)
+        self._lookup = dict(zip(row.indices.tolist(), row.data.tolist()))
+
+    def __getitem__(self, j) -> float:
+        return self._lookup.get(int(j), 0.0)
+
+    def __len__(self) -> int:
+        return self._width
+
+    def nonzero_indices(self) -> np.ndarray:
+        """Columns with stored (nonzero) weight, ascending."""
+        return self._indices
+
+
+def metropolis_weights(
+    topology: Topology, epsilon: float = 0.01, sparse: bool = False
+) -> WeightMatrix:
     """Metropolis–Hastings weights, equation (24) of the paper.
 
     .. math::
@@ -32,9 +66,17 @@ def metropolis_weights(topology: Topology, epsilon: float = 0.01) -> WeightMatri
     topology's sparsity pattern, and (thanks to ``epsilon > 0``) has strictly
     positive diagonal entries, which keeps it in the interior of the feasible
     set — exactly what the paper needs to seed its solver.
+
+    With ``sparse=True`` the same matrix is built directly in CSR form —
+    entrywise **bit-identical** to the dense construction (each entry and
+    each diagonal row-sum is computed by the exact same float expressions) —
+    with O(nodes + edges) memory instead of O(n²). This is the mixing matrix
+    for N≥4096-scale runs.
     """
     check_non_negative("epsilon", epsilon)
     n = topology.n_nodes
+    if sparse:
+        return _metropolis_sparse(topology, epsilon)
     matrix = np.zeros((n, n), dtype=float)
     for u, v in topology.edges:
         weight = 1.0 / (max(topology.degree(u), topology.degree(v)) + epsilon)
@@ -42,6 +84,47 @@ def metropolis_weights(topology: Topology, epsilon: float = 0.01) -> WeightMatri
         matrix[v, u] = weight
     _fill_diagonal_to_stochastic(matrix)
     return matrix
+
+
+def _metropolis_sparse(topology: Topology, epsilon: float) -> csr_matrix:
+    """CSR Metropolis weights, bitwise equal to the dense construction.
+
+    Each row is materialized densely one at a time (O(n) scratch) so the
+    diagonal entry ``1 - row.sum()`` reuses numpy's pairwise row-sum over
+    the full n-length row — summing only the nonzeros would associate the
+    additions differently and could differ in the last bit from the dense
+    path's ``matrix.sum(axis=1)``.
+    """
+    n = topology.n_nodes
+    degree = [topology.degree(node) for node in range(n)]
+    data: list[float] = []
+    indices: list[int] = []
+    indptr = [0]
+    row = np.zeros(n, dtype=float)
+    for node in range(n):
+        neighbors = topology.neighbors(node)
+        for neighbor in neighbors:
+            row[neighbor] = 1.0 / (max(degree[node], degree[neighbor]) + epsilon)
+        row_sum = row.sum()
+        if row_sum > 1.0 + 1e-9:
+            raise TopologyError(
+                "off-diagonal weights sum above 1 on some row; the construction "
+                "cannot produce a doubly stochastic matrix"
+            )
+        row[node] = 1.0 - row_sum
+        nonzero = np.flatnonzero(row)
+        indices.extend(nonzero.tolist())
+        data.extend(row[nonzero].tolist())
+        indptr.append(len(indices))
+        row[nonzero] = 0.0
+    return csr_matrix(
+        (
+            np.asarray(data, dtype=float),
+            np.asarray(indices, dtype=np.int64),
+            np.asarray(indptr, dtype=np.int64),
+        ),
+        shape=(n, n),
+    )
 
 
 def max_degree_weights(topology: Topology) -> WeightMatrix:

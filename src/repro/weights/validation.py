@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import numpy as np
+from scipy.sparse import csr_matrix, issparse
 
 from repro.exceptions import WeightMatrixError
 from repro.topology.graph import Topology
@@ -23,9 +24,12 @@ def check_weight_matrix(
     * supported only on the topology's edges plus the diagonal
       (``w_ij = 0`` whenever ``j not in B_i`` and ``i != j``).
 
-    Returns the validated matrix (as a float array) for inline use; raises
+    Returns the validated matrix (as a float array, or CSR when given a
+    scipy.sparse matrix) for inline use; raises
     :class:`~repro.exceptions.WeightMatrixError` otherwise.
     """
+    if issparse(matrix):
+        return _check_sparse(matrix, topology, atol)
     matrix = np.asarray(matrix, dtype=float)
     n = topology.n_nodes
     if matrix.shape != (n, n):
@@ -48,4 +52,34 @@ def check_weight_matrix(
             f"weight matrix has nonzero entry at non-neighbor pair "
             f"({int(bad[0])}, {int(bad[1])})"
         )
+    return matrix
+
+
+def _check_sparse(matrix, topology: Topology, atol: float) -> csr_matrix:
+    """The same feasibility checks without densifying an (n, n) array."""
+    matrix = csr_matrix(matrix, dtype=float)
+    n = topology.n_nodes
+    if matrix.shape != (n, n):
+        raise WeightMatrixError(
+            f"weight matrix shape {matrix.shape} does not match topology size {n}"
+        )
+    asymmetry = abs(matrix - matrix.T)
+    if asymmetry.nnz and asymmetry.max() > atol:
+        raise WeightMatrixError("weight matrix is not symmetric")
+    ones = np.ones(n)
+    if (matrix.nnz and matrix.data.min() < -atol) or not (
+        np.allclose(matrix @ ones, ones, atol=atol)
+        and np.allclose(matrix.T @ ones, ones, atol=atol)
+    ):
+        raise WeightMatrixError("weight matrix is not doubly stochastic")
+    allowed: set[tuple[int, int]] = {(node, node) for node in range(n)}
+    for u, v in topology.edges:
+        allowed.add((u, v))
+        allowed.add((v, u))
+    coo = matrix.tocoo()
+    for i, j, value in zip(coo.row.tolist(), coo.col.tolist(), coo.data.tolist()):
+        if abs(value) > atol and (i, j) not in allowed:
+            raise WeightMatrixError(
+                f"weight matrix has nonzero entry at non-neighbor pair ({i}, {j})"
+            )
     return matrix

@@ -1,0 +1,105 @@
+"""Sharded worker pool: ``workers=k`` must be bit-identical to ``workers=1``.
+
+The pool forks k processes that each run the row-independent model batch
+kernels over a contiguous node-range slice of the shared (N, d) stack, so
+the joined result is exactly the single-process result — certified here by
+full-run digest equality, not tolerance comparisons.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.config import SNAPConfig
+from repro.core.parallel import ShardedModelPool
+from repro.core.trainer import SNAPTrainer
+from repro.exceptions import ConfigurationError
+from repro.models.logistic import LogisticRegression
+from repro.testing.digest import capture_run
+from repro.testing.scenarios import ScenarioGen
+
+
+def _trainer(scenario, workers: int) -> SNAPTrainer:
+    config = dataclasses.replace(scenario.config("vectorized"), workers=workers)
+    return SNAPTrainer(
+        scenario.model(),
+        scenario.shards(),
+        scenario.topology(),
+        config,
+        fault_plan=scenario.fault_plan(),
+    )
+
+
+class TestWorkersDigestEquality:
+    @pytest.mark.parametrize("index", [0, 1, 2])
+    def test_workers_2_matches_workers_1(self, index):
+        scenario = ScenarioGen(master_seed=3).scenario(index)
+        baseline = capture_run(_trainer(scenario, workers=1))
+        sharded_trainer = _trainer(scenario, workers=2)
+        sharded = capture_run(sharded_trainer)
+        sharded_trainer.engine.close()
+        assert sharded == baseline, baseline.diff(sharded)
+
+    def test_workers_beyond_node_count_clamp(self):
+        scenario = ScenarioGen(master_seed=3).scenario(0)
+        baseline = capture_run(_trainer(scenario, workers=1))
+        trainer = _trainer(scenario, workers=scenario.n_nodes + 5)
+        assert trainer.engine._pool.workers == scenario.n_nodes
+        sharded = capture_run(trainer)
+        trainer.engine.close()
+        assert sharded == baseline
+
+
+class TestPoolMechanics:
+    def _pool(self, n=6, d=4, workers=2):
+        rng = np.random.default_rng(0)
+        model = LogisticRegression(d)
+        shards = []
+        for _ in range(n):
+            X = rng.normal(size=(5, d))
+            shards.append((X, (X @ rng.normal(size=d) > 0).astype(float)))
+        return model, shards, ShardedModelPool(model, shards, workers)
+
+    def test_gradients_and_losses_match_in_process(self):
+        model, shards, pool = self._pool()
+        try:
+            prepared = model.prepare_shards(shards)
+            stack = np.vstack([model.init_params(seed=i) for i in range(6)])
+            assert np.array_equal(
+                pool.batch_gradients(stack),
+                model.batch_gradients(stack, prepared),
+            )
+            assert np.array_equal(
+                pool.batch_losses(stack),
+                model.batch_losses(stack, prepared),
+            )
+        finally:
+            pool.close()
+
+    def test_close_is_idempotent_and_rejects_further_use(self):
+        _model, _shards, pool = self._pool()
+        pool.close()
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.batch_gradients(np.zeros((6, 4)))
+
+    def test_rejects_single_worker(self):
+        model, shards, pool = self._pool()
+        pool.close()
+        with pytest.raises(ConfigurationError):
+            ShardedModelPool(model, shards, 1)
+
+
+class TestConfigValidation:
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            SNAPConfig(workers=0)
+
+    def test_workers_require_vectorized_engine(self):
+        with pytest.raises(ConfigurationError):
+            SNAPConfig(engine="reference", workers=2)
+
+    def test_sparse_weights_exclude_weight_optimization(self):
+        with pytest.raises(ConfigurationError):
+            SNAPConfig(sparse_weights=True, optimize_weights=True)

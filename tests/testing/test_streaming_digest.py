@@ -1,0 +1,73 @@
+"""Streaming digest property: incremental per-round hashing == retained-trace path.
+
+The streaming telemetry layer folds round-trace and flow-ledger entries into
+the two SHA-256 accumulators as they happen, instead of hashing retained
+object lists after the run. The digests must be byte-identical — same
+``DIGEST_VERSION`` recipe — across generated scenarios and all three
+engines, including with per-flow record retention switched off (the
+configuration large-N runs use).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.trainer import SNAPTrainer
+from repro.testing.differential import ENGINES
+from repro.testing.digest import capture_run
+from repro.testing.scenarios import ScenarioGen
+
+N_SCENARIOS = 10
+
+
+def _trainer(scenario, engine, *, retain):
+    config = dataclasses.replace(
+        scenario.config(engine), retain_flow_records=retain
+    )
+    return SNAPTrainer(
+        scenario.model(),
+        scenario.shards(),
+        scenario.topology(),
+        config,
+        fault_plan=scenario.fault_plan(),
+    )
+
+
+@pytest.mark.parametrize("index", range(N_SCENARIOS))
+@pytest.mark.parametrize("engine", ENGINES)
+def test_streaming_digest_equals_retained(index, engine):
+    scenario = ScenarioGen(master_seed=7).scenario(index)
+    retained = capture_run(_trainer(scenario, engine, retain=True))
+    streamed = capture_run(
+        _trainer(scenario, engine, retain=False), streaming=True
+    )
+    assert streamed == retained, (
+        f"streaming digest diverged from the retained-trace recipe on "
+        f"{scenario.describe()} ({engine}):\n{retained.diff(streamed)}"
+    )
+
+
+def test_streaming_hashes_match_bytewise_not_just_compare_equal():
+    """The streamed SHA-256 hexdigests themselves equal the retained ones."""
+    scenario = ScenarioGen(master_seed=7).scenario(0)
+    retained = capture_run(_trainer(scenario, "vectorized", retain=True))
+    streamed = capture_run(
+        _trainer(scenario, "vectorized", retain=False), streaming=True
+    )
+    assert streamed.rounds_sha == retained.rounds_sha
+    assert streamed.ledger_sha == retained.ledger_sha
+    assert streamed.final_params_sha == retained.final_params_sha
+
+
+def test_streaming_preserves_ledger_hash_where_legacy_capture_cannot():
+    """With retention off the legacy path hashes an empty ledger; streaming
+    still produces the true flow-ledger hash because it observed every batch
+    as it was recorded."""
+    scenario = ScenarioGen(master_seed=7).scenario(0)
+    retained = capture_run(_trainer(scenario, "vectorized", retain=True))
+    legacy_unretained = capture_run(_trainer(scenario, "vectorized", retain=False))
+    streamed = capture_run(
+        _trainer(scenario, "vectorized", retain=False), streaming=True
+    )
+    assert legacy_unretained.ledger_sha != retained.ledger_sha
+    assert streamed.ledger_sha == retained.ledger_sha

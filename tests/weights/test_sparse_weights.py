@@ -1,0 +1,143 @@
+"""Sparse end-to-end weight path: CSR Metropolis weights through a full run.
+
+``SNAPConfig(sparse_weights=True)`` keeps W in CSR from construction through
+validation, per-server rows, the engine's mixing operators, and step-size
+selection — no dense (N, N) materialization anywhere. The sparse constructor
+must be *bitwise* equal to the dense one entry for entry; full runs must be
+digest-equal to dense runs once the step size is pinned (the Lanczos λ_min
+matches the dense eigensolver only to solver tolerance, so an auto-derived
+alpha may differ in the last bits).
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+from scipy.sparse import issparse
+
+from repro.core.config import SNAPConfig
+from repro.core.trainer import SNAPTrainer
+from repro.exceptions import WeightMatrixError
+from repro.testing.digest import capture_run
+from repro.testing.scenarios import ScenarioGen
+from repro.topology.generators import random_regular_topology, ring_topology
+from repro.utils.linalg import smallest_eigenvalue, smallest_eigenvalue_sparse
+from repro.weights.construction import WeightRowView, metropolis_weights
+from repro.weights.validation import check_weight_matrix
+
+
+class TestSparseConstruction:
+    @pytest.mark.parametrize("n,degree", [(8, 3), (20, 4), (50, 6)])
+    def test_sparse_metropolis_bitwise_equals_dense(self, n, degree):
+        topology = random_regular_topology(n, degree=degree, seed=1)
+        dense = metropolis_weights(topology)
+        sparse = metropolis_weights(topology, sparse=True)
+        assert issparse(sparse)
+        assert np.array_equal(sparse.toarray(), dense)
+
+    def test_sparse_matrix_passes_validation(self):
+        topology = ring_topology(12)
+        sparse = metropolis_weights(topology, sparse=True)
+        checked = check_weight_matrix(sparse, topology)
+        assert issparse(checked)
+
+    def test_validation_rejects_asymmetric_sparse(self):
+        topology = ring_topology(6)
+        sparse = metropolis_weights(topology, sparse=True).tolil()
+        sparse[0, 1] += 0.05
+        with pytest.raises(WeightMatrixError):
+            check_weight_matrix(sparse.tocsr(), topology)
+
+    def test_row_view_matches_dense_row(self):
+        topology = random_regular_topology(10, degree=3, seed=2)
+        dense = metropolis_weights(topology)
+        sparse = metropolis_weights(topology, sparse=True)
+        for node in range(10):
+            view = WeightRowView(sparse, node)
+            assert len(view) == 10
+            for j in range(10):
+                assert view[j] == dense[node, j]
+            assert set(view.nonzero_indices()) == set(
+                np.flatnonzero(dense[node]).tolist()
+            )
+
+
+class TestSparseSpectrum:
+    def test_lanczos_lambda_min_agrees_with_dense(self):
+        topology = random_regular_topology(30, degree=4, seed=3)
+        sparse = metropolis_weights(topology, sparse=True)
+        dense_value = smallest_eigenvalue(sparse.toarray())
+        sparse_value = smallest_eigenvalue_sparse(sparse)
+        assert sparse_value == pytest.approx(dense_value, abs=1e-8)
+
+    def test_tiny_matrix_falls_back_to_dense(self):
+        topology = ring_topology(3)  # n == 3 ring is a triangle
+        sparse = metropolis_weights(topology, sparse=True)
+        tiny = sparse[:2, :2].tocsr()
+        assert smallest_eigenvalue_sparse(tiny) == pytest.approx(
+            smallest_eigenvalue(tiny.toarray())
+        )
+
+
+class TestSparseRunEquality:
+    @pytest.mark.parametrize("index", [0, 2])
+    def test_sparse_run_digest_equals_dense_with_pinned_alpha(self, index):
+        scenario = ScenarioGen(master_seed=11).scenario(index)
+        base = dataclasses.replace(
+            scenario.config("vectorized"),
+            optimize_weights=False,
+            alpha=0.05,
+        )
+
+        def build(sparse: bool) -> SNAPTrainer:
+            return SNAPTrainer(
+                scenario.model(),
+                scenario.shards(),
+                scenario.topology(),
+                dataclasses.replace(base, sparse_weights=sparse),
+                fault_plan=scenario.fault_plan(),
+            )
+
+        dense_digest = capture_run(build(False))
+        sparse_trainer = build(True)
+        assert issparse(sparse_trainer.weight_matrix)
+        sparse_digest = capture_run(sparse_trainer)
+        assert sparse_digest == dense_digest, dense_digest.diff(sparse_digest)
+
+    def test_sparse_run_with_auto_alpha_completes(self):
+        scenario = ScenarioGen(master_seed=11).scenario(0)
+        config = dataclasses.replace(
+            scenario.config("vectorized"),
+            optimize_weights=False,
+            sparse_weights=True,
+        )
+        trainer = SNAPTrainer(
+            scenario.model(),
+            scenario.shards(),
+            scenario.topology(),
+            config,
+            fault_plan=scenario.fault_plan(),
+        )
+        result = trainer.run(stop_on_convergence=False)
+        assert np.isfinite(result.rounds[-1].mean_loss)
+
+    def test_strict_invariants_run_on_sparse_weights(self):
+        scenario = ScenarioGen(master_seed=11).scenario(0)
+        config = dataclasses.replace(
+            scenario.config("vectorized", invariants="strict"),
+            optimize_weights=False,
+            sparse_weights=True,
+            alpha=0.05,
+        )
+        trainer = SNAPTrainer(
+            scenario.model(),
+            scenario.shards(),
+            scenario.topology(),
+            config,
+            fault_plan=scenario.fault_plan(),
+        )
+        trainer.run(stop_on_convergence=False)
+        summary = trainer.monitor.summary()
+        assert summary["weight-stochasticity"] == 1
+        assert summary["weight-spectrum"] == 1
+        assert summary["byte-ledger"] == trainer.rounds_completed
