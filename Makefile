@@ -5,7 +5,8 @@ PYTHON ?= python
 PYTEST := PYTHONPATH=src $(PYTHON) -m pytest
 
 .PHONY: test chaos perf differential verify-invariants coverage test-all \
-	bench bench-async bench-compression bench-figures bench-scale bench-scale-check
+	bench bench-async bench-compression bench-figures bench-scale bench-scale-check \
+	bench-topology bench-topology-check
 
 ## The default (tier-1) suite: the addopts in pyproject.toml deselect the
 ## chaos, perf, and differential markers, so a bare pytest run is tier-1.
@@ -72,3 +73,15 @@ bench-scale:
 ## ceiling breach, or a wall-clock budget overrun.
 bench-scale-check:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_scale.py --check
+
+## Adaptive topology frontier: the joint (topology, compressor) controller
+## re-run on the bench_compression workload plus the N=64 warm-vs-cold
+## re-solve measurement; writes the committed BENCH_topology.json and
+## enforces the >=2-dominated-points / >=5x warm-start acceptance bars.
+bench-topology:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_topology.py --out BENCH_topology.json
+
+## CI smoke gate: re-measure the joint cell and the warm-start ratio and
+## fail if either acceptance bar regressed (writes nothing).
+bench-topology-check:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_topology.py --check

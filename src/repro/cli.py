@@ -81,6 +81,40 @@ def build_parser() -> argparse.ArgumentParser:
         "e.g. --compressor-arg k=64",
     )
     run.add_argument(
+        "--adaptive-topology",
+        action="store_true",
+        help="arm the online topology controller: prune near-zero-weight "
+        "links and re-solve (22)/(23) warm-started at round boundaries "
+        "(requires optimized weights; mesh schemes only)",
+    )
+    run.add_argument(
+        "--reoptimize-every",
+        type=int,
+        default=25,
+        help="round period of the adaptive prune/re-optimize cycle",
+    )
+    run.add_argument(
+        "--prune-threshold",
+        type=float,
+        default=0.02,
+        help="links with optimized weight below this are pruned (connectivity-guarded)",
+    )
+    run.add_argument(
+        "--topology-cost-weight",
+        type=float,
+        default=0.0,
+        help="weight of the bandwidth penalty in adaptive re-solves "
+        "(0 = pure spectral objective)",
+    )
+    run.add_argument(
+        "--bytes-budget",
+        type=int,
+        default=None,
+        help="total-bytes target for the joint (topology, compressor) "
+        "controller; steps the compressor's byte knob when the projected "
+        "spend overshoots",
+    )
+    run.add_argument(
         "--output", type=str, default=None, help="write the result JSON here"
     )
 
@@ -237,10 +271,29 @@ def _command_run(args: argparse.Namespace) -> int:
         if args.node_failure_rate > 0
         else None
     )
+    if args.adaptive_topology and args.scheme not in ("snap", "snap0", "sno"):
+        print(
+            f"--adaptive-topology only applies to the mesh schemes (snap, "
+            f"snap0, sno), not {args.scheme!r}",
+            file=sys.stderr,
+        )
+        raise SystemExit(EXIT_USAGE)
+    if args.adaptive_topology and args.no_optimize_weights:
+        print(
+            "--adaptive-topology re-solves the optimized weights online; "
+            "it cannot be combined with --no-optimize-weights",
+            file=sys.stderr,
+        )
+        raise SystemExit(EXIT_USAGE)
     config = SNAPConfig(
         straggler_strategy=StragglerStrategy(args.straggler_strategy),
         max_rounds=args.rounds,
         compressor=compressor,
+        adaptive_topology=args.adaptive_topology,
+        topology_reoptimize_every=args.reoptimize_every,
+        topology_prune_threshold=args.prune_threshold,
+        topology_cost_weight=args.topology_cost_weight,
+        bytes_budget=args.bytes_budget,
     )
     result = run_scheme(
         args.scheme,
@@ -270,6 +323,15 @@ def _print_result(result: TrainingResult) -> None:
         ["total traffic", format_bytes(summary["total_bytes"])],
         ["total hop-weighted cost", format_bytes(summary["total_cost"])],
     ]
+    adaptive = result.info.get("adaptive_topology")
+    if adaptive is not None:
+        rows.append(
+            [
+                "topology swaps",
+                f"{adaptive['swaps']} ({adaptive['pruned_edges']} links "
+                f"pruned, {adaptive['solver_steps']} solver steps)",
+            ]
+        )
     print(ascii_table(["metric", "value"], rows))
 
 

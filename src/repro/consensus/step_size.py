@@ -17,15 +17,28 @@ from repro.utils.linalg import smallest_eigenvalue, smallest_eigenvalue_sparse
 from repro.utils.validation import check_fraction, check_positive
 
 
-def extra_max_step_size(weight_matrix: WeightMatrix, lipschitz: float) -> float:
+def extra_max_step_size(
+    weight_matrix: WeightMatrix,
+    lipschitz: float,
+    lam_min_tilde: float | None = None,
+) -> float:
     """The theoretical cap ``2 λ_min(W̃) / L_f``.
 
     Raises when ``λ_min(W̃) <= 0`` — that happens only if ``W`` has an
     eigenvalue at or below -1, which a doubly stochastic matrix cannot, so in
     practice it flags a malformed matrix.
+
+    ``lam_min_tilde`` short-circuits the eigendecomposition with an already
+    computed ``λ_min(W̃)`` — the weight optimizer analyzes the lazy variant
+    ``(W + I)/2`` of every candidate it considers and caches the spectrum as
+    ``WeightOptimizationResult.lazy_report``, whose ``smallest`` is this
+    exact value (bitwise: same matrix expression, same ``eigvalsh``). Passing
+    it avoids recomputing a full dense spectrum per trainer construction.
     """
     check_positive("lipschitz", lipschitz)
-    if issparse(weight_matrix):
+    if lam_min_tilde is not None:
+        lam_min = float(lam_min_tilde)
+    elif issparse(weight_matrix):
         n = weight_matrix.shape[0]
         w_tilde = (weight_matrix + identity(n, format="csr")) / 2.0
         lam_min = smallest_eigenvalue_sparse(w_tilde)
@@ -43,13 +56,19 @@ def extra_max_step_size(weight_matrix: WeightMatrix, lipschitz: float) -> float:
 
 
 def safe_step_size(
-    weight_matrix: WeightMatrix, lipschitz: float, safety: float = 0.5
+    weight_matrix: WeightMatrix,
+    lipschitz: float,
+    safety: float = 0.5,
+    lam_min_tilde: float | None = None,
 ) -> float:
     """A default step size: ``safety`` times the theoretical cap.
 
     ``safety=0.5`` converges on every workload in this repository while
     staying well inside the guarantee; increase toward 1 for speed on
-    well-conditioned problems.
+    well-conditioned problems. ``lam_min_tilde`` is forwarded to
+    :func:`extra_max_step_size` to reuse a cached ``λ_min(W̃)``.
     """
     check_fraction("safety", safety)
-    return safety * extra_max_step_size(weight_matrix, lipschitz)
+    return safety * extra_max_step_size(
+        weight_matrix, lipschitz, lam_min_tilde=lam_min_tilde
+    )

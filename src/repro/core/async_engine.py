@@ -233,6 +233,49 @@ class SemiSyncEngine:
     def sync_to_servers(self) -> None:
         """No-op: the EdgeServer objects are the live state."""
 
+    def rebuild_topology(self) -> None:
+        """Adopt the trainer's swapped (pruned) topology mid-run.
+
+        Called at a trainer round boundary, i.e. after ``_settle_arrivals``
+        — the heap holds no in-flight ARRIVAL events, so the only frames
+        that can reference a pruned edge sit in the reorder buffers. Those
+        frames were already charged on the wire but their link no longer
+        exists: they are voided into the corrupted ledger (bytes crossed,
+        payload never applied) so the three-way frame-conservation check
+        stays exact across the swap. Scheduling state for pruned edges is
+        dropped, degraded sets are clipped to the surviving in-neighbors,
+        and any server blocked solely on pruned links is woken — a barrier
+        waiting on a link that no longer exists would otherwise deadlock.
+        """
+        trainer = self.trainer
+        self._channel.topology = trainer.topology
+        if not self._initialized:
+            return
+        live: set[tuple[int, int]] = set()
+        for u, v in trainer.topology.edges:
+            live.add((u, v))
+            live.add((v, u))
+        for edge in [e for e in self._arrival_times if e not in live]:
+            buffer = self._buffers.pop(edge, None)
+            if buffer:
+                for message in buffer:
+                    self._outstanding[edge] -= 1
+                    self.frames_corrupt += 1
+                    self.bytes_corrupt += message.size_bytes
+            self._arrival_times.pop(edge, None)
+            self._arrival_rounds.pop(edge, None)
+            self._last_applied.pop(edge, None)
+            self._edge_last_arrival.pop(edge, None)
+            self._outstanding.pop(edge, None)
+            self.stale_view_rounds.pop(edge, None)
+        for node in self._nodes:
+            surviving = set(trainer.servers[node.node_id].neighbors)
+            node.degraded &= surviving
+            if node.blocked and not self._lagging(
+                node, node.completed + 1, node.clock
+            ):
+                self._unblock(node, max(node.clock, node.block_since))
+
     # -- event loop -------------------------------------------------------------
 
     def _push(self, time: float, kind: int, node: int, payload=None) -> None:

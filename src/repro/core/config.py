@@ -186,6 +186,34 @@ class SNAPConfig:
         ``"topk:k=32"`` or ``"ef:uniform:bits=6"``, or ``None`` to derive
         the scheme from ``selection`` (the default, and the paper's
         behavior). See :meth:`compressor_spec`.
+    adaptive_topology:
+        Attach a :class:`~repro.weights.adaptive.TopologyController` to the
+        run: every ``topology_reoptimize_every`` rounds (and after fault
+        churn) links whose optimized weight fell below
+        ``topology_prune_threshold`` are dropped, the weight matrix is
+        re-solved warm-started from the previous solution, and the new
+        ``(topology, W)`` pair is swapped into all engines at the round
+        boundary. Requires ``optimize_weights=True`` (pruning reads
+        optimized weights) and conflicts with ``sparse_weights``. See
+        ``docs/TOPOLOGY.md``.
+    topology_reoptimize_every:
+        Round period of the controller's prune/re-optimize cycle.
+    topology_prune_threshold:
+        A link is pruned when its optimized weight falls below this value
+        (the Section IV-D planning threshold, applied online). Pruning
+        never disconnects the graph: a cut that would split the network
+        keeps its largest-weight links instead.
+    topology_cost_weight:
+        Strength of the bandwidth-aware penalty ``cost_weight · Σ c_e θ_e``
+        added to the re-solve objective; per-link costs ``c_e`` come from
+        ``timing`` (seconds per byte, normalized to max 1). ``0`` optimizes
+        pure spectral gap.
+    bytes_budget:
+        Optional total-bytes budget for the run. When set, the controller
+        also steps the compressor's fidelity knob (``uniform`` bits,
+        ``topk``/``randomk`` k) down or up at each cycle so the projected
+        end-of-run traffic stays inside the budget — the joint
+        (topology, compressor) controller of ``docs/TOPOLOGY.md``.
     """
 
     alpha: float | None = None
@@ -213,6 +241,11 @@ class SNAPConfig:
     max_partitioned_rounds: int | None = None
     seed: int | None = None
     compressor: object | None = None
+    adaptive_topology: bool = False
+    topology_reoptimize_every: int = 25
+    topology_prune_threshold: float = 0.02
+    topology_cost_weight: float = 0.0
+    bytes_budget: int | None = None
 
     def __post_init__(self) -> None:
         if self.alpha is not None:
@@ -279,6 +312,22 @@ class SNAPConfig:
             raise ConfigurationError(
                 f"invariants must be 'off' or 'strict', got {self.invariants!r}"
             )
+        if self.adaptive_topology:
+            if not self.optimize_weights:
+                raise ConfigurationError(
+                    "adaptive_topology requires optimize_weights=True: the "
+                    "online pruning rule reads optimized link weights"
+                )
+            if self.sparse_weights:
+                raise ConfigurationError(
+                    "adaptive_topology conflicts with sparse_weights (the "
+                    "online re-optimizer is dense, like the Section IV-B one)"
+                )
+        check_positive_int("topology_reoptimize_every", self.topology_reoptimize_every)
+        check_non_negative("topology_prune_threshold", self.topology_prune_threshold)
+        check_non_negative("topology_cost_weight", self.topology_cost_weight)
+        if self.bytes_budget is not None:
+            check_positive_int("bytes_budget", self.bytes_budget)
         check_positive_int("max_rounds", self.max_rounds)
         if self.max_partitioned_rounds is not None:
             check_positive_int("max_partitioned_rounds", self.max_partitioned_rounds)

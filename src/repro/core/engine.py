@@ -126,6 +126,9 @@ class ReferenceEngine:
     def sync_to_servers(self) -> None:
         """No-op: server objects are always current."""
 
+    def rebuild_topology(self) -> None:
+        """No-op: every phase re-reads the trainer's live topology state."""
+
 
 class VectorizedEngine:
     """Dense-matrix execution of the SNAP round loop.
@@ -148,28 +151,7 @@ class VectorizedEngine:
         self.n_nodes = topology.n_nodes
         self.n_params = model.n_params
 
-        # Directed edges in the reference iteration order (source ascending,
-        # neighbors ascending) — also the cost tracker's flow order.
-        src, dst = [], []
-        for node in range(self.n_nodes):
-            for neighbor in topology.neighbors(node):
-                src.append(node)
-                dst.append(neighbor)
-        self.edge_src = np.asarray(src, dtype=np.int64)
-        self.edge_dst = np.asarray(dst, dtype=np.int64)
-        self.n_edges = len(src)
-        edge_id = {
-            (int(s), int(d)): e
-            for e, (s, d) in enumerate(zip(self.edge_src, self.edge_dst))
-        }
-        #: canonical undirected edge -> the two directed edge ids, for
-        #: mapping the failure model's output onto edge rows.
-        self._undirected: dict[tuple[int, int], tuple[int, ...]] = {}
-        for u, v in topology.edges:
-            self._undirected[(u, v)] = (edge_id[(u, v)], edge_id[(v, u)])
-
-        self._mix_current = self._build_mixing(edge_id, w_tilde=False)
-        self._mix_previous = self._build_mixing(edge_id, w_tilde=True)
+        self._build_edge_structures()
 
         self.scales = np.asarray(trainer._objective_scales, dtype=float)
         if trainer.config.workers > 1:
@@ -192,6 +174,46 @@ class VectorizedEngine:
                 [(shard.X, shard.y) for shard in trainer.shards]
             )
 
+        self._allocate_state()
+        self.previous_gradients = np.zeros((self.n_nodes, self.n_params))
+        self.has_previous = np.zeros(self.n_nodes, dtype=bool)
+        #: Whether each node's previous-layer views exist (advance_views has
+        #: run since the last recursion restart) — only affects writeback.
+        self.previous_views_valid = np.zeros(self.n_nodes, dtype=bool)
+        self.iterations = np.zeros(self.n_nodes, dtype=np.int64)
+
+    def _build_edge_structures(self) -> None:
+        """(Re)derive the directed-edge layout and mixing CSRs from the trainer.
+
+        Called at construction and again by :meth:`rebuild_topology` after an
+        adaptive swap; the iteration order (source ascending, neighbors
+        ascending) is the reference engine's flow order, so a rebuilt layout
+        reproduces the reference bit for bit on the pruned graph too.
+        """
+        topology = self.trainer.topology
+        src, dst = [], []
+        for node in range(self.n_nodes):
+            for neighbor in topology.neighbors(node):
+                src.append(node)
+                dst.append(neighbor)
+        self.edge_src = np.asarray(src, dtype=np.int64)
+        self.edge_dst = np.asarray(dst, dtype=np.int64)
+        self.n_edges = len(src)
+        edge_id = {
+            (int(s), int(d)): e
+            for e, (s, d) in enumerate(zip(self.edge_src, self.edge_dst))
+        }
+        #: canonical undirected edge -> the two directed edge ids, for
+        #: mapping the failure model's output onto edge rows.
+        self._undirected: dict[tuple[int, int], tuple[int, ...]] = {}
+        for u, v in topology.edges:
+            self._undirected[(u, v)] = (edge_id[(u, v)], edge_id[(v, u)])
+
+        self._mix_current = self._build_mixing(edge_id, w_tilde=False)
+        self._mix_previous = self._build_mixing(edge_id, w_tilde=True)
+
+    def _allocate_state(self) -> None:
+        """Allocate the edge-sized state stacks and scratch for ``n_edges``."""
         d = self.n_params
         self._stack_current = np.zeros((self.n_nodes + self.n_edges, d))
         self._stack_previous = np.zeros((self.n_nodes + self.n_edges, d))
@@ -199,20 +221,29 @@ class VectorizedEngine:
         self.views = self._stack_current[self.n_nodes :]
         self.previous_params = self._stack_previous[: self.n_nodes]
         self.previous_views = self._stack_previous[self.n_nodes :]
-        self.previous_gradients = np.zeros((self.n_nodes, d))
-        self.has_previous = np.zeros(self.n_nodes, dtype=bool)
         self.fresh = np.ones(self.n_edges, dtype=bool)
         self.previous_fresh = np.ones(self.n_edges, dtype=bool)
-        #: Whether each node's previous-layer views exist (advance_views has
-        #: run since the last recursion restart) — only affects writeback.
-        self.previous_views_valid = np.zeros(self.n_nodes, dtype=bool)
-        self.iterations = np.zeros(self.n_nodes, dtype=np.int64)
         # Persistent per-round scratch (lazily allocated): the preset
         # communication kernel runs in place on these instead of allocating
         # fresh (E, d) temporaries every round.
         self._delta_scratch: np.ndarray | None = None
         self._mask_scratch: np.ndarray | None = None
         self._subst_scratch: np.ndarray | None = None
+
+    def rebuild_topology(self) -> None:
+        """Adopt the trainer's swapped topology and weight matrix.
+
+        Must be called with the server objects holding the authoritative
+        post-swap state (the trainer syncs, swaps the servers, then calls
+        this): the edge layout, both mixing CSRs, and the ``(N + E, d)``
+        stacks are rebuilt for the pruned graph and re-ingested via
+        :meth:`begin_run` — exactly the path a checkpoint resume takes, so
+        the rebuilt state is bit-identical to a fresh engine on the new
+        topology.
+        """
+        self._build_edge_structures()
+        self._allocate_state()
+        self.begin_run()
 
     def close(self) -> None:
         """Release engine resources (the worker pool, when sharded)."""

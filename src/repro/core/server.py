@@ -281,6 +281,59 @@ class EdgeServer:
         self.iteration += 1
         return new_params
 
+    def swap_topology(
+        self,
+        neighbors: tuple[NodeId, ...],
+        weight_row: np.ndarray,
+        alpha: float,
+    ) -> None:
+        """Adopt a pruned neighbor set and re-optimized weight row mid-run.
+
+        The adaptive runtime only ever *removes* links, so the new neighbor
+        set must be a subset of the old one — per-link state for surviving
+        neighbors carries over untouched, state for pruned links is
+        discarded. A swap is always an EXTRA epoch boundary: the mixing
+        matrix changed, so the two-term recursion's memory (built under the
+        old ``W``) is invalid and the current parameters become the new
+        stage's ``x^0`` via :meth:`restart_recursion`.
+        """
+        new_neighbors = tuple(int(n) for n in neighbors)
+        extra = set(new_neighbors) - set(self.neighbors)
+        if extra:
+            raise ProtocolError(
+                f"server {self.node_id} cannot swap in new links {sorted(extra)}: "
+                "adaptive topology only prunes"
+            )
+        if alpha <= 0:
+            raise ConfigurationError(f"alpha must be > 0, got {alpha}")
+        row = (
+            weight_row
+            if hasattr(weight_row, "nonzero_indices")
+            else np.asarray(weight_row, dtype=float)
+        )
+        allowed = set(new_neighbors) | {self.node_id}
+        if hasattr(row, "nonzero_indices"):
+            nonzero = {
+                int(j)
+                for j in row.nonzero_indices()
+                if abs(row[j]) > 1e-12
+            }
+        else:
+            nonzero = set(np.flatnonzero(np.abs(row) > 1e-12).tolist())
+        if not nonzero <= allowed:
+            raise ConfigurationError(
+                f"swapped weight row of server {self.node_id} has mass outside "
+                f"its neighbor set: {sorted(nonzero - allowed)}"
+            )
+        self.neighbors = new_neighbors
+        self.weight_row = row
+        self.alpha = float(alpha)
+        keep = set(new_neighbors)
+        for ledger in (self.views, self.last_sent, self.fresh):
+            for j in [j for j in ledger if j not in keep]:
+                del ledger[j]
+        self.restart_recursion()
+
     def restart_recursion(self) -> None:
         """Forget the EXTRA history and treat the current parameters as ``x^0``.
 

@@ -48,6 +48,7 @@ from repro.topology.failures import (
 )
 from repro.topology.graph import Topology
 from repro.types import Params, WeightMatrix
+from repro.weights.adaptive import TopologyController, edge_cost_vector
 from repro.weights.construction import WeightRowView, metropolis_weights
 from repro.weights.optimizer import optimize_weight_matrix
 from repro.weights.validation import check_weight_matrix
@@ -158,11 +159,33 @@ class SNAPTrainer:
             )
         self.shards = shards
 
+        #: The full optimization result backing ``weight_matrix`` (None for
+        #: explicit/Metropolis matrices). The adaptive topology controller
+        #: warm-starts its online re-solves from it, and its cached
+        #: ``lazy_report`` feeds the step-size cap below.
+        self._weight_result = None
         if weight_matrix is None:
             if self.config.optimize_weights:
-                optimization = optimize_weight_matrix(
-                    topology, iterations=self.config.weight_iterations
-                )
+                if (
+                    self.config.adaptive_topology
+                    and self.config.topology_cost_weight > 0.0
+                ):
+                    # Bandwidth-aware objective from round zero: the initial
+                    # solve sees the same per-link costs the online
+                    # re-solves will, so pruning decisions are consistent.
+                    optimization = optimize_weight_matrix(
+                        topology,
+                        iterations=self.config.weight_iterations,
+                        edge_costs=edge_cost_vector(
+                            topology, self.config.timing
+                        ),
+                        cost_weight=self.config.topology_cost_weight,
+                    )
+                else:
+                    optimization = optimize_weight_matrix(
+                        topology, iterations=self.config.weight_iterations
+                    )
+                self._weight_result = optimization
                 weight_matrix = optimization.matrix
                 self._weight_info = {
                     "weight_problem": optimization.problem,
@@ -198,7 +221,19 @@ class SNAPTrainer:
             self.config.alpha
             if self.config.alpha is not None
             else safe_step_size(
-                self.weight_matrix, self.lipschitz, self.config.step_safety
+                self.weight_matrix,
+                self.lipschitz,
+                self.config.step_safety,
+                # λ_min(W̃) was already computed when the optimizer analyzed
+                # the lazy candidate of the winning matrix; reusing it here
+                # is bitwise-identical to recomputing (same matrix
+                # expression, same eigvalsh) and saves a dense spectrum.
+                lam_min_tilde=(
+                    self._weight_result.lazy_report.smallest
+                    if self._weight_result is not None
+                    and self._weight_result.lazy_report is not None
+                    else None
+                ),
             )
         )
 
@@ -312,6 +347,40 @@ class SNAPTrainer:
             self.monitor: "InvariantMonitor | None" = InvariantMonitor(self)
         else:
             self.monitor = None
+        #: The adaptive topology runtime (``config.adaptive_topology``): the
+        #: run loop consults it at round boundaries and applies the swaps it
+        #: emits atomically across servers, channel, engine, and monitor.
+        if self.config.adaptive_topology:
+            if self._weight_result is None:
+                raise ConfigurationError(
+                    "adaptive_topology requires the Section IV-B optimized "
+                    "weight matrix; an explicit weight_matrix override "
+                    "cannot be re-optimized online"
+                )
+            self._topology_controller: TopologyController | None = (
+                TopologyController(
+                    self.topology,
+                    self._weight_result,
+                    reoptimize_every=self.config.topology_reoptimize_every,
+                    prune_threshold=self.config.topology_prune_threshold,
+                    cost_weight=self.config.topology_cost_weight,
+                    timing=self.config.timing,
+                    iterations=self.config.weight_iterations,
+                    bytes_budget=self.config.bytes_budget,
+                    spec=self.compressor_spec,
+                )
+            )
+        else:
+            self._topology_controller = None
+        #: Down set of the previous round — the churn-recovery trigger: a
+        #: transition from "some servers down" to "all up" fires an
+        #: off-schedule re-optimization cycle.
+        self._last_down: frozenset = frozenset()
+        #: Highest APE stage seen so far; a stage advance is the budget
+        #: controller's per-stage decision point.
+        self._last_ape_stage = 0
+        #: Round horizon of the current run() (for budget projection).
+        self._budget_horizon = 0
 
     def _build_schedules(self) -> list[APESchedule] | None:
         """One APE schedule per server, operating in *relative* units.
@@ -424,6 +493,7 @@ class SNAPTrainer:
         if detector is None:
             detector = ConvergenceDetector()
         records = RoundTrace()
+        self._budget_horizon = self.rounds_completed + cap
 
         engine = self.engine
         engine.begin_run()
@@ -491,6 +561,8 @@ class SNAPTrainer:
                 converged = detector.observe(mean_loss, consensus)
                 if converged and stop_on_convergence:
                     break
+                if self._topology_controller is not None:
+                    self._maybe_adapt_topology(round_index, down)
         finally:
             engine.sync_to_servers()
 
@@ -505,6 +577,11 @@ class SNAPTrainer:
             "compressor": self.compressor_spec.label,
             **self._weight_info,
         }
+        if self._topology_controller is not None:
+            # Controller report lives in ``info`` only; the RunDigest does
+            # not hash it, so engine equivalence is decided by the actual
+            # trajectory, not by matching report dictionaries.
+            info["adaptive_topology"] = self._topology_controller.summary()
         timing_summary = getattr(engine, "timing_summary", None)
         if timing_summary is not None:
             # Virtual-clock report of the semi-synchronous engine. Lives in
@@ -521,6 +598,151 @@ class SNAPTrainer:
             final_accuracy=final_accuracy,
             info=info,
         )
+
+    # -- adaptive topology -------------------------------------------------------
+
+    def _current_ape_stage(self) -> int:
+        """The fleet's highest APE stage (0 outside the APE policy)."""
+        if self._schedules is None:
+            return 0
+        return max(schedule.stage for schedule in self._schedules)
+
+    def _maybe_adapt_topology(self, round_index: int, down: frozenset) -> None:
+        """Run the controller cycle when a trigger fires at this round boundary.
+
+        Triggers, in precedence order: fault-churn recovery (the previous
+        round had down servers, this one has none — link statistics shifted,
+        re-optimize unconditionally), an APE stage advance (Algorithm 1's
+        natural epoch boundary, where the budget controller re-decides the
+        joint (topology, knob) point), and the periodic
+        ``topology_reoptimize_every`` schedule. Every input the controller
+        sees (round index, ledger totals, stage counters) is digest-pinned
+        identical across the three engines, so they fire identical swaps.
+        """
+        controller = self._topology_controller
+        reason = None
+        if self._last_down and not down:
+            reason = "churn"
+        stage = self._current_ape_stage()
+        if stage != self._last_ape_stage:
+            self._last_ape_stage = stage
+            if reason is None:
+                reason = "ape-stage"
+        if reason is None and controller.due(round_index):
+            reason = "periodic"
+        self._last_down = down
+        if reason is None:
+            return
+        swap = controller.propose(
+            round_index,
+            bytes_spent=self.tracker.total_bytes,
+            rounds_done=self.rounds_completed,
+            total_rounds=self._budget_horizon,
+            reason=reason,
+        )
+        if swap is not None:
+            self._apply_topology_swap(swap)
+
+    def _apply_topology_swap(self, swap) -> None:
+        """Atomically switch the runtime onto a swap's (topology, W, spec).
+
+        Ordering is load-bearing:
+
+        1. the engine writes its state back onto the server objects (they
+           are the authoritative carrier across the boundary);
+        2. the new W is re-validated against the new topology — by the
+           invariant monitor when one is attached (step 8, so a bad matrix
+           is reported by invariant name), else by ``check_weight_matrix``
+           here;
+        3. trainer-level state switches: topology, weight matrix, both
+           channels' topology, and the step size (re-capped with the
+           re-solve's cached λ_min(W̃); never raised mid-run — a larger cap
+           would retroactively invalidate completed rounds);
+        4. every server adopts its pruned neighbor row and restarts the
+           EXTRA recursion (a swap is a stage boundary: the two-term
+           recursion's memory was built under the old W);
+        5. the staleness ledger is rebuilt, preserving the ages of
+           surviving links;
+        6. the compressor layer switches: a knob swap rebuilds all
+           compressors and clears per-edge state (new scheme, new streams);
+           a topology-only swap just drops the pruned edges' state;
+        7. the engine rebuilds its topology-shaped structures from the
+           post-swap servers;
+        8. the monitor re-validates (stochasticity, spectrum, feasible
+           frame sizes) under the ``topology-swap`` check.
+        """
+        engine = self.engine
+        engine.sync_to_servers()
+        if self.monitor is None:
+            check_weight_matrix(swap.matrix, swap.topology)
+        old_index = self._staleness_index
+        old_ages = self._staleness
+
+        self.topology = swap.topology
+        self.weight_matrix = swap.matrix
+        self._weight_result = swap.result
+        self._weight_info = {
+            "weight_problem": swap.result.problem,
+            "rate_score": swap.result.report.rate_score,
+        }
+        self.channel.topology = swap.topology
+        if self.config.alpha is None:
+            self.alpha = min(
+                self.alpha,
+                safe_step_size(
+                    self.weight_matrix,
+                    self.lipschitz,
+                    self.config.step_safety,
+                    lam_min_tilde=(
+                        swap.result.lazy_report.smallest
+                        if swap.result.lazy_report is not None
+                        else None
+                    ),
+                ),
+            )
+        for node, server in enumerate(self.servers):
+            server.swap_topology(
+                self.topology.neighbors(node),
+                self.weight_matrix[node],
+                self.alpha,
+            )
+
+        pairs: list[tuple[int, int]] = []
+        for u, v in self.topology.edges:
+            pairs.append((u, v))
+            pairs.append((v, u))
+        ages = np.zeros(len(pairs), dtype=np.int64)
+        for i, pair in enumerate(pairs):
+            slot = old_index.get(pair)
+            if slot is not None:
+                ages[i] = old_ages[slot]
+        self._staleness_pairs = pairs
+        self._staleness = ages
+        self._staleness_index = {pair: i for i, pair in enumerate(pairs)}
+        keys = np.asarray(
+            [(u << 32) | v for u, v in pairs], dtype=np.int64
+        )
+        order = np.argsort(keys)
+        self._staleness_sorted_keys = keys[order]
+        self._staleness_sorted_slots = order
+
+        if swap.compressor_spec is not None:
+            # The budget controller never steps a preset's knob, so the
+            # schedule-bound APE compressors are never rebuilt here.
+            self.compressor_spec = swap.compressor_spec
+            self.compressors = [
+                build_compressor(self.compressor_spec, schedule=None)
+                for _ in self.servers
+            ]
+            self._edge_states.clear()
+        else:
+            live = self._staleness_index
+            for key in [k for k in self._edge_states if k not in live]:
+                del self._edge_states[key]
+
+        engine.rebuild_topology()
+        if self.monitor is not None:
+            self.monitor.on_topology_swap(swap)
 
     def _scheme_name(self) -> str:
         spec = self.compressor_spec

@@ -96,10 +96,19 @@ class GilbertElliottLinkFailures(LinkFailureModel):
     20% of links down on average, in bursts of ~5 rounds, versus the
     memoryless per-round resampling of
     :class:`~repro.topology.failures.IndependentLinkFailures`.
+
+    Burst state is tied to the *physical link*, not its position in the
+    edge list: the chain binds to the first topology it sees and later
+    queries look each edge up by identity. Adaptive topology pruning (see
+    :mod:`repro.weights.adaptive`) therefore keeps every surviving link on
+    its own chain — a link does not change its outage history because a
+    different link was removed. Links absent from the bound topology are
+    rejected (the adaptive runtime only prunes).
     """
 
     def __init__(self, p_fail: float, p_recover: float, seed: SeedLike = None):
         self._chain = _TwoStateChain(p_fail, p_recover, seed)
+        self._edge_index: dict[Edge, int] | None = None
 
     @property
     def stationary_rate(self) -> float:
@@ -107,9 +116,21 @@ class GilbertElliottLinkFailures(LinkFailureModel):
         return self._chain._stationary
 
     def failed_links(self, topology: Topology, round_index: int) -> FrozenSet[Edge]:
-        mask = self._chain.failed_mask(topology.n_edges, round_index)
+        if self._edge_index is None:
+            self._edge_index = {
+                edge: i for i, edge in enumerate(topology.edges)
+            }
+        index = self._edge_index
+        unknown = [edge for edge in topology.edges if edge not in index]
+        if unknown:
+            raise ConfigurationError(
+                f"links {unknown} were not part of the topology this chain "
+                "bound to; per-link burst state only transfers to pruned "
+                "subtopologies"
+            )
+        mask = self._chain.failed_mask(len(index), round_index)
         return frozenset(
-            edge for edge, down in zip(topology.edges, mask) if down
+            edge for edge in topology.edges if mask[index[edge]]
         )
 
     def __repr__(self) -> str:

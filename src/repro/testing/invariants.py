@@ -174,6 +174,23 @@ class InvariantMonitor:
                 for schedule in self.trainer._schedules
             ]
 
+    def on_topology_swap(self, swap) -> None:
+        """Re-validate the mixing contracts after an adaptive topology swap.
+
+        The trainer calls this with the swap already applied, so the checks
+        read the *new* ``trainer.weight_matrix`` / ``trainer.topology`` pair
+        live — a re-optimized W that lost symmetry, leaked mass onto pruned
+        links, or broke the spectral-gap contract is caught by name at the
+        swap boundary, not rounds later. A joint swap may also change the
+        compressor's byte knob, which changes the analytic feasible frame
+        sizes; the cached size table is invalidated so the byte-ledger check
+        rebuilds it for the new spec on its next round.
+        """
+        self.checks["topology-swap"] += 1
+        self._check_weight_stochasticity()
+        self._check_weight_spectrum()
+        self._feasible_size_array = None
+
     def _check_weight_stochasticity(self) -> None:
         self.checks["weight-stochasticity"] += 1
         if issparse(self.trainer.weight_matrix):

@@ -17,7 +17,10 @@ lattice the engines must agree on:
   with and without the explicit error-feedback wrapper;
 * stragglers: the paper's stale rule or the reweight-to-self ablation;
 * faults: clean, or a Gilbert–Elliott + Markov-node + corruption plan;
-* weights: Metropolis (fast default) or the Section IV-B optimizer.
+* weights: Metropolis (fast default) or the Section IV-B optimizer;
+* adaptive topology: optimizer-backed scenarios may arm the online
+  pruning/re-optimization controller with a drawn period and threshold, so
+  mid-run topology swaps are part of the engine-equivalence lattice.
 
 ``Scenario.build_trainer`` always constructs *fresh* objects — fault models
 and per-edge RNG streams hold state, so a trainer must never be reused
@@ -93,6 +96,10 @@ class Scenario:
     corruption_rate: float
     max_rounds: int
     run_seed: int
+    # Adaptive-topology axis (defaults keep pre-axis scenarios identical).
+    adaptive: bool = False
+    reoptimize_every: int = 5
+    prune_threshold: float = 0.02
 
     @classmethod
     def from_index(cls, master_seed: int, index: int) -> "Scenario":
@@ -155,6 +162,9 @@ class Scenario:
             optimize_weights=self.optimize_weights,
             weight_iterations=30 if self.optimize_weights else 150,
             max_rounds=self.max_rounds,
+            adaptive_topology=self.adaptive,
+            topology_reoptimize_every=self.reoptimize_every,
+            topology_prune_threshold=self.prune_threshold,
         )
 
     def build_trainer(self, engine: str, invariants: str = "off") -> SNAPTrainer:
@@ -176,6 +186,8 @@ class Scenario:
         scheme = self.compressor if self.compressor else f"preset:{self.selection}"
         faults = "faulty" if self.faulty else "clean"
         weights = "optW" if self.optimize_weights else "metropolis"
+        if self.adaptive:
+            weights += f"+adapt/{self.reoptimize_every}"
         return (
             f"scenario[{self.master_seed}/{self.index}] "
             f"N={self.n_nodes}+{len(self.chords)}ch {self.model_kind} "
@@ -258,6 +270,11 @@ class ScenarioGen:
             corruption_rate=float(rng.uniform(0.0, 0.1)),
             max_rounds=int(rng.integers(6, 15)),
             run_seed=int(rng.integers(0, 2**31)),
+            # Drawn after run_seed so every pre-axis field keeps its
+            # historical value for a given (master_seed, index).
+            adaptive=bool(optimize_weights and rng.random() < 0.35),
+            reoptimize_every=int(rng.integers(3, 8)),
+            prune_threshold=float(rng.uniform(0.01, 0.1)),
         )
 
     def scenarios(self, count: int, start: int = 0) -> list[Scenario]:

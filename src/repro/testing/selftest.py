@@ -18,6 +18,11 @@ the violated invariant:
     One server's APE schedule is patched to accumulate past its stage
     budget without ever advancing the stage (Algorithm 1 lines 5-6 skipped)
     → ``ape-budget``.
+``swap``
+    The adaptive topology controller is wrapped so the re-optimized mixing
+    matrix it hands the trainer has one off-diagonal entry perturbed — a
+    corrupt online re-solve. The swap-boundary re-validation must refuse it
+    by name → ``weight-stochasticity`` (checked under ``topology-swap``).
 
 ``make verify-invariants`` runs this after the differential sweep: the
 sweep proves zero false positives on healthy runs, the self-test proves
@@ -87,11 +92,55 @@ def _inject_ape(trainer) -> None:
     schedule.record_round = stuck_record_round
 
 
+def _adaptive_scenario(master_seed: int = 0) -> Scenario:
+    """The base scenario with the online topology controller armed."""
+    return _base_scenario(master_seed).with_overrides(
+        optimize_weights=True,
+        adaptive=True,
+        reoptimize_every=2,
+        prune_threshold=0.02,
+    )
+
+
+def _inject_swap(trainer) -> None:
+    controller = trainer._topology_controller
+    true_propose = controller.propose
+
+    def corrupt_propose(round_index, **kwargs):
+        swap = true_propose(round_index, **kwargs)
+        if swap is None:
+            # Force a swap so the injection fires even when nothing pruned:
+            # same topology, same result — only the matrix is corrupted.
+            from repro.weights.adaptive import TopologySwap
+
+            swap = TopologySwap(
+                round_index=round_index,
+                reason=kwargs.get("reason", "periodic"),
+                topology=controller.topology,
+                matrix=controller.result.matrix,
+                result=controller.result,
+                pruned_edges=(),
+                compressor_spec=None,
+                solver_steps=0,
+            )
+        # (0, 1) is a ring edge of every base topology, so support stays
+        # legal — the corruption breaks symmetry and both stochastic sums,
+        # which only the swap-boundary re-validation can notice.
+        matrix = swap.matrix.copy()
+        matrix[0, 1] += 0.05
+        from dataclasses import replace
+
+        return replace(swap, matrix=matrix)
+
+    controller.propose = corrupt_propose
+
+
 #: name -> (injector, invariant the monitor must report)
 INJECTIONS = {
     "weight": (_inject_weight, "weight-stochasticity"),
     "ledger": (_inject_ledger, "byte-ledger"),
     "ape": (_inject_ape, "ape-budget"),
+    "swap": (_inject_swap, "weight-stochasticity"),
 }
 
 
@@ -112,9 +161,12 @@ class SelfTestResult:
 def run_injection(name: str, master_seed: int = 0) -> SelfTestResult:
     """Run one named injection against a fresh monitored trainer."""
     injector, expected = INJECTIONS[name]
-    trainer = _base_scenario(master_seed).build_trainer(
-        "reference", invariants="strict"
+    scenario = (
+        _adaptive_scenario(master_seed)
+        if name == "swap"
+        else _base_scenario(master_seed)
     )
+    trainer = scenario.build_trainer("reference", invariants="strict")
     injector(trainer)
     try:
         trainer.run(stop_on_convergence=False)

@@ -11,8 +11,18 @@ the better convergence-rate score.
 This package provides the Metropolis–Hastings initial matrix (eq. 24), the
 edge-Laplacian parametrization that makes the feasible set a simple polytope,
 projected-subgradient solvers for both problems, and the rate-score selection.
+
+:mod:`repro.weights.adaptive` extends the offline optimization into an online
+runtime: link pruning by optimized weight, warm-started re-solves, a
+bandwidth-aware objective, and a joint (topology, compressor) bytes budget.
 """
 
+from repro.weights.adaptive import (
+    TopologyController,
+    TopologySwap,
+    edge_cost_vector,
+    prune_links,
+)
 from repro.weights.construction import (
     max_degree_weights,
     metropolis_weights,
@@ -43,4 +53,8 @@ __all__ = [
     "minimize_second_eigenvalue",
     "optimize_weight_matrix",
     "check_weight_matrix",
+    "TopologyController",
+    "TopologySwap",
+    "edge_cost_vector",
+    "prune_links",
 ]

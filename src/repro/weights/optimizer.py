@@ -14,21 +14,40 @@ solver.
 :func:`optimize_weight_matrix` solves both problems and returns the matrix
 with the larger convergence-rate score, exactly the selection rule the paper
 prescribes after deriving objective (20).
+
+Two extensions serve the adaptive-topology runtime
+(:mod:`repro.weights.adaptive`):
+
+* ``warm_start=`` resumes the projected subgradient from a prior solution's
+  matrix (its θ restricted to the surviving edges, re-projected), which makes
+  online re-solves after link pruning cheap;
+* ``edge_costs=`` / ``cost_weight=`` add a bandwidth-aware linear penalty
+  ``cost_weight · Σ_e c_e θ_e`` to the minimized objective, so the solver
+  trades spectral gap against weight placed on expensive links.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 
 from repro.exceptions import OptimizationError
 from repro.topology.graph import Topology
 from repro.types import WeightMatrix
+from repro.utils.linalg import extreme_eigenpairs_sparse
 from repro.utils.validation import check_positive, check_positive_int
 from repro.weights.construction import metropolis_weights
 from repro.weights.parametrization import EdgeParametrization
 from repro.weights.spectrum import MixingReport, analyze_weight_matrix
+
+#: Below this node count the Lanczos objective backend is never worth it —
+#: dense ``eigh`` on tiny matrices beats ARPACK's iteration overhead.
+_LANCZOS_MIN_NODES = 48
+
+#: ``backend="auto"`` picks Lanczos only when the support is actually sparse
+#: (edge count below this fraction of the complete graph's).
+_LANCZOS_MAX_DENSITY = 0.25
 
 
 @dataclass(frozen=True)
@@ -44,15 +63,37 @@ class WeightOptimizationResult:
     objective_trace:
         Best-so-far objective value after each subgradient step (the second
         largest eigenvalue for problem (23), minus the smallest eigenvalue for
-        problem (22); both are minimized).
+        problem (22); both are minimized, and both include the bandwidth
+        penalty when one is configured).
     problem:
         ``"min_second_eigenvalue"`` or ``"max_smallest_eigenvalue"``.
+    lazy_report:
+        Spectral summary of the lazy variant ``W̃ = (matrix + I)/2`` when it
+        was already computed along the way (``optimize_weight_matrix``
+        analyzes it for every candidate it lazifies). EXTRA's step-size cap
+        needs exactly ``λ_min(W̃)``, so consumers reuse this instead of
+        re-running a full eigendecomposition — see
+        :func:`repro.consensus.step_size.extra_max_step_size`.
+    solver_steps:
+        Total subgradient steps spent producing this result: the length of
+        the trace for a single solve, the sum over both problem solves for
+        :func:`optimize_weight_matrix` (lazified/baseline candidates cost no
+        extra steps). The warm-start benchmark compares this between cold
+        and warm re-solves.
     """
 
     matrix: WeightMatrix
     report: MixingReport
     objective_trace: list[float] = field(repr=False)
     problem: str = ""
+    lazy_report: MixingReport | None = None
+    solver_steps: int = 0
+    #: The raw per-problem solves behind an :func:`optimize_weight_matrix`
+    #: winner (empty for direct solver results). Warm starts resolve against
+    #: these so each problem resumes from *its own* prior solution — the
+    #: winner's matrix may be a lazified variant, which is a poor starting
+    #: point for the un-lazified problems.
+    components: tuple = field(default=(), repr=False)
 
 
 def minimize_second_eigenvalue(
@@ -61,6 +102,11 @@ def minimize_second_eigenvalue(
     initial_step: float = 0.2,
     min_self_weight: float = 1e-3,
     initial_matrix: WeightMatrix | None = None,
+    backend: str = "dense",
+    edge_costs: np.ndarray | None = None,
+    cost_weight: float = 0.0,
+    patience: int | None = None,
+    step_offset: int = 0,
 ) -> WeightOptimizationResult:
     """Solve problem (23): minimize :math:`\\bar\\lambda_{max}(W)` over the feasible set.
 
@@ -71,11 +117,17 @@ def minimize_second_eigenvalue(
     return _solve(
         topology,
         objective=_second_eigenvalue_objective,
+        sparse_objective=_second_eigenvalue_sparse,
         iterations=iterations,
         initial_step=initial_step,
         min_self_weight=min_self_weight,
         initial_matrix=initial_matrix,
         problem="min_second_eigenvalue",
+        backend=backend,
+        edge_costs=edge_costs,
+        cost_weight=cost_weight,
+        patience=patience,
+        step_offset=step_offset,
     )
 
 
@@ -85,6 +137,11 @@ def maximize_smallest_eigenvalue(
     initial_step: float = 0.2,
     min_self_weight: float = 1e-3,
     initial_matrix: WeightMatrix | None = None,
+    backend: str = "dense",
+    edge_costs: np.ndarray | None = None,
+    cost_weight: float = 0.0,
+    patience: int | None = None,
+    step_offset: int = 0,
 ) -> WeightOptimizationResult:
     """Solve problem (22): maximize :math:`\\lambda_{min}(W)` over the feasible set.
 
@@ -96,11 +153,17 @@ def maximize_smallest_eigenvalue(
     return _solve(
         topology,
         objective=_negative_smallest_eigenvalue_objective,
+        sparse_objective=_negative_smallest_eigenvalue_sparse,
         iterations=iterations,
         initial_step=initial_step,
         min_self_weight=min_self_weight,
         initial_matrix=initial_matrix,
         problem="max_smallest_eigenvalue",
+        backend=backend,
+        edge_costs=edge_costs,
+        cost_weight=cost_weight,
+        patience=patience,
+        step_offset=step_offset,
     )
 
 
@@ -122,6 +185,11 @@ def optimize_weight_matrix(
     iterations: int = 300,
     initial_step: float = 0.2,
     min_self_weight: float = 1e-3,
+    warm_start: WeightOptimizationResult | None = None,
+    backend: str = "dense",
+    edge_costs: np.ndarray | None = None,
+    cost_weight: float = 0.0,
+    patience: int | None = None,
 ) -> WeightOptimizationResult:
     """Solve both problems and keep the matrix with the larger rate score.
 
@@ -132,29 +200,66 @@ def optimize_weight_matrix(
     which trades upper-spectrum mixing for a larger ``λ_min`` and hence a
     larger admissible step size — and the Metropolis matrix of eq. (24), so
     the optimized result is never worse than the non-optimized baseline.
+
+    ``warm_start`` seeds both subgradient solvers from a prior result's
+    matrix instead of the Metropolis matrix. Only entries on the new
+    topology's edges are read, so a result optimized on a denser support
+    (before pruning) is a valid — and empirically very close — starting
+    point on the pruned support.
     """
+    warm_second, offset_second = _warm_initial(warm_start, "min_second_eigenvalue")
+    warm_smallest, offset_smallest = _warm_initial(
+        warm_start, "max_smallest_eigenvalue"
+    )
     solved = [
         minimize_second_eigenvalue(
             topology,
             iterations=iterations,
             initial_step=initial_step,
             min_self_weight=min_self_weight,
+            initial_matrix=warm_second,
+            backend=backend,
+            edge_costs=edge_costs,
+            cost_weight=cost_weight,
+            patience=patience,
+            step_offset=offset_second,
         ),
         maximize_smallest_eigenvalue(
             topology,
             iterations=iterations,
             initial_step=initial_step,
             min_self_weight=min_self_weight,
+            initial_matrix=warm_smallest,
+            backend=backend,
+            edge_costs=edge_costs,
+            cost_weight=cost_weight,
+            patience=patience,
+            step_offset=offset_smallest,
         ),
     ]
-    candidates = list(solved)
-    for result in solved:
-        lazy = lazify(result.matrix)
+    # The lazy spectrum of each solved matrix is computed once and cached on
+    # both the solved candidate (as its lazy_report) and the lazy candidate
+    # (as its report) — the step-size cap reuses it instead of redoing a
+    # dense eigendecomposition. Candidate order is load-bearing: max() keeps
+    # the *first* maximum, so it must stay [solved(23), solved(22),
+    # lazy(23), lazy(22), metropolis].
+    lazy_pairs = [
+        (lazify(result.matrix), result) for result in solved
+    ]
+    lazy_reports = [analyze_weight_matrix(lazy) for lazy, _ in lazy_pairs]
+    candidates = [
+        replace(result, lazy_report=lazy_report)
+        for result, lazy_report in zip(solved, lazy_reports)
+    ]
+    for (lazy, result), lazy_report in zip(lazy_pairs, lazy_reports):
         candidates.append(
             WeightOptimizationResult(
                 matrix=lazy,
-                report=analyze_weight_matrix(lazy),
-                objective_trace=[],
+                report=lazy_report,
+                # Lazification is free; the steps that produced this
+                # candidate are the parent solve's, so step accounting (the
+                # warm-start regression bar) survives a lazy winner.
+                objective_trace=result.objective_trace,
                 problem=f"lazy_{result.problem}",
             )
         )
@@ -167,10 +272,40 @@ def optimize_weight_matrix(
             problem="metropolis_baseline",
         )
     )
-    return max(candidates, key=lambda result: result.report.rate_score)
+    winner = max(candidates, key=lambda result: result.report.rate_score)
+    if winner.lazy_report is None:
+        winner = replace(
+            winner, lazy_report=analyze_weight_matrix(lazify(winner.matrix))
+        )
+    total_steps = sum(len(result.objective_trace) for result in solved)
+    return replace(winner, solver_steps=total_steps, components=tuple(solved))
 
 
 # -- internals ---------------------------------------------------------------
+
+
+def _warm_initial(
+    warm_start: WeightOptimizationResult | None, problem: str
+) -> tuple[WeightMatrix | None, int]:
+    """The (starting matrix, step-schedule offset) one solver resumes from.
+
+    Prefers the matching raw solve among ``warm_start.components``; falls
+    back to the winner matrix, un-lazifying it first (``2W - I`` inverts
+    ``lazify`` exactly) so a lazy winner does not seed the solvers with
+    halved edge weights. The offset continues the diminishing step schedule
+    where the prior solve stopped — restarting at the full initial step
+    would bounce the iterate away from the warm point before the schedule
+    decays again, wasting most of the warm start's advantage.
+    """
+    if warm_start is None:
+        return None, 0
+    for component in warm_start.components:
+        if component.problem == problem:
+            return component.matrix, len(component.objective_trace)
+    matrix = warm_start.matrix
+    if warm_start.problem.startswith("lazy_"):
+        matrix = 2.0 * np.asarray(matrix, dtype=float) - np.eye(matrix.shape[0])
+    return matrix, warm_start.solver_steps // 2
 
 
 def _second_eigenvalue_objective(eigenvalues, eigenvectors):
@@ -193,17 +328,62 @@ def _negative_smallest_eigenvalue_objective(eigenvalues, eigenvectors):
     return value, vector, -1.0
 
 
+def _second_eigenvalue_sparse(sparse_matrix):
+    """Lanczos twin of :func:`_second_eigenvalue_objective`.
+
+    The two algebraically largest eigenpairs come back ascending, so index 0
+    is the second largest (``λ_max = 1`` is pinned for feasible iterates).
+    """
+    values, vectors = extreme_eigenpairs_sparse(sparse_matrix, k=2, which="LA")
+    return float(values[0]), vectors[:, 0], +1.0
+
+
+def _negative_smallest_eigenvalue_sparse(sparse_matrix):
+    """Lanczos twin of :func:`_negative_smallest_eigenvalue_objective`."""
+    values, vectors = extreme_eigenpairs_sparse(sparse_matrix, k=1, which="SA")
+    return -float(values[0]), vectors[:, 0], -1.0
+
+
+def _use_lanczos(backend: str, topology: Topology) -> bool:
+    """Resolve the objective backend for one solve."""
+    if backend == "dense":
+        return False
+    if backend == "lanczos":
+        return True
+    if backend != "auto":
+        raise OptimizationError(
+            f"unknown objective backend {backend!r}; choose dense, lanczos, or auto"
+        )
+    n = topology.n_nodes
+    if n < _LANCZOS_MIN_NODES:
+        return False
+    density = len(topology.edges) / (n * (n - 1) / 2.0)
+    return density <= _LANCZOS_MAX_DENSITY
+
+
 def _solve(
     topology: Topology,
     objective,
+    sparse_objective,
     iterations: int,
     initial_step: float,
     min_self_weight: float,
     initial_matrix: WeightMatrix | None,
     problem: str,
+    backend: str = "dense",
+    edge_costs: np.ndarray | None = None,
+    cost_weight: float = 0.0,
+    patience: int | None = None,
+    step_offset: int = 0,
 ) -> WeightOptimizationResult:
     check_positive_int("iterations", iterations)
+    if step_offset < 0:
+        raise OptimizationError(f"step_offset must be >= 0, got {step_offset}")
     check_positive("initial_step", initial_step)
+    if patience is not None:
+        check_positive_int("patience", patience)
+    if cost_weight < 0.0:
+        raise OptimizationError(f"cost_weight must be >= 0, got {cost_weight}")
     if topology.n_nodes < 2:
         raise OptimizationError("weight optimization needs at least 2 nodes")
     parametrization = EdgeParametrization(
@@ -211,6 +391,15 @@ def _solve(
     )
     if parametrization.n_edges == 0:
         raise OptimizationError("topology has no edges; nothing to optimize")
+    penalty = None
+    if edge_costs is not None and cost_weight > 0.0:
+        penalty = np.asarray(edge_costs, dtype=float)
+        if penalty.shape != (parametrization.n_edges,):
+            raise OptimizationError(
+                f"edge_costs shape {penalty.shape} does not match edge count "
+                f"{parametrization.n_edges}"
+            )
+    lanczos = _use_lanczos(backend, topology)
 
     if initial_matrix is None:
         initial_matrix = metropolis_weights(topology)
@@ -218,23 +407,34 @@ def _solve(
 
     best_theta = theta.copy()
     best_value = np.inf
+    best_step = 0
     trace: list[float] = []
     for step_index in range(iterations):
-        matrix = parametrization.to_matrix(theta)
-        eigenvalues, eigenvectors = np.linalg.eigh(matrix)
-        value, vector, sign = objective(eigenvalues, eigenvectors)
+        if lanczos:
+            value, vector, sign = sparse_objective(parametrization.to_sparse(theta))
+        else:
+            matrix = parametrization.to_matrix(theta)
+            eigenvalues, eigenvectors = np.linalg.eigh(matrix)
+            value, vector, sign = objective(eigenvalues, eigenvectors)
+        if penalty is not None:
+            value += cost_weight * float(penalty @ theta)
         if value < best_value:
             best_value = value
             best_theta = theta.copy()
+            best_step = step_index
         trace.append(best_value)
+        if patience is not None and step_index - best_step >= patience:
+            break
         # Subgradient of the *minimized* objective: for problem (23) it is the
         # eigenvalue subgradient itself (sign +1); for problem (22) we minimize
         # -λ_min so the sign flips (sign -1).
         subgradient = sign * parametrization.eigenvalue_subgradient(vector)
+        if penalty is not None:
+            subgradient = subgradient + cost_weight * penalty
         norm = float(np.linalg.norm(subgradient))
         if norm < 1e-14:
             break
-        step = initial_step / np.sqrt(step_index + 1.0)
+        step = initial_step / np.sqrt(step_index + step_offset + 1.0)
         theta = parametrization.project(theta - step * subgradient / norm)
 
     matrix = parametrization.to_matrix(best_theta)
@@ -243,4 +443,5 @@ def _solve(
         report=analyze_weight_matrix(matrix),
         objective_trace=trace,
         problem=problem,
+        solver_steps=len(trace),
     )

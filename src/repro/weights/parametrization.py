@@ -105,6 +105,33 @@ class EdgeParametrization:
         matrix[np.arange(n), np.arange(n)] = diagonal
         return matrix
 
+    def to_sparse(self, theta: np.ndarray):
+        """``W(θ)`` as a ``scipy.sparse`` CSR matrix, never densified.
+
+        The sparse twin of :meth:`to_matrix` for the Lanczos objective
+        backend: entries (and hence the spectrum, up to solver tolerance)
+        match the dense build, but construction and matvecs cost
+        ``O(n + |E|)`` instead of ``O(n^2)``.
+        """
+        from scipy.sparse import csr_array
+
+        theta = self._check_theta(theta)
+        n = self.topology.n_nodes
+        rows = np.empty(n + 2 * self.n_edges, dtype=np.int64)
+        cols = np.empty_like(rows)
+        data = np.empty(rows.shape[0], dtype=float)
+        degree_sum = np.zeros(n, dtype=float)
+        for k, (value, (u, v)) in enumerate(zip(theta, self._edges)):
+            rows[2 * k], cols[2 * k], data[2 * k] = u, v, value
+            rows[2 * k + 1], cols[2 * k + 1], data[2 * k + 1] = v, u, value
+            degree_sum[u] += value
+            degree_sum[v] += value
+        base = 2 * self.n_edges
+        rows[base:] = np.arange(n)
+        cols[base:] = np.arange(n)
+        data[base:] = 1.0 - degree_sum
+        return csr_array((data, (rows, cols)), shape=(n, n))
+
     def from_matrix(self, matrix: WeightMatrix) -> np.ndarray:
         """Extract θ from a feasible matrix (reads the edge entries)."""
         matrix = np.asarray(matrix, dtype=float)
