@@ -6,7 +6,7 @@ PYTEST := PYTHONPATH=src $(PYTHON) -m pytest
 
 .PHONY: test chaos perf differential verify-invariants coverage test-all \
 	bench bench-async bench-compression bench-figures bench-scale bench-scale-check \
-	bench-topology bench-topology-check
+	bench-topology bench-topology-check orchestrate-smoke
 
 ## The default (tier-1) suite: the addopts in pyproject.toml deselect the
 ## chaos, perf, and differential markers, so a bare pytest run is tier-1.
@@ -40,6 +40,14 @@ coverage:
 ## Everything — every marker included.
 test-all:
 	$(PYTEST) -m ""
+
+## Control-plane smoke: bring up the orchestrator HTTP service, run an
+## elastic fleet (one join + one leave mid-training over the API), and
+## check the run finishes with warm topology re-solves instead of aborting.
+orchestrate-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro orchestrate --slots 6 --devices 5 \
+		--rounds 20 --join-at 7 --leave-at 12 --heartbeat-s 0.25 \
+		--evict-after-misses 3 --jobs 2 --n-train 600 --n-test 300
 
 ## Engine scaling benchmark: rounds/sec + peak RSS for both engines across
 ## N x model; writes the committed BENCH_engine.json baseline.

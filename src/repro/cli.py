@@ -1,15 +1,18 @@
 """Command-line interface for running SNAP experiments.
 
-Three subcommands::
+Subcommands::
 
-    python -m repro run      --scheme snap --workload credit --n-servers 20
-    python -m repro compare  --schemes snap,snap0,ps --workload credit
-    python -m repro plan     --n-servers 12 --threshold 0.02
+    python -m repro run         --scheme snap --workload credit --n-servers 20
+    python -m repro compare     --schemes snap,snap0,ps --workload credit
+    python -m repro plan        --n-servers 12 --threshold 0.02
+    python -m repro orchestrate --slots 6 --devices 5 --join-at 7 --leave-at 12
 
 ``run`` trains one scheme and optionally writes the full result as JSON;
 ``compare`` races several schemes on the same workload and prints a summary
 table; ``plan`` performs the Section IV-D neighbor-set planning and prints
-the pruned topology.
+the pruned topology; ``orchestrate`` brings up the fleet control plane and
+runs an elastic-membership testbed fleet against it (see
+docs/ORCHESTRATOR.md); ``verify`` sweeps differential/invariant scenarios.
 """
 
 from __future__ import annotations
@@ -142,6 +145,73 @@ def build_parser() -> argparse.ArgumentParser:
     plan.add_argument("--n-servers", type=int, default=12)
     plan.add_argument("--threshold", type=float, default=0.02)
     plan.add_argument("--iterations", type=int, default=150)
+
+    orchestrate = subparsers.add_parser(
+        "orchestrate",
+        help="run an orchestrated elastic fleet over the TCP testbed",
+    )
+    orchestrate.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="orchestrator HTTP port (0 = ephemeral, published after bind)",
+    )
+    orchestrate.add_argument(
+        "--heartbeat-s",
+        type=float,
+        default=0.25,
+        help="device heartbeat period in seconds",
+    )
+    orchestrate.add_argument(
+        "--evict-after-misses",
+        type=int,
+        default=3,
+        help="consecutive missed heartbeats before fleet-level eviction",
+    )
+    orchestrate.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="number of concurrent jobs sharing the fleet (tenancy)",
+    )
+    orchestrate.add_argument(
+        "--slots", type=int, default=6, help="slot-universe capacity"
+    )
+    orchestrate.add_argument(
+        "--devices", type=int, default=5, help="devices registered at bring-up"
+    )
+    orchestrate.add_argument("--rounds", type=int, default=30)
+    orchestrate.add_argument(
+        "--join-at",
+        type=int,
+        default=None,
+        help="round at which one extra device joins over the HTTP API",
+    )
+    orchestrate.add_argument(
+        "--leave-at",
+        type=int,
+        default=None,
+        help="round at which one device leaves over the HTTP API",
+    )
+    orchestrate.add_argument(
+        "--bytes-budget",
+        type=int,
+        default=None,
+        help="per-job payload-byte budget; the job stops when it is spent",
+    )
+    orchestrate.add_argument("--seed", type=int, default=0)
+    orchestrate.add_argument("--n-train", type=int, default=900)
+    orchestrate.add_argument("--n-test", type=int, default=450)
+    orchestrate.add_argument(
+        "--no-heartbeats",
+        action="store_true",
+        help="skip the background heartbeat senders and monitor sweeper",
+    )
+    orchestrate.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the static-fleet baseline accuracy run",
+    )
 
     verify = subparsers.add_parser(
         "verify",
@@ -397,6 +467,41 @@ def _command_plan(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_orchestrate(args: argparse.Namespace) -> int:
+    # Local import: the orchestrator pulls in the testbed + trainer stack.
+    from repro.orchestrator import run_elastic_fleet
+
+    if not 0 < args.devices <= args.slots:
+        print(
+            f"--devices must be in (0, --slots={args.slots}], got {args.devices}",
+            file=sys.stderr,
+        )
+        raise SystemExit(EXIT_USAGE)
+    report = run_elastic_fleet(
+        n_slots=args.slots,
+        initial_devices=args.devices,
+        rounds=args.rounds,
+        join_at=args.join_at,
+        leave_at=args.leave_at,
+        heartbeat_s=args.heartbeat_s,
+        evict_after_misses=args.evict_after_misses,
+        bytes_budget=args.bytes_budget,
+        seed=args.seed,
+        n_train=args.n_train,
+        n_test=args.n_test,
+        heartbeats=not args.no_heartbeats,
+        static_baseline=not args.no_baseline,
+        n_jobs=args.jobs,
+        port=args.port,
+    )
+    for line in report.summary_lines():
+        print(line)
+    if report.static_accuracy is not None:
+        gap = abs(report.final_accuracy - report.static_accuracy)
+        print(f"  accuracy gap vs static fleet: {gap:.4f}")
+    return 0
+
+
 def _command_verify(args: argparse.Namespace) -> int:
     # Local import: repro.testing pulls in the trainer stack, which the
     # lighter subcommands should not pay for.
@@ -447,6 +552,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _command_compare(args)
     if args.command == "plan":
         return _command_plan(args)
+    if args.command == "orchestrate":
+        return _command_orchestrate(args)
     if args.command == "verify":
         return _command_verify(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -208,6 +208,12 @@ class SNAPConfig:
         added to the re-solve objective; per-link costs ``c_e`` come from
         ``timing`` (seconds per byte, normalized to max 1). ``0`` optimizes
         pure spectral gap.
+    topology_readd:
+        On churn recovery, offer a recovered server's previously pruned
+        base-topology links back to the controller as re-add candidates
+        (seeded views keep the swap exact; see ``docs/ORCHESTRATOR.md``).
+        Off by default so prune-only runs stay bitwise unchanged. Requires
+        ``adaptive_topology=True``.
     bytes_budget:
         Optional total-bytes budget for the run. When set, the controller
         also steps the compressor's fidelity knob (``uniform`` bits,
@@ -245,6 +251,7 @@ class SNAPConfig:
     topology_reoptimize_every: int = 25
     topology_prune_threshold: float = 0.02
     topology_cost_weight: float = 0.0
+    topology_readd: bool = False
     bytes_budget: int | None = None
 
     def __post_init__(self) -> None:
@@ -323,6 +330,11 @@ class SNAPConfig:
                     "adaptive_topology conflicts with sparse_weights (the "
                     "online re-optimizer is dense, like the Section IV-B one)"
                 )
+        if self.topology_readd and not self.adaptive_topology:
+            raise ConfigurationError(
+                "topology_readd requires adaptive_topology=True: re-add "
+                "candidates are applied by the topology controller"
+            )
         check_positive_int("topology_reoptimize_every", self.topology_reoptimize_every)
         check_non_negative("topology_prune_threshold", self.topology_prune_threshold)
         check_non_negative("topology_cost_weight", self.topology_cost_weight)

@@ -286,23 +286,37 @@ class EdgeServer:
         neighbors: tuple[NodeId, ...],
         weight_row: np.ndarray,
         alpha: float,
+        new_views: dict[NodeId, Params] | None = None,
     ) -> None:
-        """Adopt a pruned neighbor set and re-optimized weight row mid-run.
+        """Adopt a re-optimized neighbor set and weight row mid-run.
 
-        The adaptive runtime only ever *removes* links, so the new neighbor
-        set must be a subset of the old one — per-link state for surviving
-        neighbors carries over untouched, state for pruned links is
-        discarded. A swap is always an EXTRA epoch boundary: the mixing
-        matrix changed, so the two-term recursion's memory (built under the
-        old ``W``) is invalid and the current parameters become the new
-        stage's ``x^0`` via :meth:`restart_recursion`.
+        Per-link state for surviving neighbors carries over untouched, state
+        for pruned links is discarded. A *new* link (churn-recovery or
+        elastic-join re-add) must arrive with a seed view — that neighbor's
+        exact current parameters, captured by the trainer while every
+        server's state is synced — in ``new_views``; the link then starts in
+        the same "everyone holds an exact copy" condition as round zero:
+        ``views`` seeded with the peer, ``last_sent`` with own parameters
+        (the peer seeds its mirror symmetrically), ``fresh`` true. A swap is
+        always an EXTRA epoch boundary: the mixing matrix changed, so the
+        two-term recursion's memory (built under the old ``W``) is invalid
+        and the current parameters become the new stage's ``x^0`` via
+        :meth:`restart_recursion`.
         """
         new_neighbors = tuple(int(n) for n in neighbors)
+        seeds = {} if new_views is None else {int(j): v for j, v in new_views.items()}
         extra = set(new_neighbors) - set(self.neighbors)
-        if extra:
+        unseeded = extra - set(seeds)
+        if unseeded:
             raise ProtocolError(
-                f"server {self.node_id} cannot swap in new links {sorted(extra)}: "
-                "adaptive topology only prunes"
+                f"server {self.node_id} cannot swap in new links "
+                f"{sorted(unseeded)} without seed views"
+            )
+        stray = set(seeds) - extra
+        if stray:
+            raise ProtocolError(
+                f"server {self.node_id} got seed views for links that are not "
+                f"new: {sorted(stray)}"
             )
         if alpha <= 0:
             raise ConfigurationError(f"alpha must be > 0, got {alpha}")
@@ -332,6 +346,10 @@ class EdgeServer:
         for ledger in (self.views, self.last_sent, self.fresh):
             for j in [j for j in ledger if j not in keep]:
                 del ledger[j]
+        for j, seed in seeds.items():
+            self.views[j] = np.asarray(seed, dtype=float).copy()
+            self.last_sent[j] = self.params.copy()
+            self.fresh[j] = True
         self.restart_recursion()
 
     def restart_recursion(self) -> None:

@@ -621,8 +621,10 @@ class SNAPTrainer:
         """
         controller = self._topology_controller
         reason = None
+        recovered: frozenset = frozenset()
         if self._last_down and not down:
             reason = "churn"
+            recovered = frozenset(self._last_down)
         stage = self._current_ape_stage()
         if stage != self._last_ape_stage:
             self._last_ape_stage = stage
@@ -633,18 +635,30 @@ class SNAPTrainer:
         self._last_down = down
         if reason is None:
             return
+        add_candidates: tuple = ()
+        if recovered and self.config.topology_readd:
+            # Recovered servers get their previously pruned base-topology
+            # links back as re-add candidates (off by default: the pinned
+            # prune-only differential scenarios stay bitwise unchanged).
+            add_candidates = controller.readd_candidates(recovered)
         swap = controller.propose(
             round_index,
             bytes_spent=self.tracker.total_bytes,
             rounds_done=self.rounds_completed,
             total_rounds=self._budget_horizon,
             reason=reason,
+            add_candidates=add_candidates,
         )
         if swap is not None:
             self._apply_topology_swap(swap)
 
-    def _apply_topology_swap(self, swap) -> None:
+    def _apply_topology_swap(self, swap, sync_engine: bool = True) -> None:
         """Atomically switch the runtime onto a swap's (topology, W, spec).
+
+        ``sync_engine=False`` is the networked-testbed path: there the
+        server objects are already authoritative (the testbed never steps
+        through the trainer's engine, whose state is stale), so the engine
+        sync/rebuild steps are skipped and everything else applies as-is.
 
         Ordering is load-bearing:
 
@@ -672,7 +686,8 @@ class SNAPTrainer:
            frame sizes) under the ``topology-swap`` check.
         """
         engine = self.engine
-        engine.sync_to_servers()
+        if sync_engine:
+            engine.sync_to_servers()
         if self.monitor is None:
             check_weight_matrix(swap.matrix, swap.topology)
         old_index = self._staleness_index
@@ -700,11 +715,24 @@ class SNAPTrainer:
                     ),
                 ),
             )
+        added_neighbors: dict[int, list[int]] = {}
+        for u, v in getattr(swap, "added_edges", ()):
+            added_neighbors.setdefault(u, []).append(v)
+            added_neighbors.setdefault(v, []).append(u)
         for node, server in enumerate(self.servers):
+            new_views = None
+            if node in added_neighbors:
+                # Seed re-added links with the peer's exact synced parameters
+                # (step 1 wrote engine state back), so both endpoints start
+                # the link in the round-zero "exact copy" condition.
+                new_views = {
+                    j: self.servers[j].params for j in added_neighbors[node]
+                }
             server.swap_topology(
                 self.topology.neighbors(node),
                 self.weight_matrix[node],
                 self.alpha,
+                new_views=new_views,
             )
 
         pairs: list[tuple[int, int]] = []
@@ -740,7 +768,8 @@ class SNAPTrainer:
             for key in [k for k in self._edge_states if k not in live]:
                 del self._edge_states[key]
 
-        engine.rebuild_topology()
+        if sync_engine:
+            engine.rebuild_topology()
         if self.monitor is not None:
             self.monitor.on_topology_swap(swap)
 

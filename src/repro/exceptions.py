@@ -71,6 +71,15 @@ class DataError(ReproError):
     """A dataset or partition request was invalid."""
 
 
+class OrchestratorError(ReproError):
+    """A fleet control-plane operation failed.
+
+    Raised by :mod:`repro.orchestrator` for registry misuse (unknown device
+    ids, double registration), scheduler exhaustion (no free slot in the
+    fleet), and job-state violations (enrolling into a stopped job).
+    """
+
+
 class InvariantViolation(ReproError):
     """A runtime invariant monitor caught a violated paper contract.
 

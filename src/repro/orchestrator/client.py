@@ -1,0 +1,157 @@
+"""Node-side orchestrator client (stdlib ``urllib``; no dependencies).
+
+What an edge device runs: register into the fleet (optionally enrolling
+into a job in the same call), publish its bound listener port, heartbeat
+on a timer, and leave gracefully. Also the admin/test surface for reading
+job status and /metrics.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+from repro.exceptions import OrchestratorError
+
+
+class OrchestratorClient:
+    """Talk to an :class:`~repro.orchestrator.OrchestratorService`.
+
+    Parameters
+    ----------
+    base_url:
+        e.g. ``"http://127.0.0.1:8737"`` (no trailing slash needed).
+    timeout_s:
+        Per-request socket timeout.
+    """
+
+    def __init__(self, base_url: str, timeout_s: float = 5.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout_s = float(timeout_s)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _request(self, method: str, path: str, body: dict | None = None):
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout_s) as resp:
+                payload = resp.read().decode("utf-8")
+                content_type = resp.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as error:
+            detail = error.read().decode("utf-8", errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except json.JSONDecodeError:
+                pass
+            raise OrchestratorError(
+                f"{method} {path} failed ({error.code}): {detail}"
+            ) from error
+        except urllib.error.URLError as error:
+            raise OrchestratorError(
+                f"{method} {path} failed: {error.reason}"
+            ) from error
+        if content_type.startswith("application/json"):
+            return json.loads(payload)
+        return payload
+
+    # -- device lifecycle --------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        capabilities: dict | None = None,
+        job: str | None = None,
+        port: int | None = None,
+    ) -> dict:
+        body: dict = {"name": name}
+        if capabilities is not None:
+            body["capabilities"] = capabilities
+        if job is not None:
+            body["job"] = job
+        if port is not None:
+            body["port"] = int(port)
+        return self._request("POST", "/register", body)
+
+    def heartbeat(self, device_id: str) -> dict:
+        return self._request("POST", "/heartbeat", {"device_id": device_id})
+
+    def leave(self, device_id: str) -> dict:
+        return self._request("POST", "/leave", {"device_id": device_id})
+
+    def publish_port(self, device_id: str, port: int) -> dict:
+        return self._request(
+            "POST", "/port", {"device_id": device_id, "port": int(port)}
+        )
+
+    # -- observability -----------------------------------------------------
+
+    def jobs(self) -> dict:
+        return self._request("GET", "/jobs")
+
+    def job_status(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def fleet(self) -> dict:
+        return self._request("GET", "/fleet")
+
+    def metrics(self) -> str:
+        return self._request("GET", "/metrics")
+
+
+class HeartbeatSender:
+    """Background heartbeats for one device (daemon thread).
+
+    Beats immediately on :meth:`start` and then every ``interval_s``;
+    transport hiccups are swallowed (a missed beat is exactly the failure
+    mode the monitor exists to notice). Stops silently once the registry
+    reports the device is no longer live.
+    """
+
+    def __init__(
+        self, client: OrchestratorClient, device_id: str, interval_s: float
+    ):
+        if interval_s <= 0:
+            raise OrchestratorError(
+                f"heartbeat interval_s must be > 0, got {interval_s}"
+            )
+        self.client = client
+        self.device_id = device_id
+        self.interval_s = float(interval_s)
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self.beats = 0
+
+    def start(self) -> "HeartbeatSender":
+        if self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(target=self._loop, daemon=True)
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5 * self.interval_s)
+            self._thread = None
+
+    def _loop(self) -> None:
+        while True:
+            try:
+                response = self.client.heartbeat(self.device_id)
+                self.beats += 1
+                if response.get("state") not in ("active", "suspect"):
+                    return  # evicted or left: nothing to prove anymore
+            except OrchestratorError:
+                pass  # missed beat; the monitor will judge
+            if self._stop.wait(self.interval_s):
+                return

@@ -1,0 +1,117 @@
+"""Heartbeat monitoring: miss-threshold eviction at fleet level.
+
+The same rule the testbed applies per link (``dead_after_misses``
+consecutive missed round deadlines write a peer off) applied per device:
+a device that has stayed silent for ``interval_s`` is one miss, for
+``2 * interval_s`` two misses, and at ``evict_after_misses`` misses it is
+evicted from the registry. Listeners (training jobs) are told about every
+eviction so elastic membership can drop the device's slot at the next
+round boundary instead of aborting.
+
+The monitor can run as a background sweeper thread (service mode) or be
+swept manually with an injected clock (tests).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.exceptions import OrchestratorError
+from repro.orchestrator.registry import DeviceRegistry
+
+#: Default seconds between expected heartbeats.
+DEFAULT_HEARTBEAT_S = 1.0
+
+#: Default consecutive missed heartbeats before eviction — the fleet-level
+#: mirror of the testbed's ``DEFAULT_DEAD_AFTER_MISSES``.
+DEFAULT_EVICT_AFTER_MISSES = 3
+
+
+class HeartbeatMonitor:
+    """Sweeps the registry and evicts devices that stopped heartbeating.
+
+    Parameters
+    ----------
+    registry:
+        The fleet registry to police.
+    interval_s:
+        Expected heartbeat period. A device is charged one miss per full
+        period elapsed since its last heartbeat.
+    evict_after_misses:
+        Misses at which a device is evicted (below that it is SUSPECT).
+    clock:
+        Injectable monotonic time source (tests drive it manually).
+    """
+
+    def __init__(
+        self,
+        registry: DeviceRegistry,
+        interval_s: float = DEFAULT_HEARTBEAT_S,
+        evict_after_misses: int = DEFAULT_EVICT_AFTER_MISSES,
+        clock=time.monotonic,
+    ):
+        if interval_s <= 0:
+            raise OrchestratorError(
+                f"heartbeat interval_s must be > 0, got {interval_s}"
+            )
+        if evict_after_misses <= 0:
+            raise OrchestratorError(
+                f"evict_after_misses must be > 0, got {evict_after_misses}"
+            )
+        self.registry = registry
+        self.interval_s = float(interval_s)
+        self.evict_after_misses = int(evict_after_misses)
+        self._clock = clock
+        self._listeners: list[Callable[[tuple[str, ...]], None]] = []
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self.sweeps = 0
+        self.evictions_total = 0
+
+    def add_listener(self, listener: Callable[[tuple[str, ...]], None]) -> None:
+        """Subscribe to evictions: called with the ids evicted per sweep."""
+        self._listeners.append(listener)
+
+    def sweep(self, now: float | None = None) -> tuple[str, ...]:
+        """One monitoring pass; returns the device ids evicted by it."""
+        now = self._clock() if now is None else now
+        evicted: list[str] = []
+        for record in self.registry.live_devices():
+            silent_for = now - record.last_heartbeat
+            misses = int(silent_for // self.interval_s)
+            if misses <= 0:
+                continue
+            if misses >= self.evict_after_misses:
+                self.registry.evict(record.device_id, misses=misses)
+                evicted.append(record.device_id)
+            else:
+                self.registry.suspect(record.device_id, misses=misses)
+        self.sweeps += 1
+        if evicted:
+            self.evictions_total += len(evicted)
+            for listener in self._listeners:
+                listener(tuple(evicted))
+        return tuple(evicted)
+
+    # -- background mode ---------------------------------------------------
+
+    def start(self) -> None:
+        """Run sweeps on a daemon thread, one per heartbeat interval."""
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5 * self.interval_s)
+            self._thread = None
+
+    def _loop(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.sweep()

@@ -1,0 +1,56 @@
+"""The membership bridge: orchestrator decisions → testbed round boundaries.
+
+:class:`~repro.runtime.testbed.TestbedRuntime` accepts a duck-typed
+``membership`` object with two methods — ``bind(runtime)`` at construction
+and ``decide(round_index)`` once per round. This module provides the
+concrete decision record and the thin bridge that delegates both calls to
+a :class:`~repro.orchestrator.jobs.TrainingJob`, keeping the runtime free
+of any orchestrator import (the control plane depends on the runtime, not
+the other way around).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MembershipDecision:
+    """What the fleet looks like for one round.
+
+    Attributes
+    ----------
+    round_index:
+        The round this decision governs.
+    active:
+        Slot ids participating this round; every other slot idles exactly
+        like a plan-downed server (no step, no traffic, NaN loss).
+    swap:
+        Optional :class:`~repro.weights.adaptive.TopologySwap` to apply at
+        the boundary — the warm-started (22)/(23) re-solve triggered by a
+        join or leave since the previous round.
+    stop:
+        End the run cleanly before this round executes (bytes budget
+        exhausted, or the job was stopped through the API).
+    reason:
+        Human-readable trigger, for logs and job status.
+    """
+
+    round_index: int
+    active: frozenset
+    swap: object | None = None
+    stop: bool = False
+    reason: str = "steady"
+
+
+class OrchestratedMembership:
+    """Adapter a :class:`TrainingJob` hands to ``TestbedRuntime``."""
+
+    def __init__(self, job):
+        self.job = job
+
+    def bind(self, runtime) -> None:
+        self.job.bind_runtime(runtime)
+
+    def decide(self, round_index: int) -> MembershipDecision:
+        return self.job.decide(round_index)

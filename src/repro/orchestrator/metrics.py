@@ -1,0 +1,130 @@
+"""/metrics rendering: the columnar cost tracker and staleness counters.
+
+Prometheus-style text exposition (``name{label="value"} number`` lines)
+generated straight from live control-plane state: fleet device counts from
+the registry, heartbeat sweep/eviction totals from the monitor, and — per
+job — the byte/cost totals of the trainer's columnar
+:class:`~repro.network.cost.CommunicationCostTracker` (every testbed frame
+is recorded there under the ``testbed`` stage), per-stage byte
+attribution, topology-swap counters, and the two staleness ledgers the
+testbed keeps per directed link. Everything is read in-process from the
+same objects the run mutates, so the endpoint is exact, not sampled.
+"""
+
+from __future__ import annotations
+
+
+def _fmt(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        return repr(value)
+    return str(int(value))
+
+
+def _line(name: str, labels: dict, value) -> str:
+    if labels:
+        rendered = ",".join(
+            f'{key}="{val}"' for key, val in sorted(labels.items())
+        )
+        return f"{name}{{{rendered}}} {_fmt(value)}"
+    return f"{name} {_fmt(value)}"
+
+
+def render_metrics(manager) -> str:
+    """The /metrics payload for a :class:`~repro.orchestrator.JobManager`."""
+    lines: list[str] = []
+
+    lines.append("# fleet registry")
+    for state, count in sorted(manager.registry.state_counts().items()):
+        lines.append(_line("fleet_devices", {"state": state}, count))
+
+    lines.append("# heartbeat monitor")
+    monitor = manager.monitor
+    lines.append(_line("heartbeat_interval_seconds", {}, float(monitor.interval_s)))
+    lines.append(_line("heartbeat_evict_after_misses", {}, monitor.evict_after_misses))
+    lines.append(_line("heartbeat_sweeps_total", {}, monitor.sweeps))
+    lines.append(_line("heartbeat_evictions_total", {}, monitor.evictions_total))
+
+    for job in manager.jobs():
+        labels = {"job": job.job_id}
+        lines.append(f"# job {job.job_id} ({job.name})")
+        snapshot = job.snapshot()
+        lines.append(_line("job_capacity", labels, snapshot["capacity"]))
+        lines.append(
+            _line("job_active_slots", labels, len(snapshot["active_slots"]))
+        )
+        lines.append(
+            _line("job_rounds_decided", labels, snapshot["rounds_decided"])
+        )
+        topology = snapshot.get("topology")
+        if topology is not None:
+            lines.append(_line("job_topology_swaps", labels, topology["swaps"]))
+            lines.append(
+                _line("job_edges_pruned_total", labels, topology["pruned_edges"])
+            )
+            lines.append(
+                _line("job_edges_readded_total", labels, topology["added_edges"])
+            )
+            lines.append(
+                _line("job_solver_steps_total", labels, topology["solver_steps"])
+            )
+        byte_stats = snapshot.get("bytes")
+        if byte_stats is not None:
+            lines.append(_line("job_bytes_total", labels, byte_stats["total"]))
+            lines.append(_line("job_cost_total", labels, byte_stats["cost"]))
+            for stage, count in sorted(byte_stats["stages"].items()):
+                lines.append(
+                    _line(
+                        "job_stage_bytes_total",
+                        {**labels, "stage": stage},
+                        count,
+                    )
+                )
+        staleness = snapshot.get("staleness")
+        if staleness is not None:
+            lines.append(
+                _line(
+                    "job_link_staleness_total",
+                    labels,
+                    staleness["link_staleness_total"],
+                )
+            )
+            lines.append(
+                _line(
+                    "job_stale_view_rounds_total",
+                    labels,
+                    staleness["stale_view_rounds_total"],
+                )
+            )
+        if snapshot["bytes_budget"] is not None:
+            lines.append(
+                _line("job_bytes_budget", labels, snapshot["bytes_budget"])
+            )
+
+    return "\n".join(lines) + "\n"
+
+
+def parse_metrics(text: str) -> dict:
+    """Inverse of :func:`render_metrics` (tests assert against live state).
+
+    Returns ``{metric_name: {frozenset(labels.items()): value}}``; comment
+    lines are skipped.
+    """
+    parsed: dict = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, value_part = line.rsplit(" ", 1)
+        labels: dict = {}
+        if "{" in name_part:
+            name, label_blob = name_part.split("{", 1)
+            for pair in label_blob.rstrip("}").split(","):
+                key, val = pair.split("=", 1)
+                labels[key] = val.strip('"')
+        else:
+            name = name_part
+        value = float(value_part) if "." in value_part else int(value_part)
+        parsed.setdefault(name, {})[frozenset(labels.items())] = value
+    return parsed

@@ -1,0 +1,215 @@
+"""The fleet device registry: who is in the fleet, and in what state.
+
+Edge devices register with a name and a capability dict, receive a stable
+device id, and from then on prove liveness by heartbeating. The registry is
+the single source of truth the control plane reads: the heartbeat monitor
+sweeps it for silent devices, the scheduler assigns slots out of it, and
+the HTTP API is a thin JSON veneer over it.
+
+State machine (per device)::
+
+    register ──► ACTIVE ──(missed heartbeats)──► SUSPECT ──(more)──► EVICTED
+                   │  ▲                             │
+                   │  └────(heartbeat arrives)──────┘
+                   └──(leave)──► LEFT
+
+``EVICTED`` and ``LEFT`` are terminal: a returning device registers again
+and gets a fresh id (its old slot has long been re-assignable). This is the
+same miss-threshold semantics as the testbed's ``dead_after_misses`` peer
+eviction, lifted from per-link to fleet level.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.exceptions import OrchestratorError
+
+
+class DeviceState(Enum):
+    """Lifecycle state of a registered device."""
+
+    ACTIVE = "active"
+    SUSPECT = "suspect"
+    EVICTED = "evicted"
+    LEFT = "left"
+
+
+#: States in which a device counts as a fleet member.
+LIVE_STATES = frozenset({DeviceState.ACTIVE, DeviceState.SUSPECT})
+
+
+@dataclass
+class DeviceRecord:
+    """One registered device."""
+
+    device_id: str
+    name: str
+    capabilities: dict = field(default_factory=dict)
+    state: DeviceState = DeviceState.ACTIVE
+    registered_at: float = 0.0
+    last_heartbeat: float = 0.0
+    missed_heartbeats: int = 0
+    #: The device's bound testbed listener port, published after the
+    #: ephemeral (port-0) bind resolves — peers read it from here instead
+    #: of a hand-maintained port map.
+    port: int | None = None
+
+    @property
+    def live(self) -> bool:
+        return self.state in LIVE_STATES
+
+    def snapshot(self) -> dict:
+        """JSON-safe view of this record."""
+        return {
+            "device_id": self.device_id,
+            "name": self.name,
+            "capabilities": dict(self.capabilities),
+            "state": self.state.value,
+            "registered_at": self.registered_at,
+            "last_heartbeat": self.last_heartbeat,
+            "missed_heartbeats": self.missed_heartbeats,
+            "port": self.port,
+        }
+
+
+class DeviceRegistry:
+    """Thread-safe registry of fleet devices.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic time source. Injectable so heartbeat/eviction tests can
+        drive time deterministically instead of sleeping.
+    """
+
+    def __init__(self, clock=time.monotonic):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._devices: dict[str, DeviceRecord] = {}
+        self._counter = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        capabilities: dict | None = None,
+        port: int | None = None,
+    ) -> DeviceRecord:
+        """Admit a device to the fleet and hand it a fresh id."""
+        if not name:
+            raise OrchestratorError("device name must be non-empty")
+        now = self._clock()
+        with self._lock:
+            self._counter += 1
+            device_id = f"dev-{self._counter:04d}"
+            record = DeviceRecord(
+                device_id=device_id,
+                name=str(name),
+                capabilities=dict(capabilities or {}),
+                state=DeviceState.ACTIVE,
+                registered_at=now,
+                last_heartbeat=now,
+                port=None if port is None else int(port),
+            )
+            self._devices[device_id] = record
+            return record
+
+    def heartbeat(self, device_id: str) -> DeviceRecord:
+        """Record a liveness proof; revives a SUSPECT device.
+
+        A heartbeat from an ``EVICTED`` or ``LEFT`` device does *not*
+        resurrect it — the record is returned unchanged so the caller can
+        tell the device to re-register (its slot may be gone).
+        """
+        now = self._clock()
+        with self._lock:
+            record = self._get(device_id)
+            if record.live:
+                record.last_heartbeat = now
+                record.missed_heartbeats = 0
+                record.state = DeviceState.ACTIVE
+            return record
+
+    def leave(self, device_id: str) -> DeviceRecord:
+        """Graceful departure: the device announces it is going away."""
+        with self._lock:
+            record = self._get(device_id)
+            if record.live:
+                record.state = DeviceState.LEFT
+            return record
+
+    def evict(self, device_id: str, misses: int | None = None) -> DeviceRecord:
+        """Forcibly remove a silent device (heartbeat-monitor verdict)."""
+        with self._lock:
+            record = self._get(device_id)
+            if record.live:
+                record.state = DeviceState.EVICTED
+                if misses is not None:
+                    record.missed_heartbeats = int(misses)
+            return record
+
+    def suspect(self, device_id: str, misses: int) -> DeviceRecord:
+        """Mark a device as missing heartbeats but not yet evicted."""
+        with self._lock:
+            record = self._get(device_id)
+            if record.state is DeviceState.ACTIVE:
+                record.state = DeviceState.SUSPECT
+            if record.live:
+                record.missed_heartbeats = int(misses)
+            return record
+
+    def publish_port(self, device_id: str, port: int) -> DeviceRecord:
+        """Publish the bound (ephemeral) listener port of a device."""
+        if not 0 < int(port) < 65536:
+            raise OrchestratorError(f"invalid port: {port}")
+        with self._lock:
+            record = self._get(device_id)
+            record.port = int(port)
+            return record
+
+    # -- queries -----------------------------------------------------------
+
+    def get(self, device_id: str) -> DeviceRecord:
+        with self._lock:
+            return self._get(device_id)
+
+    def _get(self, device_id: str) -> DeviceRecord:
+        record = self._devices.get(device_id)
+        if record is None:
+            raise OrchestratorError(f"unknown device: {device_id!r}")
+        return record
+
+    def devices(self) -> tuple[DeviceRecord, ...]:
+        """All records, in registration order."""
+        with self._lock:
+            return tuple(self._devices.values())
+
+    def live_devices(self) -> tuple[DeviceRecord, ...]:
+        """Records of current fleet members (ACTIVE or SUSPECT)."""
+        with self._lock:
+            return tuple(r for r in self._devices.values() if r.live)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._devices)
+
+    def state_counts(self) -> dict[str, int]:
+        """``{state: count}`` over every registered device."""
+        counts = {state.value: 0 for state in DeviceState}
+        with self._lock:
+            for record in self._devices.values():
+                counts[record.state.value] += 1
+        return counts
+
+    def snapshot(self) -> dict:
+        """JSON-safe view of the whole registry."""
+        with self._lock:
+            return {
+                "devices": [r.snapshot() for r in self._devices.values()],
+                "registered_total": self._counter,
+            }

@@ -1,0 +1,140 @@
+"""Slot scheduling: devices → shards and neighbor sets.
+
+The fleet runs a *slot universe*: a job is provisioned with a fixed
+capacity of ``N`` slots, a base topology over those slots, and one data
+shard per slot. Enrolling a device binds it to the lowest free slot —
+which fixes both its shard (shard ``i`` belongs to slot ``i``) and its
+physical neighbor set (the base topology's row). Elastic membership then
+moves *inside* this universe: a leave frees the slot and prunes its
+algorithmic links, a join re-occupies a slot and re-adds them — so the
+consensus problem keeps a fixed dimension and the (22)/(23) re-solves stay
+warm-startable while devices come and go.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+
+from repro.exceptions import OrchestratorError
+from repro.topology.graph import Topology
+
+
+class SlotScheduler:
+    """Assigns fleet slots (= shard + neighbor set) to enrolled devices.
+
+    Parameters
+    ----------
+    capacity:
+        Number of slots in the job's universe (= shards = topology nodes).
+    base_topology:
+        The physical topology the fleet is wired on. Neighbor sets handed
+        to devices at enrollment come from here; the *algorithmic* subset
+        active at any moment is the topology controller's business.
+    """
+
+    def __init__(self, capacity: int, base_topology: Topology | None = None):
+        if capacity <= 0:
+            raise OrchestratorError(f"capacity must be > 0, got {capacity}")
+        if base_topology is not None and base_topology.n_nodes != capacity:
+            raise OrchestratorError(
+                f"base topology has {base_topology.n_nodes} nodes, "
+                f"capacity is {capacity}"
+            )
+        self.capacity = int(capacity)
+        self.base_topology = base_topology
+        self._lock = threading.Lock()
+        self._free: list[int] = list(range(capacity))
+        heapq.heapify(self._free)
+        self._slot_of: dict[str, int] = {}
+        self._device_of: dict[int, str] = {}
+
+    # -- assignment --------------------------------------------------------
+
+    def assign(self, device_id: str) -> int:
+        """Bind ``device_id`` to the lowest free slot."""
+        with self._lock:
+            if device_id in self._slot_of:
+                raise OrchestratorError(
+                    f"device {device_id!r} already holds slot "
+                    f"{self._slot_of[device_id]}"
+                )
+            if not self._free:
+                raise OrchestratorError(
+                    f"fleet is full: all {self.capacity} slots assigned"
+                )
+            slot = heapq.heappop(self._free)
+            self._slot_of[device_id] = slot
+            self._device_of[slot] = device_id
+            return slot
+
+    def release(self, device_id: str) -> int:
+        """Free the device's slot (on leave/eviction); returns the slot."""
+        with self._lock:
+            slot = self._slot_of.pop(device_id, None)
+            if slot is None:
+                raise OrchestratorError(
+                    f"device {device_id!r} holds no slot"
+                )
+            del self._device_of[slot]
+            heapq.heappush(self._free, slot)
+            return slot
+
+    # -- queries -----------------------------------------------------------
+
+    def slot_of(self, device_id: str) -> int:
+        with self._lock:
+            slot = self._slot_of.get(device_id)
+            if slot is None:
+                raise OrchestratorError(f"device {device_id!r} holds no slot")
+            return slot
+
+    def device_of(self, slot: int) -> str | None:
+        with self._lock:
+            return self._device_of.get(int(slot))
+
+    def occupied_slots(self) -> frozenset:
+        with self._lock:
+            return frozenset(self._device_of)
+
+    def free_slots(self) -> int:
+        with self._lock:
+            return len(self._free)
+
+    def shard_for(self, slot: int) -> int:
+        """Shard index of a slot (identity in the slot universe)."""
+        if not 0 <= int(slot) < self.capacity:
+            raise OrchestratorError(f"slot {slot} outside capacity {self.capacity}")
+        return int(slot)
+
+    def neighbor_set(self, slot: int) -> tuple[int, ...]:
+        """The slot's physical neighbor set from the base topology."""
+        if self.base_topology is None:
+            return ()
+        return tuple(self.base_topology.neighbors(int(slot)))
+
+    def assignments(self) -> dict[str, int]:
+        """``{device_id: slot}`` snapshot."""
+        with self._lock:
+            return dict(self._slot_of)
+
+    # -- membership → topology candidates ----------------------------------
+
+    def drop_candidates(
+        self, topology: Topology, slots: frozenset | set
+    ) -> tuple:
+        """Current-topology edges incident to the given (leaving) slots.
+
+        These are handed to the controller as *forced* prune candidates;
+        the connectivity guard still applies, so a leaver keeps at least
+        one algorithmic link and the full-graph spectral contracts stay
+        valid (its weight is reweighted away at mixing time instead).
+        """
+        wanted = {int(s) for s in slots}
+        return tuple(
+            sorted(
+                edge
+                for edge in topology.edges
+                if edge[0] in wanted or edge[1] in wanted
+            )
+        )

@@ -1,0 +1,232 @@
+"""The orchestrator's HTTP API (stdlib ``http.server``, JSON bodies).
+
+Endpoints::
+
+    POST /register   {"name", "capabilities"?, "job"?, "port"?}
+                     → device id (+ slot/shard/neighbors when enrolling)
+    POST /heartbeat  {"device_id"}            → current state
+    POST /leave      {"device_id"}            → terminal state + freed slots
+    POST /port       {"device_id", "port"}    → publish a bound listener port
+    GET  /jobs                                → every job's status snapshot
+    GET  /jobs/<id>                           → one job's status snapshot
+    GET  /fleet                               → registry + heartbeat snapshot
+    GET  /metrics                             → text exposition (cost tracker,
+                                                staleness, fleet counters)
+
+The server is a ``ThreadingHTTPServer`` bound to an ephemeral port by
+default (``port=0`` — the same bind-then-publish discipline the testbed
+listeners use), so any number of fleets can coexist on one host. Handlers
+are a thin JSON veneer over :class:`~repro.orchestrator.jobs.JobManager`;
+all state and locking live there.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.exceptions import OrchestratorError, ReproError
+from repro.orchestrator.jobs import JobManager
+from repro.orchestrator.metrics import render_metrics
+
+
+class OrchestratorService:
+    """Run a :class:`JobManager` behind an HTTP API.
+
+    Parameters
+    ----------
+    manager:
+        The fleet to expose (created if omitted).
+    host, port:
+        Bind address; ``port=0`` (default) lets the kernel choose and the
+        bound port is published on :attr:`port` / :attr:`url`.
+    start_monitor:
+        Also run the heartbeat monitor's background sweeper for the
+        service's lifetime.
+    """
+
+    def __init__(
+        self,
+        manager: JobManager | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        start_monitor: bool = True,
+    ):
+        self.manager = manager if manager is not None else JobManager()
+        self._start_monitor = bool(start_monitor)
+        handler = _build_handler(self.manager)
+        self._server = ThreadingHTTPServer((host, int(port)), handler)
+        self._server.daemon_threads = True
+        self.host = host
+        self.port = int(self._server.server_address[1])
+        self._thread: threading.Thread | None = None
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "OrchestratorService":
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._server.serve_forever,
+                kwargs={"poll_interval": 0.05},
+                daemon=True,
+            )
+            self._thread.start()
+            if self._start_monitor:
+                self.manager.monitor.start()
+        return self
+
+    def stop(self) -> None:
+        if self._start_monitor:
+            self.manager.monitor.stop()
+        if self._thread is not None:
+            self._server.shutdown()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._server.server_close()
+
+    def __enter__(self) -> "OrchestratorService":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def _build_handler(manager: JobManager):
+    """Bind a request-handler class to one manager instance."""
+
+    class Handler(BaseHTTPRequestHandler):
+        protocol_version = "HTTP/1.1"
+
+        # -- plumbing ------------------------------------------------------
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+            pass  # the control plane's telemetry is /metrics, not stderr
+
+        def _read_json(self) -> dict:
+            length = int(self.headers.get("Content-Length") or 0)
+            if length <= 0:
+                return {}
+            raw = self.rfile.read(length)
+            try:
+                body = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as error:
+                raise OrchestratorError(f"invalid JSON body: {error}") from error
+            if not isinstance(body, dict):
+                raise OrchestratorError("request body must be a JSON object")
+            return body
+
+        def _send(self, status: int, payload, content_type="application/json"):
+            body = (
+                payload.encode("utf-8")
+                if isinstance(payload, str)
+                else json.dumps(payload).encode("utf-8")
+            )
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _dispatch(self, handler) -> None:
+            try:
+                status, payload = handler()
+            except OrchestratorError as error:
+                status, payload = 400, {"error": str(error)}
+            except ReproError as error:
+                status, payload = 409, {"error": str(error)}
+            except Exception as error:  # noqa: BLE001 - wire boundary
+                status, payload = 500, {"error": f"{type(error).__name__}: {error}"}
+            if isinstance(payload, str):
+                self._send(status, payload, content_type="text/plain; charset=utf-8")
+            else:
+                self._send(status, payload)
+
+        def _require(self, body: dict, key: str):
+            value = body.get(key)
+            if value is None:
+                raise OrchestratorError(f"missing required field {key!r}")
+            return value
+
+        # -- routes --------------------------------------------------------
+
+        def do_POST(self):  # noqa: N802 - stdlib naming
+            routes = {
+                "/register": self._register,
+                "/heartbeat": self._heartbeat,
+                "/leave": self._leave,
+                "/port": self._port,
+            }
+            handler = routes.get(self.path)
+            if handler is None:
+                self._send(404, {"error": f"no such endpoint: {self.path}"})
+                return
+            self._dispatch(handler)
+
+        def do_GET(self):  # noqa: N802 - stdlib naming
+            if self.path == "/metrics":
+                self._dispatch(self._metrics)
+            elif self.path == "/fleet":
+                self._dispatch(self._fleet)
+            elif self.path == "/jobs":
+                self._dispatch(self._jobs)
+            elif self.path.startswith("/jobs/"):
+                self._dispatch(self._job_status)
+            else:
+                self._send(404, {"error": f"no such endpoint: {self.path}"})
+
+        def _register(self):
+            body = self._read_json()
+            response = manager.register_device(
+                self._require(body, "name"),
+                capabilities=body.get("capabilities"),
+                job_id=body.get("job"),
+                port=body.get("port"),
+            )
+            return 200, response
+
+        def _heartbeat(self):
+            body = self._read_json()
+            record = manager.registry.heartbeat(self._require(body, "device_id"))
+            return 200, {
+                "device_id": record.device_id,
+                "state": record.state.value,
+                "missed_heartbeats": record.missed_heartbeats,
+            }
+
+        def _leave(self):
+            body = self._read_json()
+            return 200, manager.leave_device(self._require(body, "device_id"))
+
+        def _port(self):
+            body = self._read_json()
+            record = manager.registry.publish_port(
+                self._require(body, "device_id"),
+                int(self._require(body, "port")),
+            )
+            return 200, {"device_id": record.device_id, "port": record.port}
+
+        def _jobs(self):
+            return 200, {"jobs": [job.snapshot() for job in manager.jobs()]}
+
+        def _job_status(self):
+            job_id = self.path[len("/jobs/"):]
+            return 200, manager.get_job(job_id).snapshot()
+
+        def _fleet(self):
+            return 200, {
+                "fleet": manager.registry.snapshot(),
+                "heartbeat": {
+                    "interval_s": manager.monitor.interval_s,
+                    "evict_after_misses": manager.monitor.evict_after_misses,
+                    "sweeps": manager.monitor.sweeps,
+                    "evictions_total": manager.monitor.evictions_total,
+                },
+            }
+
+        def _metrics(self):
+            return 200, render_metrics(manager)
+
+    return Handler

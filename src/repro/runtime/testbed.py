@@ -201,10 +201,16 @@ class _Node:
         self.server = server
         self.compressor = compressor
         self.runtime = runtime
+        #: Physical peers: the base-topology neighbor set at wiring time.
+        #: Sockets span this superset for the life of the run; the
+        #: *algorithmic* neighbor set (``server.neighbors``) may shrink and
+        #: regrow inside it under elastic membership, so a re-added link
+        #: never needs a new connection.
+        self.link_peers: tuple[int, ...] = tuple(server.neighbors)
         self.listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self.listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self.listener.bind(("127.0.0.1", 0))
-        self.listener.listen(len(server.neighbors) + 1)
+        self.listener.listen(len(self.link_peers) + 1)
         self.port = self.listener.getsockname()[1]
         self.send_connections: dict[int, FrameConnection] = {}
         self.recv_connections: list[FrameConnection] = []
@@ -217,19 +223,23 @@ class _Node:
         #: Set once every neighbor has connected inbound at least once.
         self.wired = threading.Event()
         #: Rounds since each in-neighbor's update was last applied here.
-        self.staleness: dict[int, int] = {n: 0 for n in server.neighbors}
+        self.staleness: dict[int, int] = {n: 0 for n in self.link_peers}
         #: Sender round of the newest frame applied from each in-neighbor.
         self.last_applied_round: dict[int, int] = {
-            n: 0 for n in server.neighbors
+            n: 0 for n in self.link_peers
         }
         #: Rounds this node *started* with a stale view of each in-neighbor
         #: (view version older than the previous round) — the semi-sync
         #: engine's straggler ledger, mirrored for testbed runs.
         self.stale_view_rounds: dict[int, int] = {
-            n: 0 for n in server.neighbors
+            n: 0 for n in self.link_peers
         }
         #: Consecutive rounds each in-neighbor missed the round deadline.
-        self.miss_streak: dict[int, int] = {n: 0 for n in server.neighbors}
+        self.miss_streak: dict[int, int] = {n: 0 for n in self.link_peers}
+        #: Per-peer frame epoch: frames built before this round are stale
+        #: leftovers from before a membership swap re-seeded the link, and
+        #: are dropped instead of applied.
+        self.link_epoch: dict[int, int] = {}
         #: Peers believed gone (EOF seen or too many missed deadlines).
         self.dead_peers: set[int] = set()
         self.corrupt_frames = 0
@@ -244,7 +254,7 @@ class _Node:
         connection died can transparently re-dial (the transport layer's
         reconnect path lands here).
         """
-        expected = set(self.server.neighbors)
+        expected = set(self.link_peers)
         self.listener.settimeout(0.2)
         while not self.runtime._stopping.is_set():
             try:
@@ -258,7 +268,7 @@ class _Node:
             except ProtocolError:
                 sock.close()
                 continue
-            if sender not in self.staleness:  # keys = neighbor set
+            if sender not in self.staleness:  # keys = physical peer set
                 sock.close()
                 self.runtime._record_error(
                     ProtocolError(
@@ -289,8 +299,8 @@ class _Node:
         return int.from_bytes(hello, "big")
 
     def connect_to_neighbors(self, ports: dict[int, int]) -> None:
-        """Open one persistent outbound connection per neighbor."""
-        for neighbor in self.server.neighbors:
+        """Open one persistent outbound connection per physical peer."""
+        for neighbor in self.link_peers:
             self.send_connections[neighbor] = FrameConnection(
                 self._dial(ports[neighbor]),
                 peer=f"server {neighbor}",
@@ -322,16 +332,38 @@ class _Node:
 
     # -- the per-round protocol -------------------------------------------------
 
-    def run_round(self, round_index: int) -> None:
-        """One synchronized round (called between the runtime's barriers)."""
+    def run_round(self, round_index: int) -> bool:
+        """One synchronized round (called between the runtime's barriers).
+
+        Returns ``False`` when an orchestrator membership decision stops
+        the run (e.g. the job's bytes budget is exhausted) — every node
+        thread sees the same cached decision, so they all stop together
+        before touching a barrier.
+        """
         server = self.server
         plan = self.runtime.fault_plan
         topology = self.runtime.topology
+        inactive = self.runtime._membership_sync(round_index)
+        if inactive is None:
+            return False  # membership decision: stop the run
         down = (
             plan.failed_nodes(topology, round_index)
             if plan is not None
             else frozenset()
         )
+
+        if server.node_id in inactive:
+            # Membership-inactive slot (left, evicted, or not yet joined):
+            # idles exactly like a plan-downed server, except its loss is
+            # NaN — it is not part of the fleet this round, so it must not
+            # drag the mean-loss trace (the runtime nanmeans in membership
+            # mode).
+            self.loss_trace.append(float("nan"))
+            self.runtime.barrier_wait()
+            for neighbor in self.staleness:
+                self.staleness[neighbor] += 1
+            self.runtime.barrier_wait()
+            return True
 
         if server.node_id in down:
             # Plan-downed this round: no step, no traffic, no receptions —
@@ -343,13 +375,15 @@ class _Node:
             for neighbor in self.staleness:
                 self.staleness[neighbor] += 1
             self.runtime.barrier_wait()
-            return
+            return True
+
+        down = down | inactive
 
         # Ledger how old each usable in-edge view is as this round starts
         # (same rule as the semi-sync engine's _note_staleness: peers we
         # have written off are excluded, like its degraded edges).
         for neighbor in self.stale_view_rounds:
-            if neighbor in self.dead_peers:
+            if neighbor in self.dead_peers or neighbor not in server.views:
                 continue
             if (round_index - 1) - self.last_applied_round[neighbor] > 0:
                 self.stale_view_rounds[neighbor] += 1
@@ -392,6 +426,7 @@ class _Node:
 
         self._collect_round(round_index, down, plan, topology)
         self.runtime.barrier_wait()  # everyone exchanged
+        return True
 
     def _send(
         self, neighbor: int, message: ParameterUpdate, corrupt: bool,
@@ -408,13 +443,17 @@ class _Node:
         connection = self.send_connections[neighbor]
         try:
             if corrupt:
-                self.payload_bytes += connection.send_corrupted(message)
+                sent = connection.send_corrupted(message)
                 self.compressor.payload_dropped(payload, state)
             else:
-                self.payload_bytes += connection.send_update(message)
+                sent = connection.send_update(message)
                 self.server.mark_delivered(neighbor, message)
                 self.compressor.payload_delivered(payload, state)
+            self.payload_bytes += sent
             self.frames_sent += 1
+            self.runtime._record_flow(
+                message.round_index, self.server.node_id, neighbor, sent
+            )
         except ProtocolError:
             # Retries (and reconnect attempts) exhausted: the peer is gone.
             # Degrade — the straggler rule covers the missing update.
@@ -474,6 +513,16 @@ class _Node:
                     f"node {server.node_id} got a round-{update.round_index} "
                     f"frame during round {round_index}"
                 )
+            if (
+                update.sender not in server.views
+                or update.round_index < self.link_epoch.get(update.sender, 0)
+            ):
+                # Leftover frame across a membership swap: the sender is no
+                # longer an algorithmic neighbor, or the frame was built
+                # before the link was re-seeded (applying a pre-swap delta
+                # to a seeded view would corrupt it). Drop it.
+                pending.discard(update.sender)
+                continue
             # A frame from an earlier round (a straggler catching up) is
             # still the newest information from that peer — apply it, per
             # the paper's reuse-the-latest-received rule.
@@ -547,6 +596,19 @@ class TestbedRuntime:
     retry_policy:
         Transport retry schedule for sends (defaults to a fast schedule
         suited to localhost).
+    membership:
+        Optional elastic-membership source (duck-typed; in practice an
+        :class:`repro.orchestrator.OrchestratedMembership` bridge). Must
+        provide ``bind(runtime)`` — called once at construction — and
+        ``decide(round_index)`` returning an object with ``active``
+        (the ids participating this round), ``swap`` (an optional
+        :class:`~repro.weights.adaptive.TopologySwap` to apply at the
+        boundary), and ``stop``. The runtime calls ``decide`` exactly once
+        per round (first node thread in computes, the rest read the cached
+        decision), treats non-active slots as idle, applies the swap to
+        the shared server objects before any thread proceeds, and stops
+        the run cleanly when ``stop`` is set. ``None`` (default) is the
+        static fleet: behavior is bit-for-bit the pre-orchestrator runtime.
     """
 
     #: Not a pytest test class, despite the name.
@@ -566,6 +628,7 @@ class TestbedRuntime:
         dead_after_misses: int | None = DEFAULT_DEAD_AFTER_MISSES,
         crash_schedule: dict[int, object] | None = None,
         retry_policy: RetryPolicy | None = None,
+        membership: object | None = None,
     ):
         trainer = SNAPTrainer(
             model,
@@ -624,6 +687,76 @@ class TestbedRuntime:
         self._crash_requests: set[int] = set()
         self._crash_lock = threading.Lock()
         self.dead_nodes: set[int] = set()
+        self._node_by_id = {node.server.node_id: node for node in self.nodes}
+        self._all_ids = frozenset(self._node_by_id)
+        #: Every frame's payload bytes land in the trainer's columnar cost
+        #: tracker (stage ``"testbed"``), so an orchestrator /metrics
+        #: endpoint reads live, exact byte counters.
+        self._tracker_lock = threading.Lock()
+        self.membership = membership
+        self._membership_lock = threading.Lock()
+        #: ``(round_index, decision, inactive)`` cache — one decision per round.
+        self._membership_cache: tuple = (0, None, frozenset())
+        if membership is not None:
+            membership.bind(self)
+
+    def _record_flow(self, round_index, source, destination, n_bytes) -> None:
+        with self._tracker_lock:
+            self._trainer.tracker.record(
+                round_index, source, destination, n_bytes, hops=1, stage="testbed"
+            )
+
+    def _membership_sync(self, round_index: int) -> frozenset | None:
+        """The membership-inactive set for this round (None = stop the run).
+
+        The first node thread to reach a round boundary computes the
+        decision and applies its topology swap; later threads read the
+        cached result. This is safe because every thread calls here before
+        touching its server, and the previous round's closing barrier
+        guarantees no thread is still inside round ``round_index - 1`` —
+        so the swap mutates the shared server objects while every other
+        thread is parked on the lock or between rounds.
+        """
+        if self.membership is None:
+            return frozenset()
+        with self._membership_lock:
+            cached_round, decision, inactive = self._membership_cache
+            if cached_round != round_index:
+                decision = self.membership.decide(round_index)
+                inactive = self._all_ids - frozenset(decision.active)
+                if decision.swap is not None and not decision.stop:
+                    self._apply_membership_swap(decision.swap, round_index)
+                self._membership_cache = (round_index, decision, inactive)
+            return None if decision.stop else inactive
+
+    def _apply_membership_swap(self, swap, round_index: int) -> None:
+        """Adopt an orchestrator swap on the live fleet at a round boundary.
+
+        Reuses the trainer's atomic swap application (validation, per-node
+        rows, alpha re-cap, seeded views for re-added links, staleness
+        rebuild, monitor re-check) minus the engine sync — the testbed's
+        server objects are already authoritative. Node-level link state is
+        then re-armed for re-added links: the frame epoch fences out
+        pre-swap leftovers, and the peer's miss/death record is cleared.
+        """
+        for u, v in getattr(swap, "added_edges", ()):
+            bad = [e for e in ((u, v), (v, u)) if e[1] not in
+                   self._node_by_id[e[0]].link_peers]
+            if bad:
+                raise ProtocolError(
+                    f"membership swap re-adds link {(u, v)} outside the "
+                    "wired physical topology"
+                )
+        self._trainer._apply_topology_swap(swap, sync_engine=False)
+        self.alpha = self._trainer.alpha
+        for u, v in getattr(swap, "added_edges", ()):
+            for node_id, peer in ((u, v), (v, u)):
+                node = self._node_by_id[node_id]
+                node.link_epoch[peer] = round_index
+                node.dead_peers.discard(peer)
+                node.miss_streak[peer] = 0
+                node.last_applied_round[peer] = round_index - 1
+                node.staleness[peer] = 0
 
     def barrier_wait(self) -> None:
         """Synchronize the surviving node threads (the shared-clock stand-in)."""
@@ -690,6 +823,15 @@ class TestbedRuntime:
         if self._errors:
             raise self._errors[0]
 
+        # A membership stop decision may end the run before n_rounds.
+        executed = max(
+            (len(node.loss_trace) for node in self.nodes), default=0
+        )
+        n_rounds = min(n_rounds, executed)
+        # Membership-inactive slots contribute NaN losses; the fleet mean
+        # is over the slots actually in the fleet that round. Static runs
+        # keep np.mean bit-for-bit.
+        mean = np.mean if self.membership is None else np.nanmean
         per_round = [
             int(
                 sum(
@@ -701,7 +843,7 @@ class TestbedRuntime:
             for r in range(n_rounds)
         ]
         mean_loss = [
-            float(np.mean([
+            float(mean([
                 node.loss_trace[r]
                 for node in self.nodes
                 if r < len(node.loss_trace)
@@ -742,7 +884,8 @@ class TestbedRuntime:
                     self._barrier.leave()
                     return
                 before = node.payload_bytes
-                node.run_round(round_index)
+                if not node.run_round(round_index):
+                    return  # membership stop: all threads exit together
                 node.per_round_payload.append(node.payload_bytes - before)
         except BaseException as error:  # noqa: BLE001 - surfaced to the caller
             self._record_error(error)
@@ -751,3 +894,18 @@ class TestbedRuntime:
     def stacked_params(self) -> np.ndarray:
         """Current per-server parameters (rows aligned with node ids)."""
         return np.stack([node.server.params for node in self.nodes])
+
+    @property
+    def ports(self) -> dict[int, int]:
+        """Bound ephemeral listener port of every node (id → port).
+
+        Every listener binds port 0 and publishes the kernel-assigned port
+        here — this is what the orchestrator's registry republishes to
+        peers, so no caller ever hand-maintains a port map.
+        """
+        return {node.server.node_id: node.port for node in self.nodes}
+
+    @property
+    def trainer(self):
+        """The internal trainer (weight matrix, tracker, config, servers)."""
+        return self._trainer

@@ -22,6 +22,7 @@ from repro.weights.adaptive import (
     TopologySwap,
     edge_cost_vector,
     prune_links,
+    readd_links,
 )
 from repro.weights.construction import (
     max_degree_weights,
@@ -57,4 +58,5 @@ __all__ = [
     "TopologySwap",
     "edge_cost_vector",
     "prune_links",
+    "readd_links",
 ]

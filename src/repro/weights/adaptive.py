@@ -96,7 +96,10 @@ def edge_cost_vector(
 
 
 def prune_links(
-    topology: Topology, matrix: np.ndarray, threshold: float
+    topology: Topology,
+    matrix: np.ndarray,
+    threshold: float,
+    forced: tuple = (),
 ) -> tuple[Topology, tuple]:
     """Drop links whose mixing weight fell below ``threshold``, connectivity-guarded.
 
@@ -106,13 +109,28 @@ def prune_links(
     candidates, mirroring :func:`~repro.weights.planning.plan_neighbor_sets`
     falling back to the candidate topology). Returns the pruned topology and
     the tuple of removed canonical edges, in removal order.
+
+    ``forced`` names additional candidate edges to drop regardless of their
+    current weight — the orchestrator's membership scheduler uses this to
+    retire the links of a device that left the fleet. Forced candidates pass
+    through the same ascending-weight order and connectivity guard, so a
+    leave can never split the mixing graph.
     """
     if threshold < 0:
         raise TopologyError(f"prune threshold must be >= 0, got {threshold}")
+    present = set(topology.edges)
+    candidate_edges = {
+        (u, v) for u, v in topology.edges if float(matrix[u, v]) < threshold
+    }
+    for u, v in forced:
+        edge = (min(int(u), int(v)), max(int(u), int(v)))
+        if edge not in present:
+            raise TopologyError(
+                f"forced prune candidate {edge} is not a topology edge"
+            )
+        candidate_edges.add(edge)
     candidates = sorted(
-        (float(matrix[u, v]), (u, v))
-        for u, v in topology.edges
-        if float(matrix[u, v]) < threshold
+        (float(matrix[u, v]), (u, v)) for u, v in candidate_edges
     )
     removed: list[tuple[int, int]] = []
     current = topology
@@ -122,6 +140,38 @@ def prune_links(
             current = trial
             removed.append(edge)
     return current, tuple(removed)
+
+
+def readd_links(
+    topology: Topology, candidates: tuple, allowed: Topology
+) -> tuple[Topology, tuple]:
+    """Restore previously pruned links, bounded to an allowed base graph.
+
+    ``candidates`` are canonical ``(u, v)`` edges to re-add; each must be an
+    edge of ``allowed`` (the base topology the fleet was wired on — re-adding
+    a link that was never provisioned has no transport underneath it).
+    Candidates already present are skipped. Returns the grown topology and
+    the tuple of re-added canonical edges, in ascending order.
+    """
+    allowed_edges = set(allowed.edges)
+    present = set(topology.edges)
+    added: list[tuple[int, int]] = []
+    for u, v in sorted(
+        (min(int(u), int(v)), max(int(u), int(v))) for u, v in candidates
+    ):
+        edge = (u, v)
+        if edge not in allowed_edges:
+            raise TopologyError(
+                f"re-add candidate {edge} is outside the base topology; links "
+                "can only be restored where the fleet was wired"
+            )
+        if edge in present:
+            continue
+        present.add(edge)
+        added.append(edge)
+    if not added:
+        return topology, ()
+    return Topology(topology.n_nodes, present), tuple(added)
 
 
 @dataclass(frozen=True)
@@ -135,7 +185,7 @@ class TopologySwap:
     """
 
     round_index: int
-    reason: str  # "periodic" | "churn" | "ape-stage"
+    reason: str  # "periodic" | "churn" | "ape-stage" | "membership"
     topology: Topology
     matrix: np.ndarray
     result: WeightOptimizationResult
@@ -145,6 +195,8 @@ class TopologySwap:
     compressor_spec: object | None
     #: Subgradient steps the (warm-started) re-solve spent; 0 if W was reused.
     solver_steps: int
+    #: Canonical edges restored by this swap (elastic joins / churn recovery).
+    added_edges: tuple = ()
 
 
 class TopologyController:
@@ -198,6 +250,10 @@ class TopologyController:
         spec=None,
     ):
         self.topology = topology
+        #: The graph the fleet was originally wired on: re-added links are
+        #: bounded to this edge set (there is no transport under anything
+        #: else), and the cumulative prune history below is relative to it.
+        self.base_topology = topology
         self.result = result
         self.reoptimize_every = int(reoptimize_every)
         self.prune_threshold = float(prune_threshold)
@@ -215,6 +271,9 @@ class TopologyController:
         self.swaps: list[TopologySwap] = []
         #: Total subgradient steps spent across all online re-solves.
         self.total_solver_steps = 0
+        #: Every base-topology edge currently pruned (the re-add candidate
+        #: pool for churn recovery and elastic joins).
+        self.pruned_ever: set = set()
 
     # -- firing rule -------------------------------------------------------------
 
@@ -232,21 +291,30 @@ class TopologyController:
         rounds_done: int = 0,
         total_rounds: int = 0,
         reason: str = "periodic",
+        drop_candidates: tuple = (),
+        add_candidates: tuple = (),
     ) -> TopologySwap | None:
         """Run one controller cycle; returns the swap to apply, or None.
 
-        A cycle prunes below-threshold links, re-solves (22)/(23)
-        warm-started when the edge set changed (or unconditionally on
-        ``"churn"`` — link statistics shifted even if no edge died), and
+        A cycle prunes below-threshold links (plus any ``drop_candidates``
+        forced by a membership scheduler, still connectivity-guarded),
+        restores ``add_candidates`` links — bounded to the base topology the
+        fleet was wired on — for recovered or newly joined nodes, re-solves
+        (22)/(23) warm-started when the edge set changed (or unconditionally
+        on ``"churn"`` — link statistics shifted even if no edge died), and
         steps the compressor knob against the bytes budget. When nothing
-        changes, no swap is emitted and the run proceeds untouched —
-        an idle controller is a bitwise no-op.
+        changes, no swap is emitted and the run proceeds untouched — an idle
+        controller is a bitwise no-op.
         """
         pruned, removed = prune_links(
-            self.topology, self.result.matrix, self.prune_threshold
+            self.topology,
+            self.result.matrix,
+            self.prune_threshold,
+            forced=drop_candidates,
         )
+        pruned, added = readd_links(pruned, add_candidates, self.base_topology)
         new_spec = self._budget_spec(bytes_spent, rounds_done, total_rounds)
-        resolve = bool(removed) or reason == "churn"
+        resolve = bool(removed) or bool(added) or reason == "churn"
         if not resolve and new_spec is None:
             return None
         if resolve:
@@ -276,14 +344,34 @@ class TopologyController:
             pruned_edges=removed,
             compressor_spec=new_spec,
             solver_steps=solver_steps,
+            added_edges=added,
         )
         self.topology = pruned
         self.result = result
+        self.pruned_ever |= set(removed)
+        self.pruned_ever -= set(added)
         if new_spec is not None:
             self.spec = new_spec
         self.total_solver_steps += solver_steps
         self.swaps.append(swap)
         return swap
+
+    def readd_candidates(self, nodes) -> tuple:
+        """Pruned base-topology links incident to ``nodes``, ascending.
+
+        The churn-recovery / elastic-join re-add pool: every link the
+        controller previously dropped that touches one of the recovered or
+        newly joined ``nodes``. Always a subset of the base topology's
+        edges, so it is a valid ``add_candidates`` argument by construction.
+        """
+        wanted = {int(n) for n in nodes}
+        return tuple(
+            sorted(
+                edge
+                for edge in self.pruned_ever
+                if edge[0] in wanted or edge[1] in wanted
+            )
+        )
 
     # -- the bytes-budget knob ---------------------------------------------------
 
@@ -352,6 +440,7 @@ class TopologyController:
         return {
             "swaps": len(self.swaps),
             "pruned_edges": sum(len(s.pruned_edges) for s in self.swaps),
+            "added_edges": sum(len(s.added_edges) for s in self.swaps),
             "solver_steps": self.total_solver_steps,
             "final_edges": len(self.topology.edges),
             "final_compressor": (

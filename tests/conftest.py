@@ -37,6 +37,7 @@ def pytest_collection_modifyitems(config, items):
         networked = (
             f"{os.sep}integration{os.sep}" in path
             or f"{os.sep}runtime{os.sep}" in path
+            or f"{os.sep}orchestrator{os.sep}" in path
         )
         if networked and item.get_closest_marker("timeout") is None:
             item.add_marker(pytest.mark.timeout(NETWORKED_TEST_TIMEOUT_S))

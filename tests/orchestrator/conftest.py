@@ -1,0 +1,43 @@
+"""Shared fixtures for the fleet control-plane suite.
+
+Time-dependent pieces (registry heartbeats, monitor sweeps) are tested
+against an injected fake clock, never by sleeping; only the HTTP and
+end-to-end suites touch real sockets and threads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.orchestrator import DeviceRegistry, HeartbeatMonitor
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock."""
+
+    def __init__(self, start: float = 100.0):
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> float:
+        self.now += float(seconds)
+        return self.now
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture
+def registry(clock):
+    return DeviceRegistry(clock=clock)
+
+
+@pytest.fixture
+def monitor(registry, clock):
+    return HeartbeatMonitor(
+        registry, interval_s=1.0, evict_after_misses=3, clock=clock
+    )

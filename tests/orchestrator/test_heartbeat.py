@@ -1,0 +1,105 @@
+"""Heartbeat monitoring: miss accrual, suspicion, and eviction."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.exceptions import OrchestratorError
+from repro.orchestrator import (
+    DeviceRegistry,
+    DeviceState,
+    HeartbeatMonitor,
+)
+
+
+class TestSweep:
+    def test_fresh_devices_are_untouched(self, registry, monitor):
+        record = registry.register("edge-a")
+        assert monitor.sweep() == ()
+        assert record.state is DeviceState.ACTIVE
+
+    def test_misses_charge_one_per_full_interval(self, registry, monitor, clock):
+        record = registry.register("edge-a")
+        clock.advance(2.5)  # two full 1s intervals elapsed
+        assert monitor.sweep() == ()
+        assert record.state is DeviceState.SUSPECT
+        assert record.missed_heartbeats == 2
+
+    def test_eviction_at_the_threshold(self, registry, monitor, clock):
+        record = registry.register("edge-a")
+        clock.advance(3.0)  # exactly evict_after_misses intervals
+        assert monitor.sweep() == (record.device_id,)
+        assert record.state is DeviceState.EVICTED
+        assert record.missed_heartbeats == 3
+
+    def test_heartbeat_between_sweeps_resets_the_clock(
+        self, registry, monitor, clock
+    ):
+        record = registry.register("edge-a")
+        clock.advance(2.0)
+        monitor.sweep()
+        assert record.state is DeviceState.SUSPECT
+        registry.heartbeat(record.device_id)
+        clock.advance(0.5)
+        monitor.sweep()
+        assert record.state is DeviceState.ACTIVE
+        assert record.missed_heartbeats == 0
+
+    def test_terminal_devices_are_not_reswept(self, registry, monitor, clock):
+        record = registry.register("edge-a")
+        registry.leave(record.device_id)
+        clock.advance(100.0)
+        assert monitor.sweep() == ()
+        assert record.state is DeviceState.LEFT
+
+
+class TestListeners:
+    def test_listeners_hear_each_eviction_batch(self, registry, monitor, clock):
+        heard = []
+        monitor.add_listener(heard.append)
+        a = registry.register("edge-a")
+        b = registry.register("edge-b")
+        clock.advance(10.0)
+        evicted = monitor.sweep()
+        assert set(evicted) == {a.device_id, b.device_id}
+        assert heard == [evicted]
+        assert monitor.evictions_total == 2
+
+    def test_quiet_sweeps_do_not_notify(self, registry, monitor):
+        heard = []
+        monitor.add_listener(heard.append)
+        registry.register("edge-a")
+        monitor.sweep()
+        assert heard == []
+        assert monitor.sweeps == 1
+
+
+class TestValidationAndBackground:
+    @pytest.mark.parametrize("interval", [0.0, -1.0])
+    def test_bad_interval_rejected(self, registry, interval):
+        with pytest.raises(OrchestratorError):
+            HeartbeatMonitor(registry, interval_s=interval)
+
+    def test_bad_miss_threshold_rejected(self, registry):
+        with pytest.raises(OrchestratorError):
+            HeartbeatMonitor(registry, evict_after_misses=0)
+
+    def test_background_sweeper_evicts_a_silent_device(self):
+        # The one wall-clock test: a real daemon sweeper on a tight period
+        # must evict a device that never heartbeats.
+        registry = DeviceRegistry()
+        monitor = HeartbeatMonitor(
+            registry, interval_s=0.02, evict_after_misses=2
+        )
+        record = registry.register("edge-silent")
+        monitor.start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while record.live and time.monotonic() < deadline:
+                time.sleep(0.01)
+        finally:
+            monitor.stop()
+        assert record.state is DeviceState.EVICTED
+        assert monitor.sweeps > 0

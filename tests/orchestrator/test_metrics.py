@@ -1,0 +1,80 @@
+"""/metrics rendering and its parsing inverse."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.orchestrator import JobManager
+from repro.orchestrator.metrics import parse_metrics, render_metrics
+
+
+@pytest.fixture
+def manager(clock):
+    return JobManager(heartbeat_s=1.0, evict_after_misses=3, clock=clock)
+
+
+def series(parsed, name, **labels):
+    return parsed[name][frozenset(labels.items())]
+
+
+class TestRender:
+    def test_fleet_counters_reflect_the_registry(self, manager, clock):
+        manager.registry.register("edge-a")
+        stale = manager.registry.register("edge-b")
+        clock.advance(10.0)
+        manager.registry.heartbeat("dev-0001")
+        manager.monitor.sweep()
+        parsed = parse_metrics(render_metrics(manager))
+        assert series(parsed, "fleet_devices", state="active") == 1
+        assert series(parsed, "fleet_devices", state="evicted") == 1
+        assert series(parsed, "heartbeat_sweeps_total") == 1
+        assert series(parsed, "heartbeat_evictions_total") == 1
+        assert series(parsed, "heartbeat_interval_seconds") == 1.0
+        assert stale.state.value == "evicted"
+
+    def test_unbound_job_exports_control_plane_gauges_only(self, manager):
+        job = manager.create_job("train", capacity=8, bytes_budget=4096)
+        parsed = parse_metrics(render_metrics(manager))
+        assert series(parsed, "job_capacity", job=job.job_id) == 8
+        assert series(parsed, "job_active_slots", job=job.job_id) == 0
+        assert series(parsed, "job_rounds_decided", job=job.job_id) == 0
+        assert series(parsed, "job_bytes_budget", job=job.job_id) == 4096
+        # No runtime bound yet: no byte/staleness series to export.
+        assert "job_bytes_total" not in parsed
+        assert "job_link_staleness_total" not in parsed
+
+    def test_output_ends_with_a_newline(self, manager):
+        assert render_metrics(manager).endswith("\n")
+
+
+class TestParse:
+    def test_labels_values_and_comments(self):
+        text = (
+            "# a comment\n"
+            'fleet_devices{state="active"} 3\n'
+            "heartbeat_interval_seconds 0.25\n"
+            'job_stage_bytes_total{job="job-0001",stage="testbed"} 42680\n'
+        )
+        parsed = parse_metrics(text)
+        assert series(parsed, "fleet_devices", state="active") == 3
+        assert series(parsed, "heartbeat_interval_seconds") == 0.25
+        assert (
+            series(
+                parsed, "job_stage_bytes_total", job="job-0001", stage="testbed"
+            )
+            == 42680
+        )
+
+    def test_round_trips_every_rendered_line(self, manager):
+        manager.registry.register("edge-a")
+        manager.create_job("train", capacity=4)
+        text = render_metrics(manager)
+        parsed = parse_metrics(text)
+        rendered_metric_lines = [
+            line
+            for line in text.splitlines()
+            if line and not line.startswith("#")
+        ]
+        assert len(rendered_metric_lines) == sum(
+            len(by_labels) for by_labels in parsed.values()
+        )

@@ -1,0 +1,125 @@
+"""The device registry's lifecycle state machine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import OrchestratorError, ReproError
+from repro.orchestrator import DeviceState
+
+
+class TestRegister:
+    def test_ids_are_sequential_and_stable(self, registry):
+        first = registry.register("edge-a")
+        second = registry.register("edge-b")
+        assert first.device_id == "dev-0001"
+        assert second.device_id == "dev-0002"
+        assert registry.get("dev-0001") is first
+
+    def test_new_device_is_active_with_a_fresh_heartbeat(self, registry, clock):
+        record = registry.register("edge-a", capabilities={"cpu_cores": 4})
+        assert record.state is DeviceState.ACTIVE
+        assert record.live
+        assert record.registered_at == clock.now
+        assert record.last_heartbeat == clock.now
+        assert record.capabilities == {"cpu_cores": 4}
+
+    def test_capabilities_are_copied_not_aliased(self, registry):
+        capabilities = {"cpu_cores": 4}
+        record = registry.register("edge-a", capabilities=capabilities)
+        capabilities["cpu_cores"] = 8
+        assert record.capabilities == {"cpu_cores": 4}
+
+    def test_empty_name_rejected(self, registry):
+        with pytest.raises(OrchestratorError):
+            registry.register("")
+
+    def test_errors_derive_from_repro_error(self, registry):
+        with pytest.raises(ReproError):
+            registry.get("dev-9999")
+
+
+class TestHeartbeat:
+    def test_heartbeat_refreshes_and_clears_misses(self, registry, clock):
+        record = registry.register("edge-a")
+        clock.advance(5.0)
+        registry.suspect(record.device_id, misses=2)
+        assert record.state is DeviceState.SUSPECT
+        registry.heartbeat(record.device_id)
+        assert record.state is DeviceState.ACTIVE
+        assert record.missed_heartbeats == 0
+        assert record.last_heartbeat == clock.now
+
+    @pytest.mark.parametrize("terminal", ["leave", "evict"])
+    def test_no_resurrection_from_terminal_states(self, registry, terminal):
+        record = registry.register("edge-a")
+        getattr(registry, terminal)(record.device_id)
+        before = record.state
+        after = registry.heartbeat(record.device_id)
+        assert after.state is before
+        assert not after.live
+
+    def test_unknown_device_rejected(self, registry):
+        with pytest.raises(OrchestratorError):
+            registry.heartbeat("dev-0404")
+
+
+class TestTerminalStates:
+    def test_leave_is_terminal(self, registry):
+        record = registry.register("edge-a")
+        registry.leave(record.device_id)
+        assert record.state is DeviceState.LEFT
+        # A second leave (or an eviction racing it) does not flip the state.
+        registry.evict(record.device_id)
+        assert record.state is DeviceState.LEFT
+
+    def test_evict_records_the_miss_count(self, registry):
+        record = registry.register("edge-a")
+        registry.evict(record.device_id, misses=7)
+        assert record.state is DeviceState.EVICTED
+        assert record.missed_heartbeats == 7
+
+    def test_suspect_only_demotes_active(self, registry):
+        record = registry.register("edge-a")
+        registry.leave(record.device_id)
+        registry.suspect(record.device_id, misses=1)
+        assert record.state is DeviceState.LEFT
+
+
+class TestPorts:
+    def test_publish_port_round_trips(self, registry):
+        record = registry.register("edge-a")
+        assert record.port is None
+        registry.publish_port(record.device_id, 43210)
+        assert registry.get(record.device_id).port == 43210
+
+    @pytest.mark.parametrize("port", [0, -1, 65536, 70000])
+    def test_out_of_range_ports_rejected(self, registry, port):
+        record = registry.register("edge-a")
+        with pytest.raises(OrchestratorError):
+            registry.publish_port(record.device_id, port)
+
+
+class TestQueries:
+    def test_state_counts_and_live_devices(self, registry):
+        a = registry.register("edge-a")
+        b = registry.register("edge-b")
+        c = registry.register("edge-c")
+        registry.leave(b.device_id)
+        registry.suspect(c.device_id, misses=1)
+        counts = registry.state_counts()
+        assert counts == {"active": 1, "suspect": 1, "evicted": 0, "left": 1}
+        assert {r.device_id for r in registry.live_devices()} == {
+            a.device_id,
+            c.device_id,
+        }
+        assert len(registry) == 3
+
+    def test_snapshot_is_json_safe(self, registry):
+        import json
+
+        registry.register("edge-a", capabilities={"mem_mb": 512})
+        snapshot = registry.snapshot()
+        assert snapshot["registered_total"] == 1
+        assert json.loads(json.dumps(snapshot)) == snapshot
+        assert snapshot["devices"][0]["state"] == "active"

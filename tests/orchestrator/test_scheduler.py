@@ -1,0 +1,102 @@
+"""Slot scheduling: lowest-free-slot assignment, shards, neighbor sets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import OrchestratorError
+from repro.orchestrator import SlotScheduler
+from repro.topology.graph import Topology
+
+
+def ring(n: int) -> Topology:
+    return Topology(n, [(i, (i + 1) % n) for i in range(n)])
+
+
+class TestAssignment:
+    def test_lowest_free_slot_first(self):
+        scheduler = SlotScheduler(4)
+        assert scheduler.assign("a") == 0
+        assert scheduler.assign("b") == 1
+        assert scheduler.assign("c") == 2
+
+    def test_released_slot_is_reused_before_higher_ones(self):
+        scheduler = SlotScheduler(4)
+        for device in ("a", "b", "c"):
+            scheduler.assign(device)
+        scheduler.release("a")
+        assert scheduler.assign("d") == 0  # not 3
+        assert scheduler.assign("e") == 3
+
+    def test_full_fleet_rejected(self):
+        scheduler = SlotScheduler(2)
+        scheduler.assign("a")
+        scheduler.assign("b")
+        with pytest.raises(OrchestratorError, match="full"):
+            scheduler.assign("c")
+
+    def test_double_assignment_rejected(self):
+        scheduler = SlotScheduler(2)
+        scheduler.assign("a")
+        with pytest.raises(OrchestratorError, match="already holds"):
+            scheduler.assign("a")
+
+    def test_release_of_unknown_device_rejected(self):
+        scheduler = SlotScheduler(2)
+        with pytest.raises(OrchestratorError, match="holds no slot"):
+            scheduler.release("ghost")
+
+    def test_queries_track_the_assignment(self):
+        scheduler = SlotScheduler(3)
+        scheduler.assign("a")
+        scheduler.assign("b")
+        assert scheduler.slot_of("b") == 1
+        assert scheduler.device_of(1) == "b"
+        assert scheduler.device_of(2) is None
+        assert scheduler.occupied_slots() == frozenset({0, 1})
+        assert scheduler.free_slots() == 1
+        assert scheduler.assignments() == {"a": 0, "b": 1}
+
+
+class TestShardsAndNeighbors:
+    def test_shard_is_the_slot(self):
+        scheduler = SlotScheduler(3)
+        assert [scheduler.shard_for(s) for s in range(3)] == [0, 1, 2]
+
+    def test_out_of_range_shard_rejected(self):
+        scheduler = SlotScheduler(3)
+        with pytest.raises(OrchestratorError):
+            scheduler.shard_for(3)
+
+    def test_neighbor_set_comes_from_the_base_topology(self):
+        scheduler = SlotScheduler(4, base_topology=ring(4))
+        assert set(scheduler.neighbor_set(0)) == {1, 3}
+
+    def test_no_base_topology_means_no_neighbors(self):
+        assert SlotScheduler(4).neighbor_set(0) == ()
+
+    def test_capacity_topology_mismatch_rejected(self):
+        with pytest.raises(OrchestratorError):
+            SlotScheduler(5, base_topology=ring(4))
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(OrchestratorError):
+            SlotScheduler(0)
+
+
+class TestDropCandidates:
+    def test_edges_incident_to_leaving_slots(self):
+        scheduler = SlotScheduler(5)
+        topology = ring(5)
+        candidates = scheduler.drop_candidates(topology, {0})
+        assert candidates == ((0, 1), (0, 4))
+
+    def test_multiple_leavers_deduplicate_shared_edges(self):
+        scheduler = SlotScheduler(5)
+        topology = ring(5)
+        candidates = scheduler.drop_candidates(topology, {0, 1})
+        assert candidates == ((0, 1), (0, 4), (1, 2))
+
+    def test_no_leavers_no_candidates(self):
+        scheduler = SlotScheduler(5)
+        assert scheduler.drop_candidates(ring(5), frozenset()) == ()

@@ -1,0 +1,155 @@
+"""The HTTP API round trip: service, client, and error mapping."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.exceptions import OrchestratorError
+from repro.orchestrator import (
+    HeartbeatSender,
+    JobManager,
+    OrchestratorClient,
+    OrchestratorService,
+)
+
+
+@pytest.fixture
+def service():
+    # start_monitor=False: nothing here should depend on wall-clock sweeps.
+    with OrchestratorService(JobManager(), start_monitor=False) as svc:
+        yield svc
+
+
+@pytest.fixture
+def client(service):
+    return OrchestratorClient(service.url)
+
+
+class TestDeviceLifecycle:
+    def test_register_heartbeat_leave_round_trip(self, client):
+        response = client.register("edge-00", capabilities={"cpu_cores": 2})
+        device_id = response["device_id"]
+        assert response["state"] == "active"
+        assert response["heartbeat_s"] > 0
+
+        beat = client.heartbeat(device_id)
+        assert beat == {
+            "device_id": device_id,
+            "state": "active",
+            "missed_heartbeats": 0,
+        }
+
+        gone = client.leave(device_id)
+        assert gone["state"] == "left"
+        assert gone["withdrawn_slots"] == {}
+
+    def test_register_with_job_enrolls_in_one_call(self, client, service):
+        job = service.manager.create_job("train", capacity=4)
+        response = client.register("edge-00", job=job.job_id)
+        assignment = response["assignment"]
+        assert assignment["job_id"] == job.job_id
+        assert assignment["slot"] == 0
+        assert job.enrolled_devices() == {response["device_id"]: 0}
+
+    def test_publish_port_lands_in_the_fleet_snapshot(self, client):
+        device_id = client.register("edge-00")["device_id"]
+        client.publish_port(device_id, 43210)
+        fleet = client.fleet()
+        (record,) = fleet["fleet"]["devices"]
+        assert record["port"] == 43210
+        assert fleet["heartbeat"]["evict_after_misses"] > 0
+
+
+class TestObservability:
+    def test_job_status_and_listing(self, client, service):
+        job = service.manager.create_job("train", capacity=4)
+        listing = client.jobs()
+        assert [j["job_id"] for j in listing["jobs"]] == [job.job_id]
+        status = client.job_status(job.job_id)
+        assert status["capacity"] == 4
+        assert status["state"] == "created"
+
+    def test_metrics_is_plain_text(self, client):
+        client.register("edge-00")
+        text = client.metrics()
+        assert isinstance(text, str)
+        assert 'fleet_devices{state="active"} 1' in text
+
+
+class TestErrorMapping:
+    def test_unknown_device_is_a_400(self, client):
+        with pytest.raises(OrchestratorError, match="400"):
+            client.heartbeat("dev-0404")
+
+    def test_unknown_job_is_a_400(self, client):
+        with pytest.raises(OrchestratorError, match="400"):
+            client.job_status("job-0404")
+
+    def test_missing_field_is_a_400(self, client):
+        with pytest.raises(OrchestratorError, match="missing required field"):
+            client._request("POST", "/heartbeat", {})
+
+    def test_unknown_endpoint_is_a_404(self, client):
+        with pytest.raises(OrchestratorError, match="404"):
+            client._request("GET", "/nope")
+
+    def test_invalid_json_is_a_400(self, service):
+        import urllib.request
+
+        request = urllib.request.Request(
+            f"{service.url}/register",
+            data=b"not json",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5.0)
+        assert excinfo.value.code == 400
+
+
+class TestService:
+    def test_ephemeral_port_is_bound_and_published(self):
+        service = OrchestratorService(JobManager(), start_monitor=False)
+        try:
+            assert service.port > 0
+            assert service.url.endswith(str(service.port))
+        finally:
+            service.stop()
+
+    def test_two_services_coexist_on_one_host(self):
+        with OrchestratorService(JobManager(), start_monitor=False) as a:
+            with OrchestratorService(JobManager(), start_monitor=False) as b:
+                assert a.port != b.port
+                OrchestratorClient(a.url).register("edge-a")
+                OrchestratorClient(b.url).register("edge-b")
+                assert len(a.manager.registry) == 1
+                assert len(b.manager.registry) == 1
+
+
+class TestHeartbeatSender:
+    def test_beats_until_the_device_leaves(self, client):
+        device_id = client.register("edge-00")["device_id"]
+        sender = HeartbeatSender(client, device_id, interval_s=0.02).start()
+        try:
+            deadline = time.monotonic() + 5.0
+            while sender.beats < 3 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert sender.beats >= 3
+            client.leave(device_id)
+            # The loop notices the terminal state and winds itself down.
+            deadline = time.monotonic() + 5.0
+            while (
+                sender._thread is not None
+                and sender._thread.is_alive()
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            assert not sender._thread.is_alive()
+        finally:
+            sender.stop()
+
+    def test_bad_interval_rejected(self, client):
+        with pytest.raises(OrchestratorError):
+            HeartbeatSender(client, "dev-0001", interval_s=0.0)

@@ -36,6 +36,7 @@ SUBPACKAGES = [
     "repro.faults",
     "repro.models",
     "repro.network",
+    "repro.orchestrator",
     "repro.runtime",
     "repro.simulation",
     "repro.testing",
