@@ -6,7 +6,7 @@ PYTEST := PYTHONPATH=src $(PYTHON) -m pytest
 
 .PHONY: test chaos perf differential verify-invariants coverage test-all \
 	bench bench-async bench-compression bench-figures bench-scale bench-scale-check \
-	bench-topology bench-topology-check orchestrate-smoke
+	bench-topology bench-topology-check orchestrate-smoke scenario-smoke
 
 ## The default (tier-1) suite: the addopts in pyproject.toml deselect the
 ## chaos, perf, and differential markers, so a bare pytest run is tier-1.
@@ -31,6 +31,15 @@ differential:
 ## monitor self-test (deliberate faults must be caught by name).
 verify-invariants:
 	PYTHONPATH=src $(PYTHON) -m repro verify --scenarios 25
+
+## The workload scenario pack: byzantine / drifting / hierarchical runs,
+## each certified by the differential harness (cross-engine digests +
+## golden pins + the three workload-axis monitor injections), plus the
+## byzantine chaos tests (N=32 defended accuracy, testbed ledger parity).
+scenario-smoke:
+	$(PYTEST) tests/differential/test_workload_differential.py -q -m differential
+	$(PYTEST) tests/runtime/test_chaos_byzantine.py -q -m chaos
+	$(PYTEST) tests/properties/test_robust_properties.py -q
 
 ## Line-coverage floor over the compression and network packages
 ## (pytest-cov when installed, a sys.settrace fallback otherwise).

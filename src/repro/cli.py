@@ -252,6 +252,11 @@ def build_parser() -> argparse.ArgumentParser:
         "engine across staleness bounds tau in {0, 2, 8} with a 10x "
         "straggler clock (strict invariants)",
     )
+    verify.add_argument(
+        "--skip-workloads",
+        action="store_true",
+        help="skip the curated byzantine/drift/hierarchy workload pack",
+    )
 
     return parser
 
@@ -509,6 +514,7 @@ def _command_verify(args: argparse.Namespace) -> int:
         run_selftest,
         run_semisync_smoke,
         run_suite,
+        run_workload_suite,
         summarize,
     )
 
@@ -535,6 +541,17 @@ def _command_verify(args: argparse.Namespace) -> int:
         )
         print(summarize(smoke))
         failed = failed or any(not report.ok for report in smoke)
+    if not args.skip_workloads:
+        print("workload pack (byzantine / drifting / hierarchical):")
+        workloads = run_workload_suite(
+            master_seed=args.master_seed,
+            fail_fast=args.fail_fast,
+            progress=lambda report: print(
+                f"[{'ok' if report.ok else 'FAIL'}] {report.scenario.describe()}"
+            ),
+        )
+        print(summarize(workloads))
+        failed = failed or any(not report.ok for report in workloads)
     if not args.skip_selftest:
         print("monitor self-test (deliberate fault injections):")
         for outcome in run_selftest(args.master_seed):

@@ -233,6 +233,9 @@ class SemiSyncEngine:
     def sync_to_servers(self) -> None:
         """No-op: the EdgeServer objects are the live state."""
 
+    def rebuild_data(self) -> None:
+        """No-op: servers read their (just-swapped) shards directly."""
+
     def rebuild_topology(self) -> None:
         """Adopt the trainer's swapped (pruned) topology mid-run.
 
@@ -431,7 +434,10 @@ class SemiSyncEngine:
                 while buffer and buffer[0].round_index <= k:
                     self._apply(buffer.popleft(), node_id)
             compressor = trainer.compressors[node_id]
-            ctx = compressor.begin_round(server.params, k)
+            # Byzantine nodes poison only the transmitted vector; their
+            # local recursion above stayed honest, like the other engines.
+            tx_params = trainer.transmit_params(server.params, node_id, k)
+            ctx = compressor.begin_round(tx_params, k)
             for neighbor in server.neighbors:
                 if neighbor in down:
                     # The peer is offline: the connection fails before any
@@ -440,7 +446,7 @@ class SemiSyncEngine:
                     continue
                 state = trainer._edge_state(node_id, neighbor)
                 state.reference = server.last_sent[neighbor]
-                payload = compressor.compress(server.params, state, ctx)
+                payload = compressor.compress(tx_params, state, ctx)
                 message = payload_to_update(
                     payload, node_id, k, trainer.model.n_params
                 )

@@ -220,6 +220,27 @@ class SNAPConfig:
         ``topk``/``randomk`` k) down or up at each cycle so the projected
         end-of-run traffic stays inside the budget — the joint
         (topology, compressor) controller of ``docs/TOPOLOGY.md``.
+    robust_aggregation:
+        Optional byzantine-resilient neighbor mixing: a
+        :class:`~repro.core.robust.RobustAggregationSpec` or a spec string
+        such as ``"trimmed_mean:f=2"``, ``"median"``, or ``"krum:f=1"``.
+        ``None`` (the default) is the paper's plain weighted mixing;
+        ``f=0`` configures the mixer but reduces *bitwise* to plain mixing.
+        Applied identically by all three engines (see ``docs/SCENARIOS.md``).
+    drift:
+        Optional :class:`~repro.data.drift.DriftSchedule` making local data
+        time-varying: at every schedule epoch boundary the trainer swaps
+        each server's shard and restarts the EXTRA recursion. Requires
+        ``workers=1`` (the sharded batch step pins its data buffers) and
+        the paper's ``shard_weighting=UNIFORM`` (sample weights would go
+        stale under drift).
+    tier_damping:
+        Optional cross-tier damping factor in ``(0, 1]`` for hierarchical
+        topologies: the Metropolis weight of every edge that crosses tiers
+        is multiplied by this factor
+        (:func:`repro.weights.construction.tiered_metropolis_weights`).
+        Requires a topology with ``.tiers`` and ``optimize_weights=False``
+        (the tiered construction is a fixed baseline, like eq. 24).
     """
 
     alpha: float | None = None
@@ -253,6 +274,9 @@ class SNAPConfig:
     topology_cost_weight: float = 0.0
     topology_readd: bool = False
     bytes_budget: int | None = None
+    robust_aggregation: object | None = None
+    drift: object | None = None
+    tier_damping: float | None = None
 
     def __post_init__(self) -> None:
         if self.alpha is not None:
@@ -349,6 +373,46 @@ class SNAPConfig:
             from repro.compression.spec import CompressorSpec
 
             self.compressor = CompressorSpec.normalize(self.compressor)
+        if self.robust_aggregation is not None:
+            from repro.core.robust import RobustAggregationSpec
+
+            self.robust_aggregation = RobustAggregationSpec.normalize(
+                self.robust_aggregation
+            )
+        if self.drift is not None:
+            from repro.data.drift import DriftSchedule
+
+            if not isinstance(self.drift, DriftSchedule):
+                raise ConfigurationError(
+                    f"drift must be a DriftSchedule, got {self.drift!r}"
+                )
+            if self.workers > 1:
+                raise ConfigurationError(
+                    "drift requires workers=1: the sharded batch step pins "
+                    "its per-worker data buffers for the whole run"
+                )
+            if self.shard_weighting is not ShardWeighting.UNIFORM:
+                raise ConfigurationError(
+                    "drift requires shard_weighting=UNIFORM: sample-count "
+                    "weights fixed at startup would go stale as shards drift"
+                )
+            if self.staleness_bound:
+                raise ConfigurationError(
+                    "drift requires staleness_bound=0: a shard swap at a "
+                    "round boundary is only well-defined when no server has "
+                    "run ahead of the fleet"
+                )
+        if self.tier_damping is not None:
+            check_positive("tier_damping", self.tier_damping)
+            if self.tier_damping > 1.0:
+                raise ConfigurationError(
+                    f"tier_damping must be in (0, 1], got {self.tier_damping}"
+                )
+            if self.optimize_weights:
+                raise ConfigurationError(
+                    "tier_damping requires optimize_weights=False: the "
+                    "tiered Metropolis construction is a fixed baseline"
+                )
 
     def compressor_spec(self):
         """The effective compression scheme of this run.

@@ -129,6 +129,9 @@ class ReferenceEngine:
     def rebuild_topology(self) -> None:
         """No-op: every phase re-reads the trainer's live topology state."""
 
+    def rebuild_data(self) -> None:
+        """No-op: servers read their (just-swapped) shards directly."""
+
 
 class VectorizedEngine:
     """Dense-matrix execution of the SNAP round loop.
@@ -212,6 +215,28 @@ class VectorizedEngine:
         self._mix_current = self._build_mixing(edge_id, w_tilde=False)
         self._mix_previous = self._build_mixing(edge_id, w_tilde=True)
 
+        # Robust aggregation runs the mixing as a per-node loop through the
+        # same repro.core.robust.robust_mix the reference servers call, so
+        # the operands (in-edge view rows and weights, ascending-neighbor
+        # order) are laid out here once per topology.
+        if self.trainer.config.robust_aggregation is not None:
+            W = self.trainer.weight_matrix
+            topology = self.trainer.topology
+            self._robust_ids = [
+                topology.neighbors(node) for node in range(self.n_nodes)
+            ]
+            self._robust_in_edges = [
+                [edge_id[(j, node)] for j in topology.neighbors(node)]
+                for node in range(self.n_nodes)
+            ]
+            self._robust_own_w = [
+                float(W[node, node]) for node in range(self.n_nodes)
+            ]
+            self._robust_nbr_w = [
+                [float(W[node, j]) for j in topology.neighbors(node)]
+                for node in range(self.n_nodes)
+            ]
+
     def _allocate_state(self) -> None:
         """Allocate the edge-sized state stacks and scratch for ``n_edges``."""
         d = self.n_params
@@ -243,6 +268,23 @@ class VectorizedEngine:
         """
         self._build_edge_structures()
         self._allocate_state()
+        self.begin_run()
+
+    def rebuild_data(self) -> None:
+        """Adopt the trainer's swapped shards after a drift epoch boundary.
+
+        The trainer syncs, swaps each server's (X, y) and restarts its
+        recursion, then calls this: the prepared-shard cache is rebuilt for
+        the new data and the restarted server state re-ingested via
+        :meth:`begin_run`, so the next round is bit-identical to the
+        reference engine's post-swap round.
+        """
+        trainer = self.trainer
+        if self._pool is not None:  # pragma: no cover - forbidden by config
+            raise RuntimeError("drift is not supported with workers > 1")
+        self.prepared = trainer.model.prepare_shards(
+            [(shard.X, shard.y) for shard in trainer.shards]
+        )
         self.begin_run()
 
     def close(self) -> None:
@@ -363,6 +405,38 @@ class VectorizedEngine:
         self._subst_scratch[self.n_nodes + stale] = own[self.edge_dst[stale]]
         return self._subst_scratch
 
+    def _robust_layer(self, spec, current_layer: bool) -> np.ndarray:
+        """One recursion layer of robust mixing, node by node.
+
+        Calls the same :func:`repro.core.robust.robust_mix` as the reference
+        servers with the same operands in the same (ascending-neighbor)
+        order, over the REWEIGHT-substituted stack, so the result is
+        bit-identical to the per-object path. The layer must be consumed
+        (it is: copied into a fresh array) before the next `_substituted`
+        call reuses the scratch buffer.
+        """
+        from repro.core.robust import robust_mix
+
+        if current_layer:
+            stack, fresh, own = self._stack_current, self.fresh, self.params
+        else:
+            stack = self._stack_previous
+            fresh, own = self.previous_fresh, self.previous_params
+        sub = self._substituted(stack, fresh, own)
+        mixed = np.empty((self.n_nodes, self.n_params))
+        for i in range(self.n_nodes):
+            values = [sub[self.n_nodes + e] for e in self._robust_in_edges[i]]
+            if current_layer:
+                own_weight = self._robust_own_w[i]
+                weights = self._robust_nbr_w[i]
+            else:
+                own_weight = 0.5 * (self._robust_own_w[i] + 1.0)
+                weights = [0.5 * w for w in self._robust_nbr_w[i]]
+            mixed[i] = robust_mix(
+                spec, sub[i], own_weight, self._robust_ids[i], values, weights
+            )
+        return mixed
+
     def step_round(self, round_index: int, down: frozenset) -> None:
         active = np.ones(self.n_nodes, dtype=bool)
         for node in down:
@@ -370,12 +444,17 @@ class VectorizedEngine:
                 active[node] = False
 
         gradients = self.scales[:, None] * self._batch_gradients()
-        mixed_current = self._mix_current @ self._substituted(
-            self._stack_current, self.fresh, self.params
-        )
-        mixed_previous = self._mix_previous @ self._substituted(
-            self._stack_previous, self.previous_fresh, self.previous_params
-        )
+        robust = self.trainer.config.robust_aggregation
+        if robust is not None:
+            mixed_current = self._robust_layer(robust, current_layer=True)
+            mixed_previous = self._robust_layer(robust, current_layer=False)
+        else:
+            mixed_current = self._mix_current @ self._substituted(
+                self._stack_current, self.fresh, self.params
+            )
+            mixed_previous = self._mix_previous @ self._substituted(
+                self._stack_previous, self.previous_fresh, self.previous_params
+            )
 
         new_first = mixed_current - self.trainer.alpha * gradients
         new_recursion = (
@@ -407,6 +486,24 @@ class VectorizedEngine:
         if self.trainer.compressor_spec.is_preset:
             return self._communicate_preset(round_index, down)
         return self._communicate_generic(round_index, down)
+
+    def _tx_params(self, round_index: int) -> np.ndarray:
+        """The (N, d) stack of *transmitted* parameters for this round.
+
+        With no byzantine plan this is ``self.params`` itself (zero copy).
+        With a plan, attacker rows are replaced by the attack's transmit
+        output — the same per-row call the reference trainer makes via
+        ``transmit_params`` — while local state stays honest, so selection,
+        byte accounting, and delivered views all see the poisoned vectors
+        bit-for-bit like the reference engine.
+        """
+        plan = self.trainer.byzantine_plan
+        if plan is None:
+            return self.params
+        tx = self.params.copy()
+        for node in sorted(self.trainer.byzantine_nodes):
+            tx[node] = plan.attack.transmit(self.params[node], node, round_index)
+        return tx
 
     def _active_mask(self, down: frozenset) -> np.ndarray:
         active = np.ones(self.n_nodes, dtype=bool)
@@ -455,8 +552,9 @@ class VectorizedEngine:
         trainer = self.trainer
         active = self._active_mask(down)
         self._advance_views(active)
+        tx = self._tx_params(round_index)
 
-        scale = np.maximum(np.abs(self.params).mean(axis=1), 1e-8)
+        scale = np.maximum(np.abs(tx).mean(axis=1), 1e-8)
         if trainer._schedules is not None:
             relative = np.array(
                 [schedule.send_threshold for schedule in trainer._schedules]
@@ -481,7 +579,7 @@ class VectorizedEngine:
                 self._delta_scratch = np.empty((self.n_edges, d))
                 self._mask_scratch = np.empty((self.n_edges, d), dtype=bool)
             deltas = self._delta_scratch
-            np.take(self.params, self.edge_src, axis=0, out=deltas)
+            np.take(tx, self.edge_src, axis=0, out=deltas)
             np.subtract(deltas, self.views, out=deltas)
             np.abs(deltas, out=deltas)
             send_mask = np.greater(
@@ -526,14 +624,14 @@ class VectorizedEngine:
         delivered_idx = np.flatnonzero(delivered_mask)
         if delivered_idx.size:
             if dense:
-                self.views[delivered_idx] = self.params[self.edge_src[delivered_idx]]
+                self.views[delivered_idx] = tx[self.edge_src[delivered_idx]]
             else:
                 # Scatter only the transmitted coordinates instead of
                 # materializing (K, d) sent-row and where() copies: writes
                 # exactly the masked entries with the same values.
                 rows, cols = np.nonzero(send_mask[delivered_idx])
                 edge_rows = delivered_idx[rows]
-                self.views[edge_rows, cols] = self.params[
+                self.views[edge_rows, cols] = tx[
                     self.edge_src[edge_rows], cols
                 ]
             self.fresh[delivered_idx] = True
@@ -568,10 +666,11 @@ class VectorizedEngine:
         trainer = self.trainer
         active = self._active_mask(down)
         self._advance_views(active)
+        tx = self._tx_params(round_index)
 
         compressors = trainer.compressors
         ctxs: dict[int, dict] = {
-            int(i): compressors[int(i)].begin_round(self.params[int(i)], round_index)
+            int(i): compressors[int(i)].begin_round(tx[int(i)], round_index)
             for i in np.flatnonzero(active)
         }
 
@@ -589,7 +688,7 @@ class VectorizedEngine:
         if elig_idx.size:
             if compressors[0].batched:
                 batch = compressors[0].compress_batch(
-                    self.params[self.edge_src[elig_idx]],
+                    tx[self.edge_src[elig_idx]],
                     self.views[elig_idx],
                     [states[int(e)] for e in elig_idx],
                     [ctxs[int(self.edge_src[e])] for e in elig_idx],
@@ -602,7 +701,7 @@ class VectorizedEngine:
                     state = states[e]
                     state.reference = self.views[e]
                     payloads[e] = compressors[src].compress(
-                        self.params[src], state, ctxs[src]
+                        tx[src], state, ctxs[src]
                     )
 
         sizes = np.zeros(self.n_edges, dtype=np.int64)

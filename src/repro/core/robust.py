@@ -1,0 +1,194 @@
+"""Robust neighbor aggregation: the defense side of byzantine scenarios.
+
+EXTRA's mixing step is a weighted sum over neighbor views — a single
+poisoned neighbor can drag a node's iterate arbitrarily far. The mixers
+here replace that sum with an ``f``-resilient aggregate while preserving
+two algebraic facts the rest of the stack depends on:
+
+* **mass preservation** — the aggregate always carries the same total
+  neighbor weight ``Σ_j w_j``, so the per-round mixing stays (sub)stochastic
+  and the consensus fixed point (all nodes equal) is untouched;
+* **hull confinement** — with at most ``f`` poisoned inputs the aggregate
+  stays inside the convex hull of the honest inputs (times the total
+  weight), the breakdown property the hypothesis suite certifies.
+
+Every engine calls the *same* :func:`robust_mix` with operands in the same
+(ascending neighbor id) order, so robust runs remain bit-for-bit identical
+across reference, vectorized, and semi-synchronous engines — the
+differential harness certifies this on the workload scenario pack.
+
+With ``f=0`` the mixers reduce *exactly* (bitwise) to the plain sequential
+accumulation of :meth:`repro.core.server.EdgeServer.step`, which is the
+zero-attacker reduction property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+ROBUST_KINDS = ("trimmed_mean", "median", "krum")
+
+
+@dataclass(frozen=True)
+class RobustAggregationSpec:
+    """Parsed ``SNAPConfig(robust_aggregation=...)`` value.
+
+    ``kind`` picks the mixer; ``f`` is the per-node contamination bound
+    (how many of a node's neighbors may be adversarial). ``f`` is clamped
+    per node to what its degree supports — a degree-2 ring node cannot
+    trim anything and falls back to plain mixing.
+    """
+
+    kind: str = "trimmed_mean"
+    f: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ROBUST_KINDS:
+            raise ConfigurationError(
+                f"robust aggregation kind must be one of {ROBUST_KINDS}, "
+                f"got {self.kind!r}"
+            )
+        if not isinstance(self.f, int) or self.f < 0:
+            raise ConfigurationError(
+                f"robust aggregation f must be a non-negative int, got "
+                f"{self.f!r}"
+            )
+
+    @classmethod
+    def normalize(cls, value) -> "RobustAggregationSpec | None":
+        """Accept ``None``, a spec, or a string like ``"trimmed_mean:f=2"``."""
+        if value is None or isinstance(value, cls):
+            return value
+        if not isinstance(value, str):
+            raise ConfigurationError(
+                f"robust_aggregation must be a RobustAggregationSpec or a "
+                f"spec string, got {value!r}"
+            )
+        head, _, rest = value.partition(":")
+        f = 1
+        if rest:
+            key, _, raw = rest.partition("=")
+            if key != "f":
+                raise ConfigurationError(
+                    f"unknown robust aggregation option {key!r} in {value!r} "
+                    f"(only 'f=<int>' is accepted)"
+                )
+            try:
+                f = int(raw)
+            except ValueError:
+                raise ConfigurationError(
+                    f"robust aggregation f must be an int, got {raw!r}"
+                ) from None
+        return cls(kind=head, f=f)
+
+    def describe(self) -> str:
+        return f"{self.kind}:f={self.f}"
+
+
+def _sequential_mix(
+    own_value: np.ndarray,
+    own_weight: float,
+    values: Sequence[np.ndarray],
+    weights: Sequence[float],
+) -> np.ndarray:
+    # Bitwise-identical to EdgeServer.step's plain accumulation: own term
+    # first, then neighbor terms in ascending id order, each a fresh array.
+    mixed = own_weight * own_value
+    for value, weight in zip(values, weights):
+        mixed = mixed + weight * value
+    return mixed
+
+
+def _trimmed_mean(
+    values: Sequence[np.ndarray], weights: Sequence[float], f_eff: int
+) -> np.ndarray:
+    stack = np.stack(values)
+    w = np.asarray(weights, dtype=float)
+    order = np.argsort(stack, axis=0, kind="stable")
+    kept = order[f_eff : len(values) - f_eff]
+    kept_values = np.take_along_axis(stack, kept, axis=0)
+    kept_weights = w[kept]
+    denominator = kept_weights.sum(axis=0)
+    numerator = (kept_weights * kept_values).sum(axis=0)
+    safe = denominator > 0.0
+    combination = np.where(
+        safe,
+        numerator / np.where(safe, denominator, 1.0),
+        kept_values.mean(axis=0),
+    )
+    return w.sum() * combination
+
+
+def _weighted_median(
+    values: Sequence[np.ndarray], weights: Sequence[float]
+) -> np.ndarray:
+    stack = np.stack(values)
+    w = np.asarray(weights, dtype=float)
+    order = np.argsort(stack, axis=0, kind="stable")
+    sorted_values = np.take_along_axis(stack, order, axis=0)
+    sorted_weights = w[order]
+    cumulative = np.cumsum(sorted_weights, axis=0)
+    half = 0.5 * w.sum()
+    pick = np.argmax(cumulative >= half, axis=0)
+    median = np.take_along_axis(
+        sorted_values, pick[np.newaxis, :], axis=0
+    )[0]
+    return w.sum() * median
+
+
+def _krum_screen(
+    own_value: np.ndarray,
+    values: Sequence[np.ndarray],
+    ids: Sequence[int],
+    f_eff: int,
+) -> set:
+    # Screen the f_eff neighbors whose vectors sit farthest from the local
+    # iterate (squared distance; ties broken by ascending id so the screen
+    # set is deterministic across engines).
+    distances = np.array(
+        [float(np.sum((value - own_value) ** 2)) for value in values]
+    )
+    ranked = np.lexsort((np.asarray(ids), -distances))
+    return {ids[index] for index in ranked[:f_eff]}
+
+
+def robust_mix(
+    spec: RobustAggregationSpec,
+    own_value: np.ndarray,
+    own_weight: float,
+    ids: Sequence[int],
+    values: Sequence[np.ndarray],
+    weights: Sequence[float],
+) -> np.ndarray:
+    """``own_weight·own_value`` plus the ``f``-resilient neighbor aggregate.
+
+    ``ids`` must be ascending and ``values`` / ``weights`` aligned with it —
+    the one canonical operand order every engine uses, which is what makes
+    robust runs digest-equal across engines.
+    """
+    m = len(values)
+    if spec.kind == "krum":
+        f_eff = min(spec.f, max(m - 1, 0))
+    else:
+        # Coordinate-wise trimming needs at least one survivor per side.
+        f_eff = min(spec.f, (m - 1) // 2) if m else 0
+    if f_eff <= 0:
+        return _sequential_mix(own_value, own_weight, values, weights)
+    if spec.kind == "trimmed_mean":
+        return own_weight * own_value + _trimmed_mean(values, weights, f_eff)
+    if spec.kind == "median":
+        return own_weight * own_value + _weighted_median(values, weights)
+    # krum: replace screened neighbors by the local iterate (the same
+    # reweight-to-self algebra the straggler rule uses), keeping the mixing
+    # row exactly stochastic.
+    screened = _krum_screen(own_value, values, ids, f_eff)
+    mixed = own_weight * own_value
+    for neighbor, value, weight in zip(ids, values, weights):
+        substituted = own_value if neighbor in screened else value
+        mixed = mixed + weight * substituted
+    return mixed

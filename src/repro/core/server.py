@@ -60,6 +60,11 @@ class EdgeServer:
         (``scale = 1``); sample-weighted federation passes
         ``n_i * N / sum_j n_j`` so the consensual optimum matches the
         pooled-data optimum even when shard sizes are unequal.
+    robust:
+        Optional :class:`~repro.core.robust.RobustAggregationSpec`: both
+        mixing layers of the EXTRA update route through
+        :func:`~repro.core.robust.robust_mix` instead of the plain weighted
+        sum (bitwise identical to it at ``f=0``).
     """
 
     def __init__(
@@ -74,6 +79,7 @@ class EdgeServer:
         initial_params: Params,
         straggler_strategy: StragglerStrategy = StragglerStrategy.STALE,
         objective_scale: float = 1.0,
+        robust=None,
     ):
         self.node_id = int(node_id)
         self.model = model
@@ -95,6 +101,8 @@ class EdgeServer:
                 f"objective_scale must be > 0, got {objective_scale}"
             )
         self.objective_scale = float(objective_scale)
+        #: Robust-aggregation spec (None = the paper's plain weighted mixing).
+        self.robust = robust
 
         allowed = set(self.neighbors) | {self.node_id}
         if hasattr(self.weight_row, "nonzero_indices"):
@@ -238,15 +246,45 @@ class EdgeServer:
 
     # -- the EXTRA update ---------------------------------------------------------
 
+    def _mix_layer(self, current_layer: bool) -> Params:
+        """One robust mixing layer (W on the current, W-tilde on the previous).
+
+        Shared by every engine (the vectorized engine calls it per node),
+        with operands in ascending-neighbor order — the canonical order
+        that keeps robust runs digest-equal across engines.
+        """
+        from repro.core.robust import robust_mix
+
+        w = self.weight_row
+        own = self.node_id
+        values = [
+            self._neighbor_value(j, current_layer=current_layer)
+            for j in self.neighbors
+        ]
+        if current_layer:
+            own_value, own_weight = self.params, w[own]
+            weights = [w[j] for j in self.neighbors]
+        else:
+            own_value, own_weight = self.previous_params, 0.5 * (w[own] + 1.0)
+            weights = [0.5 * w[j] for j in self.neighbors]
+        return robust_mix(
+            self.robust, own_value, own_weight, self.neighbors, values, weights
+        )
+
     def step(self) -> Params:
         """Run one local EXTRA update against the cached views; returns the new params."""
         w = self.weight_row
         own = self.node_id
         if self.previous_params is None:
             # First iteration: x^1 = sum_j w_ij x^0_(j) - alpha grad_i(x^0).
-            mixed = w[own] * self.params
-            for j in self.neighbors:
-                mixed = mixed + w[j] * self._neighbor_value(j, current_layer=True)
+            if self.robust is not None:
+                mixed = self._mix_layer(current_layer=True)
+            else:
+                mixed = w[own] * self.params
+                for j in self.neighbors:
+                    mixed = mixed + w[j] * self._neighbor_value(
+                        j, current_layer=True
+                    )
             gradient = self.local_gradient(self.params)
             new_params = mixed - self.alpha * gradient
         else:
@@ -259,15 +297,20 @@ class EdgeServer:
                     "previous-iteration view layer exists"
                 )
             # w_tilde row: (w_ij)/2 off-diagonal, (w_ii + 1)/2 on the diagonal.
-            mixed_current = w[own] * self.params
-            mixed_previous = 0.5 * (w[own] + 1.0) * self.previous_params
-            for j in self.neighbors:
-                mixed_current = mixed_current + w[j] * self._neighbor_value(
-                    j, current_layer=True
-                )
-                mixed_previous = mixed_previous + 0.5 * w[j] * self._neighbor_value(
-                    j, current_layer=False
-                )
+            if self.robust is not None:
+                mixed_current = self._mix_layer(current_layer=True)
+                mixed_previous = self._mix_layer(current_layer=False)
+            else:
+                mixed_current = w[own] * self.params
+                mixed_previous = 0.5 * (w[own] + 1.0) * self.previous_params
+                for j in self.neighbors:
+                    mixed_current = mixed_current + w[j] * self._neighbor_value(
+                        j, current_layer=True
+                    )
+                    mixed_previous = (
+                        mixed_previous
+                        + 0.5 * w[j] * self._neighbor_value(j, current_layer=False)
+                    )
             gradient = self.local_gradient(self.params)
             new_params = (
                 self.params

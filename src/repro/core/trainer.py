@@ -49,7 +49,11 @@ from repro.topology.failures import (
 from repro.topology.graph import Topology
 from repro.types import Params, WeightMatrix
 from repro.weights.adaptive import TopologyController, edge_cost_vector
-from repro.weights.construction import WeightRowView, metropolis_weights
+from repro.weights.construction import (
+    WeightRowView,
+    metropolis_weights,
+    tiered_metropolis_weights,
+)
 from repro.weights.optimizer import optimize_weight_matrix
 from repro.weights.validation import check_weight_matrix
 
@@ -191,6 +195,11 @@ class SNAPTrainer:
                     "weight_problem": optimization.problem,
                     "rate_score": optimization.report.rate_score,
                 }
+            elif self.config.tier_damping is not None:
+                weight_matrix = tiered_metropolis_weights(
+                    topology, self.config.tier_damping
+                )
+                self._weight_info = {"weight_problem": "tiered-metropolis"}
             else:
                 weight_matrix = metropolis_weights(
                     topology, sparse=self.config.sparse_weights
@@ -213,10 +222,30 @@ class SNAPTrainer:
             ]
         else:
             self._objective_scales = [1.0] * len(shards)
+        #: Base (epoch-0) shards: drift schedules derive every epoch's shard
+        #: from these, so drift is a pure function of (seed, node, epoch).
+        self._base_shards = list(shards)
+        #: Drift epoch currently applied to the servers.
+        self._drift_epoch = 0
         self.lipschitz = max(
             scale * model.gradient_lipschitz_bound(shard.X)
             for scale, shard in zip(self._objective_scales, shards)
         )
+        if self.config.drift is not None:
+            # The step size must stay safe on every shard the schedule will
+            # ever expose within the configured horizon, not just epoch 0.
+            schedule = self.config.drift
+            for epoch in range(1, schedule.epoch(self.config.max_rounds) + 1):
+                self.lipschitz = max(
+                    self.lipschitz,
+                    max(
+                        scale
+                        * model.gradient_lipschitz_bound(
+                            schedule.shard(node, self._base_shards[node], epoch).X
+                        )
+                        for node, scale in enumerate(self._objective_scales)
+                    ),
+                )
         self.alpha = (
             self.config.alpha
             if self.config.alpha is not None
@@ -257,6 +286,7 @@ class SNAPTrainer:
                 initial_params=self.initial_params,
                 straggler_strategy=self.config.straggler_strategy,
                 objective_scale=self._objective_scales[node],
+                robust=self.config.robust_aggregation,
             )
             for node in topology
         ]
@@ -284,6 +314,17 @@ class SNAPTrainer:
                 if node_failure_model is not None
                 else NoNodeFailures()
             )
+        #: The adversarial-transmission plan (None for an all-honest fleet).
+        #: Attacker ids are resolved against the *initial* topology and
+        #: cached, so the compromised set survives adaptive swaps.
+        self.byzantine_plan = (
+            self.fault_plan.byzantine if self.fault_plan is not None else None
+        )
+        self.byzantine_nodes: frozenset[int] = (
+            self.byzantine_plan.attackers(topology)
+            if self.byzantine_plan is not None
+            else frozenset()
+        )
         # Per directed link ``(source, destination)``: rounds since the
         # destination last received a fresh update from the source (the
         # degradation signal behind Fig. 9 — how stale the cached views are).
@@ -506,6 +547,8 @@ class SNAPTrainer:
         try:
             for _ in range(cap):
                 round_index = self.rounds_completed + 1
+                if self.config.drift is not None:
+                    self._maybe_apply_drift(round_index)
                 down = self.node_failure_model.failed_nodes(
                     self.topology, round_index
                 )
@@ -818,7 +861,14 @@ class SNAPTrainer:
             if server.node_id in down:
                 continue
             compressor = self.compressors[server_index]
-            ctx = compressor.begin_round(server.params, round_index)
+            # A byzantine server compresses and ships its *poisoned* vector;
+            # everything downstream (selection reference, byte accounting,
+            # last_sent, receiver views) operates on the transmitted values,
+            # so every ledger identity still holds bitwise.
+            tx_params = self.transmit_params(
+                server.params, server.node_id, round_index
+            )
+            ctx = compressor.begin_round(tx_params, round_index)
             for neighbor in server.neighbors:
                 if neighbor in down:
                     # The peer is offline: the connection fails before any
@@ -826,7 +876,7 @@ class SNAPTrainer:
                     continue
                 state = self._edge_state(server.node_id, neighbor)
                 state.reference = server.last_sent[neighbor]
-                payload = compressor.compress(server.params, state, ctx)
+                payload = compressor.compress(tx_params, state, ctx)
                 message = payload_to_update(
                     payload, server.node_id, round_index, n_params
                 )
@@ -846,6 +896,51 @@ class SNAPTrainer:
                 # current solution under the tightened threshold.
                 server.restart_recursion()
         return params_sent, delivered
+
+    def transmit_params(
+        self, params: Params, node: int, round_index: int
+    ) -> Params:
+        """The vector ``node`` puts on the wire this round.
+
+        Honest nodes transmit ``params`` unchanged (the same object — no
+        copy); compromised nodes transmit the byzantine plan's poisoned
+        transformation. Every runtime's send path routes through this, so
+        one plan poisons the simulator engines and the TCP testbed
+        identically.
+        """
+        if self.byzantine_plan is None:
+            return params
+        return self.byzantine_plan.transmit(
+            params, node, round_index, self.topology
+        )
+
+    # -- drifting data -----------------------------------------------------------
+
+    def _maybe_apply_drift(self, round_index: int) -> None:
+        """Swap every server onto the schedule's shard for this round's epoch.
+
+        An epoch boundary is an EXTRA restart: the gradient-difference
+        recursion straddling a data change is incoherent, so each server's
+        current parameters become the new epoch's ``x^0`` (exactly the
+        Algorithm 1 stage-boundary semantics). Neighbor views and link
+        state survive — the network's knowledge didn't change, the data did.
+        """
+        schedule = self.config.drift
+        epoch = schedule.epoch(round_index)
+        if epoch == self._drift_epoch:
+            return
+        engine = self.engine
+        engine.sync_to_servers()
+        shards = []
+        for node, server in enumerate(self.servers):
+            shard = schedule.shard(node, self._base_shards[node], epoch)
+            server.X = np.asarray(shard.X, dtype=float)
+            server.y = np.asarray(shard.y)
+            server.restart_recursion()
+            shards.append(shard)
+        self.shards = shards
+        self._drift_epoch = epoch
+        engine.rebuild_data()
 
     def _advance_staleness(self, delivered) -> int:
         """Age every directed link; reset the delivered ones. Returns #stale.

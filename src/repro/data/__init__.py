@@ -17,6 +17,7 @@ Dirichlet and shard partitioners for non-IID extension experiments.
 """
 
 from repro.data.dataset import Dataset, train_test_split
+from repro.data.drift import DriftSchedule, LabelShiftDrift, StreamingArrival
 from repro.data.mnist import SyntheticMNIST
 from repro.data.credit import SyntheticCreditDefault
 from repro.data.partition import (
@@ -33,4 +34,7 @@ __all__ = [
     "iid_partition",
     "dirichlet_partition",
     "shard_partition",
+    "DriftSchedule",
+    "LabelShiftDrift",
+    "StreamingArrival",
 ]

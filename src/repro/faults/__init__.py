@@ -12,6 +12,13 @@ same plan remain bit-for-bit comparable.
 See ``docs/FAULTS.md`` for the fault taxonomy and the degradation policy.
 """
 
+from repro.faults.byzantine import (
+    ByzantineAttack,
+    ByzantinePlan,
+    GaussianNoiseAttack,
+    ScaledUpdateAttack,
+    SignFlipAttack,
+)
 from repro.faults.models import (
     ClockSkewModel,
     CorruptionModel,
@@ -30,6 +37,11 @@ from repro.faults.plan import FaultPlan
 
 __all__ = [
     "FaultPlan",
+    "ByzantineAttack",
+    "ByzantinePlan",
+    "SignFlipAttack",
+    "GaussianNoiseAttack",
+    "ScaledUpdateAttack",
     "CorruptionModel",
     "NoCorruption",
     "IndependentCorruption",

@@ -1,0 +1,188 @@
+"""Byzantine (adversarial) node plans: poisoned transmissions, honest wires.
+
+A byzantine node participates in the protocol faithfully *except* that the
+parameter vector it puts on the wire is adversarially transformed. The
+attacker's own local trajectory stays honest — it steps, receives, and
+ledgers exactly like everyone else — so the attack surfaces only through
+its outgoing frames. That framing keeps every runtime invariant intact
+(``last_sent`` still equals the receivers' cached views bitwise, byte
+ledgers still conserve) while letting robust aggregation rules, not the
+transport, be the defense.
+
+Attacks are deterministic per ``(seed, node, round)``: the same plan
+replays the same poisoned bytes in the reference engine, the vectorized
+engine, the semi-synchronous engine, and the TCP testbed, which is what
+lets the differential harness certify robust-aggregation runs bit-for-bit
+across all of them.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import FrozenSet, Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.topology.graph import Topology
+from repro.types import SeedLike
+from repro.utils.rng import make_rng
+
+
+class ByzantineAttack(abc.ABC):
+    """Transforms the vector a compromised node transmits."""
+
+    @abc.abstractmethod
+    def transmit(
+        self, params: np.ndarray, node: int, round_index: int
+    ) -> np.ndarray:
+        """The poisoned vector ``node`` puts on the wire during the round.
+
+        Must return a *new* array (never mutate ``params``): the caller's
+        local state keeps training on the honest vector.
+        """
+
+
+class SignFlipAttack(ByzantineAttack):
+    """Transmit ``-scale * params``: the classic direction-reversal attack."""
+
+    def __init__(self, scale: float = 1.0):
+        if not scale > 0.0:
+            raise ConfigurationError(f"scale must be > 0, got {scale}")
+        self.scale = float(scale)
+
+    def transmit(
+        self, params: np.ndarray, node: int, round_index: int
+    ) -> np.ndarray:
+        return -self.scale * params
+
+    def __repr__(self) -> str:
+        return f"SignFlipAttack(scale={self.scale})"
+
+
+class GaussianNoiseAttack(ByzantineAttack):
+    """Transmit ``params + sigma * z`` with fresh noise per (node, round).
+
+    The noise stream is keyed by ``(seed, node, round)``, so replaying any
+    round in any runtime reproduces the identical poisoned vector.
+    """
+
+    def __init__(self, sigma: float, seed: SeedLike = None):
+        if not sigma > 0.0:
+            raise ConfigurationError(f"sigma must be > 0, got {sigma}")
+        self.sigma = float(sigma)
+        self._root_seed = int(make_rng(seed).integers(0, 2**63 - 1))
+
+    def transmit(
+        self, params: np.ndarray, node: int, round_index: int
+    ) -> np.ndarray:
+        rng = make_rng((self._root_seed, int(node), int(round_index)))
+        return params + self.sigma * rng.standard_normal(params.shape)
+
+    def __repr__(self) -> str:
+        return f"GaussianNoiseAttack(sigma={self.sigma})"
+
+
+class ScaledUpdateAttack(ByzantineAttack):
+    """Transmit ``factor * params``: model-boosting / dampening poisoning."""
+
+    def __init__(self, factor: float):
+        if factor == 1.0:
+            raise ConfigurationError("factor=1.0 is not an attack")
+        self.factor = float(factor)
+
+    def transmit(
+        self, params: np.ndarray, node: int, round_index: int
+    ) -> np.ndarray:
+        return self.factor * params
+
+    def __repr__(self) -> str:
+        return f"ScaledUpdateAttack(factor={self.factor})"
+
+
+class ByzantinePlan:
+    """Which nodes are compromised, and what they transmit.
+
+    Parameters
+    ----------
+    attack:
+        The transformation applied to every compromised node's outgoing
+        vector.
+    attackers:
+        Explicit compromised node ids. Mutually exclusive with
+        ``n_attackers``.
+    n_attackers:
+        Draw this many attacker ids uniformly (without replacement) from
+        the first topology the plan is queried against; the draw is cached,
+        so the attacker set stays stable across adaptive topology swaps.
+    seed:
+        Seeds the ``n_attackers`` draw.
+    """
+
+    def __init__(
+        self,
+        attack: ByzantineAttack,
+        attackers: Sequence[int] | None = None,
+        n_attackers: int | None = None,
+        seed: SeedLike = None,
+    ):
+        if not isinstance(attack, ByzantineAttack):
+            raise ConfigurationError(
+                f"attack must be a ByzantineAttack, got {attack!r}"
+            )
+        if (attackers is None) == (n_attackers is None):
+            raise ConfigurationError(
+                "provide exactly one of attackers= or n_attackers="
+            )
+        self.attack = attack
+        self._attackers: frozenset[int] | None = None
+        self._n_attackers: int | None = None
+        if attackers is not None:
+            ids = frozenset(int(a) for a in attackers)
+            if not ids:
+                raise ConfigurationError("attackers must be non-empty")
+            if any(a < 0 for a in ids):
+                raise ConfigurationError(f"attacker ids must be >= 0, got {ids}")
+            self._attackers = ids
+        else:
+            if n_attackers < 1:
+                raise ConfigurationError(
+                    f"n_attackers must be >= 1, got {n_attackers}"
+                )
+            self._n_attackers = int(n_attackers)
+        self._root_seed = int(make_rng(seed).integers(0, 2**63 - 1))
+
+    def attackers(self, topology: Topology) -> FrozenSet[int]:
+        """The compromised node set (resolved and cached on first query)."""
+        if self._attackers is None:
+            if self._n_attackers >= topology.n_nodes:
+                raise ConfigurationError(
+                    f"n_attackers={self._n_attackers} needs at least one "
+                    f"honest node in a {topology.n_nodes}-node topology"
+                )
+            rng = make_rng((self._root_seed, topology.n_nodes))
+            drawn = rng.choice(
+                topology.n_nodes, size=self._n_attackers, replace=False
+            )
+            self._attackers = frozenset(int(a) for a in drawn)
+        return self._attackers
+
+    def transmit(
+        self,
+        params: np.ndarray,
+        node: int,
+        round_index: int,
+        topology: Topology,
+    ) -> np.ndarray:
+        """What ``node`` puts on the wire: poisoned iff compromised."""
+        if node in self.attackers(topology):
+            return self.attack.transmit(params, node, round_index)
+        return params
+
+    def __repr__(self) -> str:
+        who = (
+            sorted(self._attackers)
+            if self._attackers is not None
+            else f"n={self._n_attackers}"
+        )
+        return f"ByzantinePlan(attack={self.attack}, attackers={who})"

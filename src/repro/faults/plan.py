@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import FrozenSet, Sequence, Union
 
+from repro.faults.byzantine import ByzantinePlan
 from repro.faults.models import ClockSkewModel, CorruptionModel, NoCorruption
 from repro.topology.failures import LinkFailureModel, NodeFailureModel
 from repro.topology.graph import Topology
@@ -69,6 +70,10 @@ class FaultPlan(LinkFailureModel, NodeFailureModel):
         multiplier is the *product* of the constituents' multipliers. Only
         the semi-synchronous engine consumes clocks — synchronous runtimes
         (whose barrier already absorbs any skew) ignore them.
+    byzantine:
+        Which nodes transmit adversarially poisoned vectors (default:
+        none). Consumed by every runtime's send path; pair it with
+        ``SNAPConfig(robust_aggregation=...)`` for the defense.
     """
 
     def __init__(
@@ -77,6 +82,7 @@ class FaultPlan(LinkFailureModel, NodeFailureModel):
         nodes: _NodeArg = None,
         corruption: CorruptionModel | None = None,
         clocks: _ClockArg = None,
+        byzantine: ByzantinePlan | None = None,
     ):
         self.link_models: tuple[LinkFailureModel, ...] = _as_tuple(
             links, LinkFailureModel, "links"
@@ -94,6 +100,11 @@ class FaultPlan(LinkFailureModel, NodeFailureModel):
         self.clock_models: tuple[ClockSkewModel, ...] = _as_tuple(
             clocks, ClockSkewModel, "clocks"
         )
+        if byzantine is not None and not isinstance(byzantine, ByzantinePlan):
+            raise TypeError(
+                f"byzantine must be a ByzantinePlan, got {byzantine!r}"
+            )
+        self.byzantine: ByzantinePlan | None = byzantine
 
     # -- LinkFailureModel / NodeFailureModel ------------------------------------
 
@@ -146,11 +157,12 @@ class FaultPlan(LinkFailureModel, NodeFailureModel):
             nodes=nodes,
             corruption=self.corruption,
             clocks=self.clock_models,
+            byzantine=self.byzantine,
         )
 
     def __repr__(self) -> str:
         return (
             f"FaultPlan(links={list(self.link_models)}, "
             f"nodes={list(self.node_models)}, corruption={self.corruption}, "
-            f"clocks={list(self.clock_models)})"
+            f"clocks={list(self.clock_models)}, byzantine={self.byzantine})"
         )

@@ -394,7 +394,12 @@ class _Node:
 
         server.advance_views()
         compressor = self.compressor
-        ctx = compressor.begin_round(server.params, round_index)
+        # Byzantine nodes poison only the transmitted vector; local state
+        # above stayed honest, exactly like the simulator engines.
+        tx_params = self.runtime._trainer.transmit_params(
+            server.params, server.node_id, round_index
+        )
+        ctx = compressor.begin_round(tx_params, round_index)
         for neighbor in server.neighbors:
             if neighbor in down:
                 # The peer is offline: the connection fails before any
@@ -406,7 +411,7 @@ class _Node:
             )
             state = self.runtime._trainer._edge_state(server.node_id, neighbor)
             state.reference = server.last_sent[neighbor]
-            payload = compressor.compress(server.params, state, ctx)
+            payload = compressor.compress(tx_params, state, ctx)
             message = payload_to_update(
                 payload, server.node_id, round_index, server.model.n_params
             )
@@ -630,6 +635,12 @@ class TestbedRuntime:
         retry_policy: RetryPolicy | None = None,
         membership: object | None = None,
     ):
+        # Link, node, and corruption faults are replayed by the testbed's
+        # own wire layer, but byzantine transmission lives on the trainer
+        # (every runtime's send path routes through transmit_params), so
+        # only that component is handed down. A fresh FaultPlan keeps the
+        # stateful link/node models bound to the testbed, not the trainer.
+        byzantine = fault_plan.byzantine if fault_plan is not None else None
         trainer = SNAPTrainer(
             model,
             shards,
@@ -637,6 +648,11 @@ class TestbedRuntime:
             config=config,
             weight_matrix=weight_matrix,
             initial_params=initial_params,
+            fault_plan=(
+                FaultPlan(byzantine=byzantine)
+                if byzantine is not None
+                else None
+            ),
         )
         if timeout_s <= 0:
             raise ConfigurationError(f"timeout_s must be > 0, got {timeout_s}")

@@ -30,12 +30,13 @@ from repro.testing.invariants import (
     feasible_frame_sizes,
     quantization_bits,
 )
-from repro.testing.scenarios import Scenario, ScenarioGen
+from repro.testing.scenarios import Scenario, ScenarioGen, workload_scenarios
 from repro.testing.differential import (
     DifferentialReport,
     run_scenario,
     run_semisync_smoke,
     run_suite,
+    run_workload_suite,
     summarize,
 )
 from repro.testing.selftest import (
@@ -65,6 +66,8 @@ __all__ = [
     "run_selftest",
     "run_semisync_smoke",
     "run_suite",
+    "run_workload_suite",
     "server_state_sha",
     "summarize",
+    "workload_scenarios",
 ]

@@ -139,6 +139,33 @@ def run_suite(
     return reports
 
 
+def run_workload_suite(
+    master_seed: int = 0,
+    *,
+    invariants: str = "strict",
+    fail_fast: bool = False,
+    progress=None,
+) -> list[DifferentialReport]:
+    """Differentially test the curated workload pack (byz/drift/hierarchy).
+
+    Same contract as :func:`run_suite`, over
+    :func:`repro.testing.scenarios.workload_scenarios` instead of the
+    generated stream: all three engines must agree bit for bit with strict
+    monitors armed on every attack/defense, drift, and tiered scenario.
+    """
+    from repro.testing.scenarios import workload_scenarios
+
+    reports = []
+    for scenario in workload_scenarios(master_seed):
+        report = run_scenario(scenario, invariants=invariants)
+        reports.append(report)
+        if progress is not None:
+            progress(report)
+        if fail_fast and not report.ok:
+            break
+    return reports
+
+
 def run_semisync_smoke(
     count: int,
     master_seed: int = 0,

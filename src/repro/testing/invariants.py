@@ -40,6 +40,20 @@ them *during* a run instead of post-hoc:
     faults but must stay finite and inside a constant multiple of its
     opening envelope — divergence (NaN/∞/explosion) is flagged at the
     round it happens.
+``byzantine-bound``
+    Only when a byzantine plan runs under a robust aggregator: no honest
+    server may face more attacker neighbors than the configured
+    tolerance ``f`` — beyond it the trimmed-mean/median/Krum guarantee
+    is void and the run's robustness claim is a lie.
+``drift-schedule``
+    Only under a drift schedule: the epoch must be non-decreasing in the
+    round index, and the shards the trainer holds must belong to exactly
+    the epoch the schedule assigns to the completed round.
+``hierarchy-ledger``
+    Only on tiered topologies: every flow must connect adjacent tiers
+    (edge <-> aggregator <-> cloud, never skipping a level), and the
+    per-tier-pair byte decomposition must sum exactly to the round
+    record's byte total — conservation across the hierarchy.
 
 Enable with ``SNAPConfig(invariants="strict")``; the trainer then runs
 every check each round on both engines (the vectorized engine's state is
@@ -138,6 +152,7 @@ class InvariantMonitor:
         self._threshold_watermarks: list[float] | None = None
         self._consensus_envelope: float | None = None
         self._envelope_rounds_seen = 0
+        self._drift_watermark = 0
 
     # -- plumbing ----------------------------------------------------------------
 
@@ -362,7 +377,13 @@ class InvariantMonitor:
         objects (``SNAPTrainer.run`` does this before invoking the monitor).
         """
         self._check_ape_budget(record)
-        self._check_byte_ledger(record)
+        # Pop the accumulated flow batches once: both ledger checks (global
+        # and tiered) read the same per-flow evidence for this round.
+        batches, self._pending_flows = self._pending_flows, []
+        self._check_byte_ledger(record, batches)
+        self._check_hierarchy_ledger(record, batches)
+        self._check_byzantine_bound(record)
+        self._check_drift_schedule(record)
         self._check_error_feedback(record, down)
         self._check_consensus_envelope(record)
         self._check_semi_sync(record)
@@ -424,7 +445,7 @@ class InvariantMonitor:
         """Tracker observer: stash each validated flow batch until the round check."""
         self._pending_flows.append((int(round_index), sources, destinations, sizes, hops))
 
-    def _check_byte_ledger(self, record) -> None:
+    def _check_byte_ledger(self, record, batches) -> None:
         self.checks["byte-ledger"] += 1
         tracker = self.trainer.tracker
         round_index = record.round_index
@@ -444,7 +465,6 @@ class InvariantMonitor:
                 f"aggregated {tracked_cost}",
                 round_index,
             )
-        batches, self._pending_flows = self._pending_flows, []
         if self._feasible_size_array is None:
             self._feasible_size_array = np.asarray(
                 sorted(
@@ -516,6 +536,92 @@ class InvariantMonitor:
                 round_index,
             )
 
+    def _check_hierarchy_ledger(self, record, batches) -> None:
+        tiers = getattr(self.trainer.topology, "tiers", None)
+        if tiers is None:
+            return
+        self.checks["hierarchy-ledger"] += 1
+        deferred = (
+            getattr(self.trainer.engine, "semi_sync_invariants", None) is not None
+        )
+        per_pair: Counter = Counter()
+        for flow_round, sources, destinations, sizes, hops in batches:
+            late = deferred and flow_round < record.round_index
+            for source, destination, size in zip(
+                sources.tolist(), destinations.tolist(), sizes.tolist()
+            ):
+                t_src, t_dst = tiers[source], tiers[destination]
+                if abs(t_src - t_dst) > 1:
+                    self.violate(
+                        "hierarchy-ledger",
+                        f"flow {source}->{destination} spans tiers "
+                        f"{t_src}->{t_dst}; hierarchical traffic must stay "
+                        "within adjacent tiers (edge <-> aggregator <-> "
+                        "cloud, never skipping a level)",
+                        record.round_index,
+                    )
+                if not late:
+                    per_pair[(min(t_src, t_dst), max(t_src, t_dst))] += int(size)
+        decomposed = sum(per_pair.values())
+        if decomposed != record.bytes_sent:
+            self.violate(
+                "hierarchy-ledger",
+                f"the per-tier-pair byte decomposition {dict(per_pair)!r} "
+                f"sums to {decomposed} but the round record reports "
+                f"{record.bytes_sent}: bytes leaked across the tier ledger",
+                record.round_index,
+            )
+
+    def _check_byzantine_bound(self, record) -> None:
+        plan = getattr(self.trainer, "byzantine_plan", None)
+        spec = self.trainer.config.robust_aggregation
+        if plan is None or spec is None:
+            return
+        self.checks["byzantine-bound"] += 1
+        attackers = self.trainer.byzantine_nodes
+        topology = self.trainer.topology
+        for node in range(topology.n_nodes):
+            if node in attackers:
+                continue
+            hostile = sum(
+                1 for neighbor in topology.neighbors(node) if neighbor in attackers
+            )
+            if hostile > spec.f:
+                self.violate(
+                    "byzantine-bound",
+                    f"honest server {node} has {hostile} byzantine neighbors "
+                    f"but the {spec.kind} aggregator only tolerates f = "
+                    f"{spec.f} per neighborhood: the robustness guarantee "
+                    "is void for this node",
+                    record.round_index,
+                )
+
+    def _check_drift_schedule(self, record) -> None:
+        schedule = self.trainer.config.drift
+        if schedule is None:
+            return
+        self.checks["drift-schedule"] += 1
+        epoch = schedule.epoch(record.round_index)
+        if epoch < self._drift_watermark:
+            self.violate(
+                "drift-schedule",
+                f"the drift schedule reports epoch {epoch} at round "
+                f"{record.round_index} after already reaching epoch "
+                f"{self._drift_watermark}: epochs must be non-decreasing "
+                "in the round index",
+                record.round_index,
+            )
+        applied = getattr(self.trainer, "_drift_epoch", None)
+        if applied is not None and applied != epoch:
+            self.violate(
+                "drift-schedule",
+                f"the trainer holds shards for drift epoch {applied} but the "
+                f"schedule places round {record.round_index} in epoch "
+                f"{epoch}: a shard swap was missed or applied early",
+                record.round_index,
+            )
+        self._drift_watermark = epoch
+
     def _check_error_feedback(self, record, down: frozenset) -> None:
         self.checks["error-feedback"] += 1
         servers = self.trainer.servers
@@ -543,11 +649,17 @@ class InvariantMonitor:
                         "reference-tracking identity broke",
                         record.round_index,
                     )
+        byzantine = getattr(self.trainer, "byzantine_nodes", frozenset())
         for (source, destination), state in self.trainer._edge_states.items():
             if state.residual is None:
                 continue
             if source in down or destination in down:
                 continue  # the edge skipped this round; its residual is stale
+            if source in byzantine:
+                # An attacker compresses its *poisoned* transmit vector, so
+                # its residual tracks tx - last_sent, not params - last_sent;
+                # the honest-params identity intentionally does not hold.
+                continue
             if source in lagging or destination in lagging:
                 # A server behind the fleet last compressed in an older
                 # round under that round's own outage pattern; its residual

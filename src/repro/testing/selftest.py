@@ -23,6 +23,18 @@ the violated invariant:
     matrix it hands the trainer has one off-diagonal entry perturbed — a
     corrupt online re-solve. The swap-boundary re-validation must refuse it
     by name → ``weight-stochasticity`` (checked under ``topology-swap``).
+``byzantine``
+    A trimmed-mean defense with tolerance f = 1 faces two attackers that
+    are both neighbors of one honest server — the robustness claim is void
+    for that neighborhood → ``byzantine-bound``.
+``drift``
+    The drift schedule is wrapped so its epoch runs *backwards* after the
+    first boundary — shards revert to an earlier epoch mid-run →
+    ``drift-schedule``.
+``hierarchy``
+    A tiered run has its topology's tier labels corrupted so one live edge
+    spans two levels (edge server wired straight to the cloud) →
+    ``hierarchy-ledger``.
 
 ``make verify-invariants`` runs this after the differential sweep: the
 sweep proves zero false positives on healthy runs, the self-test proves
@@ -135,12 +147,66 @@ def _inject_swap(trainer) -> None:
     controller.propose = corrupt_propose
 
 
+def _byzantine_scenario(master_seed: int = 0) -> Scenario:
+    """The base scenario defended by trimmed-mean against one attacker."""
+    return _base_scenario(master_seed).with_overrides(
+        byzantine="sign_flip",
+        byzantine_nodes=(1,),
+        robust="trimmed_mean:f=1",
+    )
+
+
+def _inject_byzantine(trainer) -> None:
+    # A second attacker joins a fleet whose defense was sized for one:
+    # honest server 2 (neighbors 1, 3, and chord 0) now faces two hostile
+    # neighbors while trimmed-mean only tolerates f = 1.
+    trainer.byzantine_nodes = frozenset(trainer.byzantine_nodes | {3})
+
+
+def _drift_scenario(master_seed: int = 0) -> Scenario:
+    """The base scenario on a three-round label-shift drift schedule."""
+    return _base_scenario(master_seed).with_overrides(
+        drift_kind="label_shift", drift_period=3, drift_seed=5
+    )
+
+
+def _inject_drift(trainer) -> None:
+    schedule = trainer.config.drift
+    true_epoch = schedule.epoch
+
+    def regressing_epoch(round_index: int) -> int:
+        # The schedule collapses back to epoch 0 after advancing — shards
+        # revert to data the fleet already trained past.
+        epoch = true_epoch(round_index)
+        return 0 if epoch >= 2 else epoch
+
+    schedule.epoch = regressing_epoch
+
+
+def _hierarchy_scenario(master_seed: int = 0) -> Scenario:
+    """The base scenario on a 7-server cloud/aggregator/edge tree."""
+    return _base_scenario(master_seed).with_overrides(
+        hierarchy=(2, 2), n_nodes=7, tier_damping=0.5
+    )
+
+
+def _inject_hierarchy(trainer) -> None:
+    # Relabel aggregator 1 as an edge server: its live uplink to the cloud
+    # (edge 0-1) now spans two levels, which tiered traffic never may.
+    tiers = list(trainer.topology.tiers)
+    tiers[1] = 2
+    trainer.topology._tiers = tuple(tiers)
+
+
 #: name -> (injector, invariant the monitor must report)
 INJECTIONS = {
     "weight": (_inject_weight, "weight-stochasticity"),
     "ledger": (_inject_ledger, "byte-ledger"),
     "ape": (_inject_ape, "ape-budget"),
     "swap": (_inject_swap, "weight-stochasticity"),
+    "byzantine": (_inject_byzantine, "byzantine-bound"),
+    "drift": (_inject_drift, "drift-schedule"),
+    "hierarchy": (_inject_hierarchy, "hierarchy-ledger"),
 }
 
 
@@ -161,11 +227,13 @@ class SelfTestResult:
 def run_injection(name: str, master_seed: int = 0) -> SelfTestResult:
     """Run one named injection against a fresh monitored trainer."""
     injector, expected = INJECTIONS[name]
-    scenario = (
-        _adaptive_scenario(master_seed)
-        if name == "swap"
-        else _base_scenario(master_seed)
-    )
+    scenario_builders = {
+        "swap": _adaptive_scenario,
+        "byzantine": _byzantine_scenario,
+        "drift": _drift_scenario,
+        "hierarchy": _hierarchy_scenario,
+    }
+    scenario = scenario_builders.get(name, _base_scenario)(master_seed)
     trainer = scenario.build_trainer("reference", invariants="strict")
     injector(trainer)
     try:

@@ -11,8 +11,10 @@ outages behind the straggler experiment (Fig. 9).
 
 from repro.topology.graph import Topology
 from repro.topology.generators import (
+    HierarchicalTopology,
     complete_topology,
     grid_topology,
+    hierarchical_topology,
     random_regular_topology,
     random_topology,
     ring_topology,
@@ -40,8 +42,10 @@ from repro.topology.failures import (
 
 __all__ = [
     "Topology",
+    "HierarchicalTopology",
     "complete_topology",
     "grid_topology",
+    "hierarchical_topology",
     "random_regular_topology",
     "random_topology",
     "ring_topology",

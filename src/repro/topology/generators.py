@@ -200,6 +200,93 @@ def scale_free_topology(
     return Topology.from_networkx(graph)
 
 
+class HierarchicalTopology(Topology):
+    """A :class:`Topology` whose nodes carry edge→aggregator→cloud tiers.
+
+    ``tiers[node]`` is the node's depth: 0 is the cloud root, the last tier
+    holds the edge devices. Every link connects nodes at most one tier
+    apart (parent↔child, or siblings inside one tier) — the structural fact
+    the invariant monitor's ``hierarchy-ledger`` check certifies per flow.
+
+    Note that derived topologies (``remove_edges``, adaptive pruning) decay
+    to plain :class:`Topology` and lose the tier labels, so hierarchical
+    scenarios run with a static topology.
+    """
+
+    def __init__(self, n_nodes, edges, tiers):
+        super().__init__(n_nodes, edges)
+        tiers = tuple(int(t) for t in tiers)
+        if len(tiers) != self.n_nodes:
+            raise TopologyError(
+                f"tiers has {len(tiers)} entries for {self.n_nodes} nodes"
+            )
+        if any(t < 0 for t in tiers):
+            raise TopologyError(f"tiers must be >= 0, got {tiers}")
+        for u, v in self.edges:
+            if abs(tiers[u] - tiers[v]) > 1:
+                raise TopologyError(
+                    f"edge ({u}, {v}) spans tiers {tiers[u]} and {tiers[v]}; "
+                    f"hierarchical links connect adjacent tiers only"
+                )
+        self._tiers = tiers
+
+    @property
+    def tiers(self) -> tuple[int, ...]:
+        """Per-node tier depth (0 = cloud root)."""
+        return self._tiers
+
+    def tier_of(self, node: int) -> int:
+        """Tier depth of ``node``."""
+        self._check_node(node)
+        return self._tiers[node]
+
+    def __repr__(self) -> str:
+        return (
+            f"HierarchicalTopology(n_nodes={self.n_nodes}, "
+            f"n_edges={self.n_edges}, depth={max(self._tiers)})"
+        )
+
+
+def hierarchical_topology(
+    branching: "list[int] | tuple[int, ...]",
+    sibling_rings: bool = False,
+) -> HierarchicalTopology:
+    """Edge→aggregator→cloud tree: one cloud root fanning out per tier.
+
+    ``branching[t]`` children hang under every tier-``t`` node, so
+    ``branching=[3, 4]`` builds 1 cloud + 3 aggregators + 12 edge devices.
+    Nodes are numbered breadth-first (the cloud is node 0), children are
+    assigned to parents in order, and with ``sibling_rings=True`` the
+    children under each parent are additionally chained into a path (plus
+    the closing link when there are ≥ 3 siblings), which keeps mixing from
+    funneling every exchange through the parent.
+    """
+    branching = tuple(int(b) for b in branching)
+    if not branching:
+        raise TopologyError("branching must name at least one tier fan-out")
+    if any(b < 1 for b in branching):
+        raise TopologyError(f"branching factors must be >= 1, got {branching}")
+    tiers: list[int] = [0]
+    edges: list[tuple[int, int]] = []
+    parents = [0]
+    next_id = 1
+    for depth, fan_out in enumerate(branching, start=1):
+        children: list[int] = []
+        for parent in parents:
+            siblings = list(range(next_id, next_id + fan_out))
+            next_id += fan_out
+            for child in siblings:
+                tiers.append(depth)
+                edges.append((parent, child))
+            if sibling_rings and len(siblings) >= 2:
+                edges.extend(zip(siblings, siblings[1:]))
+                if len(siblings) >= 3:
+                    edges.append((siblings[0], siblings[-1]))
+            children.extend(siblings)
+        parents = children
+    return HierarchicalTopology(next_id, edges, tiers)
+
+
 def random_regular_topology(
     n_nodes: int, degree: int, seed: SeedLike = None, max_attempts: int = 50
 ) -> Topology:

@@ -27,6 +27,7 @@ from repro.weights.adaptive import (
 from repro.weights.construction import (
     max_degree_weights,
     metropolis_weights,
+    tiered_metropolis_weights,
     uniform_neighbor_weights,
 )
 from repro.weights.parametrization import EdgeParametrization
@@ -45,6 +46,7 @@ __all__ = [
     "plan_neighbor_sets",
     "max_degree_weights",
     "metropolis_weights",
+    "tiered_metropolis_weights",
     "uniform_neighbor_weights",
     "EdgeParametrization",
     "MixingReport",

@@ -169,6 +169,45 @@ def uniform_neighbor_weights(topology: Topology, self_weight: float = 0.5) -> We
     return matrix
 
 
+def tiered_metropolis_weights(
+    topology: Topology, uplink_damping: float = 0.5, epsilon: float = 0.01
+) -> WeightMatrix:
+    """Metropolis weights with damped cross-tier (uplink/downlink) links.
+
+    Hierarchical edge→aggregator→cloud deployments pay more per byte on the
+    backhaul than inside a site, so the cross-tier links get their eq. (24)
+    weight multiplied by ``uplink_damping`` — mixing leans on cheap intra-
+    tier links, and the surplus mass moves onto the diagonal. The result is
+    still symmetric doubly stochastic with strictly positive diagonal, so
+    every downstream consumer (step-size bound, spectrum checks, the
+    invariant monitor) is unaffected.
+
+    Requires a topology carrying per-node tier labels
+    (:class:`~repro.topology.generators.HierarchicalTopology`).
+    """
+    check_non_negative("epsilon", epsilon)
+    tiers = getattr(topology, "tiers", None)
+    if tiers is None:
+        raise TopologyError(
+            "tiered_metropolis_weights needs a topology with .tiers "
+            "(build one with hierarchical_topology)"
+        )
+    if not 0.0 < uplink_damping <= 1.0:
+        raise TopologyError(
+            f"uplink_damping must be in (0, 1], got {uplink_damping}"
+        )
+    n = topology.n_nodes
+    matrix = np.zeros((n, n), dtype=float)
+    for u, v in topology.edges:
+        weight = 1.0 / (max(topology.degree(u), topology.degree(v)) + epsilon)
+        if tiers[u] != tiers[v]:
+            weight = uplink_damping * weight
+        matrix[u, v] = weight
+        matrix[v, u] = weight
+    _fill_diagonal_to_stochastic(matrix)
+    return matrix
+
+
 def _fill_diagonal_to_stochastic(matrix: np.ndarray) -> None:
     """Set each diagonal entry to one minus its row's off-diagonal sum (in place)."""
     np.fill_diagonal(matrix, 0.0)

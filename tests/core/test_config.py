@@ -58,3 +58,58 @@ class TestConvenienceConstructors:
     def test_explicit_selection_wins(self):
         config = SNAPConfig.snap0(selection=SelectionPolicy.DENSE)
         assert config.selection is SelectionPolicy.DENSE
+
+
+class TestScenarioAxes:
+    """Validation of the byzantine / drift / hierarchy scenario knobs."""
+
+    def test_robust_aggregation_string_normalizes(self):
+        from repro.core.robust import RobustAggregationSpec
+
+        config = SNAPConfig(robust_aggregation="trimmed_mean:f=2")
+        assert isinstance(config.robust_aggregation, RobustAggregationSpec)
+        assert config.robust_aggregation.kind == "trimmed_mean"
+        assert config.robust_aggregation.f == 2
+        assert SNAPConfig(robust_aggregation="median").robust_aggregation.f == 1
+
+    def test_robust_aggregation_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            SNAPConfig(robust_aggregation="mean-of-means")
+        with pytest.raises(ConfigurationError):
+            SNAPConfig(robust_aggregation="krum:k=2")
+        with pytest.raises(ConfigurationError):
+            SNAPConfig(robust_aggregation=42)
+
+    def test_drift_requires_a_schedule(self):
+        with pytest.raises(ConfigurationError):
+            SNAPConfig(drift="label_shift")
+
+    def test_drift_forbids_workers_and_staleness(self):
+        from repro.data.drift import StreamingArrival
+
+        drift = StreamingArrival(period=3)
+        SNAPConfig(drift=drift)  # workers=1, staleness_bound=0: fine
+        with pytest.raises(ConfigurationError):
+            SNAPConfig(drift=drift, workers=2)
+        with pytest.raises(ConfigurationError):
+            SNAPConfig(drift=drift, staleness_bound=1)
+
+    def test_drift_forbids_sample_count_weighting(self):
+        from repro.core.config import ShardWeighting
+        from repro.data.drift import StreamingArrival
+
+        with pytest.raises(ConfigurationError):
+            SNAPConfig(
+                drift=StreamingArrival(period=3),
+                shard_weighting=ShardWeighting.SAMPLES,
+            )
+
+    def test_tier_damping_range_and_optimizer_conflict(self):
+        config = SNAPConfig(tier_damping=0.5, optimize_weights=False)
+        assert config.tier_damping == pytest.approx(0.5)
+        with pytest.raises(ConfigurationError):
+            SNAPConfig(tier_damping=0.0, optimize_weights=False)
+        with pytest.raises(ConfigurationError):
+            SNAPConfig(tier_damping=1.5, optimize_weights=False)
+        with pytest.raises(ConfigurationError):
+            SNAPConfig(tier_damping=0.5, optimize_weights=True)

@@ -1,0 +1,104 @@
+"""Unit tests for the drifting-data shard schedules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.drift import DriftSchedule, LabelShiftDrift, StreamingArrival
+from repro.exceptions import ConfigurationError
+
+
+def _base(n=24, d=3, classes=3, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    y = np.arange(n) % classes
+    return Dataset(X, y)
+
+
+class TestEpochArithmetic:
+    def test_epoch_boundaries(self):
+        schedule = StreamingArrival(period=3)
+        assert [schedule.epoch(k) for k in range(1, 8)] == [0, 0, 0, 1, 1, 1, 2]
+
+    def test_epoch_rejects_round_zero(self):
+        schedule = StreamingArrival(period=3)
+        with pytest.raises(ConfigurationError):
+            schedule.epoch(0)
+
+    def test_period_must_be_positive(self):
+        with pytest.raises(Exception):
+            StreamingArrival(period=0)
+
+
+class TestLabelShiftDrift:
+    def test_epoch_zero_is_the_base_shard(self):
+        base = _base()
+        drift = LabelShiftDrift(period=2, seed=9)
+        assert drift.shard(0, base, 0) is base
+
+    def test_later_epochs_resample_deterministically(self):
+        base = _base()
+        a = LabelShiftDrift(period=2, seed=9)
+        b = LabelShiftDrift(period=2, seed=9)
+        shard_a = a.shard(1, base, 2)
+        shard_b = b.shard(1, base, 2)
+        np.testing.assert_array_equal(shard_a.X, shard_b.X)
+        np.testing.assert_array_equal(shard_a.y, shard_b.y)
+        assert shard_a.n_samples == base.n_samples
+
+    def test_focal_class_is_boosted(self):
+        base = _base(n=300, classes=3)
+        drift = LabelShiftDrift(period=2, boost=8.0, seed=3)
+        epoch, node = 1, 0
+        focal = np.unique(base.y)[(epoch + node) % 3]
+        shard = drift.shard(node, base, epoch)
+        base_count = int(np.sum(base.y == focal))
+        drift_count = int(np.sum(shard.y == focal))
+        assert drift_count > base_count
+
+    def test_distinct_nodes_and_epochs_draw_distinct_shards(self):
+        base = _base()
+        drift = LabelShiftDrift(period=2, seed=9)
+        s_node = drift.shard(0, base, 1)
+        s_other = drift.shard(1, base, 1)
+        s_epoch = drift.shard(0, base, 2)
+        assert not np.array_equal(s_node.X, s_other.X)
+        assert not np.array_equal(s_node.X, s_epoch.X)
+
+    def test_boost_must_exceed_one(self):
+        with pytest.raises(ConfigurationError):
+            LabelShiftDrift(period=2, boost=1.0)
+
+
+class TestStreamingArrival:
+    def test_prefix_grows_until_full(self):
+        base = _base(n=20)
+        drift = StreamingArrival(
+            period=2, initial_fraction=0.25, arrival_fraction=0.25
+        )
+        sizes = [drift.shard(0, base, e).n_samples for e in range(5)]
+        assert sizes == [5, 10, 15, 20, 20]
+        assert drift.shard(0, base, 4) is base  # full window is zero-copy
+
+    def test_prefix_preserves_sample_order(self):
+        base = _base(n=20)
+        drift = StreamingArrival(period=2)
+        shard = drift.shard(0, base, 1)
+        np.testing.assert_array_equal(shard.X, base.X[: shard.n_samples])
+        np.testing.assert_array_equal(shard.y, base.y[: shard.n_samples])
+
+    def test_fractions_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            StreamingArrival(period=2, initial_fraction=0.0)
+        with pytest.raises(ConfigurationError):
+            StreamingArrival(period=2, arrival_fraction=0.0)
+        with pytest.raises(Exception):
+            StreamingArrival(period=2, initial_fraction=1.5)
+
+
+class TestAbstractContract:
+    def test_shard_is_abstract(self):
+        with pytest.raises(TypeError):
+            DriftSchedule(period=2)  # type: ignore[abstract]

@@ -1,0 +1,204 @@
+"""Property-based tests for the robust aggregation mixers.
+
+Three contracts back the byzantine scenario axis (see docs/SCENARIOS.md):
+
+* **Permutation invariance** — the aggregate must not depend on the order
+  the neighbor operands arrive in (trimmed-mean and median canonicalize by
+  sorting; Krum screens by distance with id tie-breaks).
+* **Breakdown point** — with at most ``f`` attacker-controlled operands and
+  a tolerance of ``f``, the neighbor aggregate stays inside the honest
+  operands' convex hull (scaled by the total neighbor weight), no matter
+  what the attackers send. For the weighted median this guarantee needs the
+  attacker *weight* below half the total, so it is exercised with equal
+  weights; Krum's guarantee is screening of *outliers*, so its attackers
+  are placed strictly farther from the receiver than every honest operand.
+* **Exact reduction** — with ``f`` (effectively) zero the robust path must
+  be the plain sequential EXTRA mixing loop bit for bit, so configuring a
+  defense with no attackers provably costs nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.robust import (
+    ROBUST_KINDS,
+    RobustAggregationSpec,
+    _sequential_mix,
+    robust_mix,
+)
+
+
+@st.composite
+def mixing_operands(draw, min_neighbors=2, max_neighbors=8):
+    """One node's mixing inputs: own row plus m neighbor (id, value, weight)."""
+    d = draw(st.integers(min_value=1, max_value=6))
+    m = draw(st.integers(min_value=min_neighbors, max_value=max_neighbors))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    own_value = rng.normal(size=d)
+    own_weight = float(rng.uniform(0.1, 0.6))
+    values = [rng.normal(size=d) for _ in range(m)]
+    weights = [float(w) for w in rng.uniform(0.05, 0.5, size=m)]
+    ids = list(range(m))
+    return own_value, own_weight, ids, values, weights
+
+
+@given(
+    mixing_operands(),
+    st.sampled_from(ROBUST_KINDS),
+    st.integers(min_value=1, max_value=3),
+    st.randoms(use_true_random=False),
+)
+@settings(max_examples=60, deadline=None)
+def test_permutation_invariance(operands, kind, f, shuffler):
+    own_value, own_weight, ids, values, weights = operands
+    spec = RobustAggregationSpec(kind=kind, f=f)
+    baseline = robust_mix(spec, own_value, own_weight, ids, values, weights)
+
+    order = list(range(len(ids)))
+    shuffler.shuffle(order)
+    permuted = robust_mix(
+        spec,
+        own_value,
+        own_weight,
+        [ids[i] for i in order],
+        [values[i] for i in order],
+        [weights[i] for i in order],
+    )
+    np.testing.assert_allclose(permuted, baseline, rtol=1e-9, atol=1e-12)
+
+
+@st.composite
+def attacked_operands(draw, equal_weights=False):
+    """Operands with ``f`` attacker slots and enough honest mass (h >= f+1)."""
+    d = draw(st.integers(min_value=1, max_value=5))
+    f = draw(st.integers(min_value=1, max_value=3))
+    honest = draw(st.integers(min_value=f + 1, max_value=f + 5))
+    m = honest + f
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    own_value = rng.normal(size=d)
+    own_weight = float(rng.uniform(0.1, 0.6))
+    honest_values = [rng.normal(size=d) for _ in range(honest)]
+    if equal_weights:
+        weights = [0.25] * m
+    else:
+        weights = [float(w) for w in rng.uniform(0.05, 0.5, size=m)]
+    attacker_slots = sorted(
+        int(i) for i in rng.choice(m, size=f, replace=False)
+    )
+    # Attacks: huge magnitudes, sign flips, adversarial constants.
+    attacker_values = [
+        rng.choice([-1.0, 1.0]) * rng.uniform(10.0, 1e6) * np.ones(d)
+        for _ in range(f)
+    ]
+    return (
+        own_value,
+        own_weight,
+        honest_values,
+        attacker_slots,
+        attacker_values,
+        weights,
+        f,
+    )
+
+
+def _interleave(honest_values, attacker_slots, attacker_values):
+    m = len(honest_values) + len(attacker_slots)
+    values, honest_iter = [], iter(honest_values)
+    attacker_iter = iter(attacker_values)
+    for i in range(m):
+        if i in attacker_slots:
+            values.append(next(attacker_iter))
+        else:
+            values.append(next(honest_iter))
+    return values
+
+
+def _assert_in_scaled_hull(result, own_value, own_weight, hull_values, weights):
+    """``result`` must equal own term + total-neighbor-weight × hull point."""
+    hull = np.stack(hull_values)
+    total = float(np.sum(weights))
+    low = own_weight * own_value + total * hull.min(axis=0)
+    high = own_weight * own_value + total * hull.max(axis=0)
+    slack = 1e-9 * (1.0 + np.abs(high) + np.abs(low))
+    assert np.all(result >= low - slack), (result, low)
+    assert np.all(result <= high + slack), (result, high)
+
+
+@given(attacked_operands())
+@settings(max_examples=60, deadline=None)
+def test_trimmed_mean_breakdown(operands):
+    own_value, own_weight, honest_values, slots, attacks, weights, f = operands
+    values = _interleave(honest_values, slots, attacks)
+    spec = RobustAggregationSpec(kind="trimmed_mean", f=f)
+    result = robust_mix(
+        spec, own_value, own_weight, list(range(len(values))), values, weights
+    )
+    _assert_in_scaled_hull(result, own_value, own_weight, honest_values, weights)
+
+
+@given(attacked_operands(equal_weights=True))
+@settings(max_examples=60, deadline=None)
+def test_median_breakdown_under_equal_weights(operands):
+    own_value, own_weight, honest_values, slots, attacks, weights, f = operands
+    values = _interleave(honest_values, slots, attacks)
+    spec = RobustAggregationSpec(kind="median", f=f)
+    result = robust_mix(
+        spec, own_value, own_weight, list(range(len(values))), values, weights
+    )
+    _assert_in_scaled_hull(result, own_value, own_weight, honest_values, weights)
+
+
+@given(attacked_operands())
+@settings(max_examples=60, deadline=None)
+def test_krum_screens_outlier_attackers(operands):
+    own_value, own_weight, honest_values, slots, attacks, weights, f = operands
+    # Krum screens by distance to the receiver: place every attacker
+    # strictly farther from `own_value` than any honest operand.
+    worst = max(
+        float(np.sum((v - own_value) ** 2)) for v in honest_values
+    )
+    radius = np.sqrt(worst) + 1.0
+    attacks = [
+        own_value + radius * (2.0 + i) * np.sign(a[0] if a[0] != 0 else 1.0)
+        for i, a in enumerate(attacks)
+    ]
+    values = _interleave(honest_values, slots, attacks)
+    spec = RobustAggregationSpec(kind="krum", f=f)
+    result = robust_mix(
+        spec, own_value, own_weight, list(range(len(values))), values, weights
+    )
+    # Screened slots mix the receiver's own row, so the hull widens to the
+    # honest operands plus `own_value` itself.
+    _assert_in_scaled_hull(
+        result, own_value, own_weight, honest_values + [own_value], weights
+    )
+
+
+@given(mixing_operands(min_neighbors=1), st.sampled_from(ROBUST_KINDS))
+@settings(max_examples=60, deadline=None)
+def test_f_zero_reduces_to_plain_mixing_bitwise(operands, kind):
+    own_value, own_weight, ids, values, weights = operands
+    spec = RobustAggregationSpec(kind=kind, f=0)
+    robust = robust_mix(spec, own_value, own_weight, ids, values, weights)
+    plain = _sequential_mix(own_value, own_weight, values, weights)
+    # Bitwise, not approximate: the zero-tolerance path must be the exact
+    # sequential accumulation the EdgeServer runs without a defense.
+    assert np.array_equal(robust, plain)
+
+
+@given(mixing_operands(min_neighbors=1, max_neighbors=3))
+@settings(max_examples=60, deadline=None)
+def test_degenerate_neighborhoods_fall_back_bitwise(operands):
+    """f > 0 but too few operands to trim: the clamp must hit the plain path."""
+    own_value, own_weight, ids, values, weights = operands
+    m = len(values)
+    plain = _sequential_mix(own_value, own_weight, values, weights)
+    for kind in ("trimmed_mean", "median"):
+        f_eff_zero = (m - 1) // 2 == 0
+        spec = RobustAggregationSpec(kind=kind, f=5)
+        result = robust_mix(spec, own_value, own_weight, ids, values, weights)
+        if f_eff_zero:
+            assert np.array_equal(result, plain)
+        assert np.all(np.isfinite(result))

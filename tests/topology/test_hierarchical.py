@@ -1,0 +1,109 @@
+"""Unit tests for hierarchical topologies and tiered weight construction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.topology.generators import (
+    HierarchicalTopology,
+    hierarchical_topology,
+)
+from repro.topology.graph import Topology
+from repro.weights.construction import (
+    metropolis_weights,
+    tiered_metropolis_weights,
+)
+
+
+class TestHierarchicalTopology:
+    def test_tier_labels_are_exposed(self):
+        topo = HierarchicalTopology(3, [(0, 1), (1, 2)], (0, 1, 2))
+        assert topo.tiers == (0, 1, 2)
+        assert [topo.tier_of(i) for i in range(3)] == [0, 1, 2]
+
+    def test_rejects_edges_spanning_two_tiers(self):
+        with pytest.raises(TopologyError):
+            HierarchicalTopology(3, [(0, 1), (0, 2)], (0, 1, 2))
+
+    def test_rejects_mismatched_tier_count(self):
+        with pytest.raises(TopologyError):
+            HierarchicalTopology(3, [(0, 1), (1, 2)], (0, 1))
+        with pytest.raises(TopologyError):
+            HierarchicalTopology(3, [(0, 1), (1, 2)], (0, -1, 0))
+
+
+class TestHierarchicalGenerator:
+    def test_node_counts_and_bfs_numbering(self):
+        topo = hierarchical_topology([3, 4])
+        assert topo.n_nodes == 1 + 3 + 12
+        assert topo.tiers == (0,) + (1,) * 3 + (2,) * 12
+        # Cloud 0 links to every aggregator; each aggregator to 4 edges.
+        assert sorted(topo.neighbors(0)) == [1, 2, 3]
+        assert sorted(topo.neighbors(1)) == [0, 4, 5, 6, 7]
+
+    def test_single_tier_is_a_star(self):
+        topo = hierarchical_topology([4])
+        assert topo.n_nodes == 5
+        assert topo.n_edges == 4
+        assert sorted(topo.neighbors(0)) == [1, 2, 3, 4]
+
+    def test_sibling_rings_connect_children(self):
+        plain = hierarchical_topology([2, 3])
+        ringed = hierarchical_topology([2, 3], sibling_rings=True)
+        assert ringed.n_nodes == plain.n_nodes == 9
+        # Each of the two aggregators gains a closed 3-ring among its
+        # children; the two aggregators themselves gain one chord.
+        assert ringed.n_edges > plain.n_edges
+        # Children of aggregator 1 (nodes 3, 4, 5) form a ring.
+        assert 4 in ringed.neighbors(3) and 5 in ringed.neighbors(3)
+
+    def test_rejects_degenerate_branching(self):
+        with pytest.raises(TopologyError):
+            hierarchical_topology([])
+        with pytest.raises(TopologyError):
+            hierarchical_topology([0])
+
+
+class TestTieredWeights:
+    def _topo(self):
+        return hierarchical_topology([2, 2], sibling_rings=True)
+
+    def test_result_is_symmetric_doubly_stochastic(self):
+        W = tiered_metropolis_weights(self._topo(), uplink_damping=0.5)
+        np.testing.assert_allclose(W, W.T)
+        np.testing.assert_allclose(W.sum(axis=0), 1.0)
+        np.testing.assert_allclose(W.sum(axis=1), 1.0)
+        assert np.all(np.diag(W) > 0.0)
+
+    def test_damping_shrinks_cross_tier_weights_only(self):
+        topo = self._topo()
+        full = tiered_metropolis_weights(topo, uplink_damping=1.0)
+        damped = tiered_metropolis_weights(topo, uplink_damping=0.5)
+        tiers = topo.tiers
+        for u, v in topo.edges:
+            if tiers[u] != tiers[v]:
+                np.testing.assert_allclose(damped[u, v], 0.5 * full[u, v])
+            else:
+                np.testing.assert_allclose(damped[u, v], full[u, v])
+        # The shed cross-tier mass lands on the diagonal.
+        assert np.all(np.diag(damped) >= np.diag(full) - 1e-12)
+
+    def test_no_damping_matches_metropolis(self):
+        topo = self._topo()
+        undamped = tiered_metropolis_weights(topo, uplink_damping=1.0)
+        plain = metropolis_weights(topo)
+        np.testing.assert_allclose(undamped, plain)
+
+    def test_requires_tier_labels(self):
+        flat = Topology(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        with pytest.raises(TopologyError):
+            tiered_metropolis_weights(flat)
+
+    def test_rejects_out_of_range_damping(self):
+        topo = self._topo()
+        with pytest.raises(TopologyError):
+            tiered_metropolis_weights(topo, uplink_damping=0.0)
+        with pytest.raises(TopologyError):
+            tiered_metropolis_weights(topo, uplink_damping=1.5)
